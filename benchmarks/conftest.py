@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one artifact of the paper (a figure, a platform
+description, or a stated performance ratio), prints the reproduced rows /
+curves with the reporting helpers, and asserts the *shape* that must hold
+(who wins, by roughly what factor) -- not the absolute numbers, which depend
+on the authors' unknown workload distributions.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the benchmarks without an installed distribution, exactly like
+# the pythonpath pytest option does for tests/.
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report block that survives pytest's output capture."""
+
+    def _print(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n===== {title} =====")
+            print(body)
+
+    return _print

@@ -1,0 +1,93 @@
+"""DLT-POLICIES: the Divisible Load distribution modes of section 2.1.
+
+"This distribution can be made in one, several rounds or dynamically with a
+work stealing strategy."  The benchmark compares the three modes (plus the
+naive equal split and the asymptotic steady-state bound) on homogeneous and
+heterogeneous platforms of 2 to 64 workers, with and without communication
+latency.  The shapes that must hold:
+
+* the optimal single-round closed form never loses to the equal split;
+* when communication is significant, multi-round distribution beats a single
+  round, and the advantage grows with the communication cost;
+* with per-message latencies there is a crossover: too many rounds (or too
+  small chunks for work stealing) hurt;
+* every finite-schedule makespan stays above the steady-state bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dlt.bus import bus_equal_split, bus_single_round
+from repro.core.dlt.multiround import multi_round_distribution, optimize_round_count
+from repro.core.dlt.platform import DLTPlatform, DLTWorker
+from repro.core.dlt.star import star_single_round
+from repro.core.dlt.steady_state import steady_state_lower_bound_makespan
+from repro.core.dlt.workstealing import work_stealing_distribution
+from repro.experiments.reporting import ascii_table
+
+LOAD = 10_000.0
+WORKER_COUNTS = (2, 8, 32, 64)
+
+
+def heterogeneous_platform(n, comm_time, latency=0.0):
+    return DLTPlatform(
+        [DLTWorker(f"w{i}", compute_time=1.0 + (i % 4) * 0.5, comm_time=comm_time,
+                   latency=latency) for i in range(n)]
+    )
+
+
+def sweep_dlt():
+    rows = []
+    for n_workers in WORKER_COUNTS:
+        for comm_time in (0.0, 0.02, 0.1):
+            platform = heterogeneous_platform(n_workers, comm_time)
+            single = star_single_round(LOAD, platform)
+            equal = bus_equal_split(LOAD, platform, bus_time_per_unit=comm_time)
+            one_round_prop = multi_round_distribution(LOAD, platform, rounds=1)
+            multi = optimize_round_count(LOAD, platform, max_rounds=8)
+            stealing = work_stealing_distribution(LOAD, platform)
+            steady = steady_state_lower_bound_makespan(LOAD, platform)
+            rows.append(
+                {
+                    "workers": n_workers,
+                    "comm": comm_time,
+                    "single_round": single.makespan,
+                    "equal_split": equal.makespan,
+                    "one_round_prop": one_round_prop.makespan,
+                    "multi_round": multi.makespan,
+                    "work_stealing": stealing.makespan,
+                    "steady_bound": steady,
+                }
+            )
+    return rows
+
+
+def test_dlt_distribution_modes(run_once, report):
+    rows = run_once(sweep_dlt)
+    report("DLT-POLICIES: divisible load distribution modes (makespan, load = 10k units)",
+           ascii_table(rows))
+    for row in rows:
+        # Optimal single round never loses to the naive equal split.
+        assert row["single_round"] <= row["equal_split"] + 1e-6
+        # Nothing beats the asymptotic steady-state bound.
+        for key in ("single_round", "equal_split", "one_round_prop", "multi_round",
+                    "work_stealing"):
+            assert row[key] >= row["steady_bound"] * (1 - 1e-9)
+        # With significant communication, overlapping rounds beats handing each
+        # worker its whole (proportional) share in one message.
+        if row["comm"] >= 0.02:
+            assert row["multi_round"] <= row["one_round_prop"] + 1e-6
+    # Crossover with latencies: many rounds become counter-productive.
+    lat_platform = heterogeneous_platform(16, comm_time=0.01, latency=2.0)
+    few = multi_round_distribution(LOAD, lat_platform, rounds=2)
+    many = multi_round_distribution(LOAD, lat_platform, rounds=64)
+    assert few.makespan < many.makespan
+
+
+def test_single_round_closed_form_benchmark(benchmark):
+    """Micro-benchmark of the closed form itself (it is called in inner loops)."""
+
+    platform = DLTPlatform.homogeneous(64, compute_time=1.0, comm_time=0.01)
+    result = benchmark(bus_single_round, LOAD, platform)
+    assert result.makespan > 0

@@ -1,0 +1,52 @@
+"""FIG2-CMAX: Figure 2 (bottom) -- Cmax ratio of the bi-criteria algorithm.
+
+Same simulation as FIG2-WC, reporting the makespan ratio.  In the paper the
+Cmax ratios lie between 1 and ~2.2 and decrease as the number of tasks grows
+(many tasks pack well on 100 machines); the shape assertions below check
+boundedness and the decreasing trend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import Figure2Config, figure2_curves, run_figure2
+from repro.experiments.reporting import ascii_plot, ascii_table
+
+TASK_COUNTS = (50, 100, 200, 400, 700, 1000)
+
+CONFIG = Figure2Config(
+    machine_count=100,
+    task_counts=TASK_COUNTS,
+    repetitions=2,
+    base_seed=3004,
+    fast_inner=True,
+)
+
+
+def test_figure2_makespan_ratio(run_once, report):
+    points = run_once(run_figure2, CONFIG)
+    curves = figure2_curves(points)["cmax"]
+
+    rows = [
+        {"n_tasks": n, "non_parallel": curves["non_parallel"][n], "parallel": curves["parallel"][n]}
+        for n in TASK_COUNTS
+    ]
+    report(
+        "Figure 2 (bottom): Cmax ratio vs number of tasks (100 machines)",
+        ascii_table(rows)
+        + "\n"
+        + ascii_plot(
+            {"parallel": curves["parallel"], "non parallel": curves["non_parallel"]},
+            title="Cmax ratio",
+            x_label="number of tasks",
+        ),
+    )
+
+    for family in ("parallel", "non_parallel"):
+        curve = curves[family]
+        values = [curve[n] for n in TASK_COUNTS]
+        # Bounded by a small constant and decreasing towards 1 for large n.
+        assert all(1.0 - 1e-9 <= v <= 4.5 for v in values), family
+        assert values[-1] <= values[0] + 1e-9, family
+        assert values[-1] <= 2.2, family

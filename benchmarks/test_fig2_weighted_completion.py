@@ -1,0 +1,59 @@
+"""FIG2-WC: Figure 2 (top) -- sum w_i C_i ratio of the bi-criteria algorithm.
+
+Reproduces the top plot of Figure 2: the ratio of the achieved weighted
+completion time to the lower bound, as a function of the number of tasks
+(cluster of 100 machines, Parallel and Non Parallel workloads).
+
+Shape assertions (absolute values depend on the unknown workload of the
+authors): ratios are bounded by a small constant, they do not grow with the
+number of tasks, and for large task counts the Parallel workload achieves a
+ratio at least as good as the Non Parallel one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import Figure2Config, figure2_curves, run_figure2
+from repro.experiments.reporting import ascii_plot, ascii_table
+
+TASK_COUNTS = (50, 100, 200, 400, 700, 1000)
+
+CONFIG = Figure2Config(
+    machine_count=100,
+    task_counts=TASK_COUNTS,
+    repetitions=2,
+    base_seed=2004,
+    fast_inner=True,
+)
+
+
+def test_figure2_weighted_completion_ratio(run_once, report):
+    points = run_once(run_figure2, CONFIG)
+    curves = figure2_curves(points)["wici"]
+
+    rows = [
+        {"n_tasks": n, "non_parallel": curves["non_parallel"][n], "parallel": curves["parallel"][n]}
+        for n in TASK_COUNTS
+    ]
+    report(
+        "Figure 2 (top): sum w_i C_i ratio vs number of tasks (100 machines)",
+        ascii_table(rows)
+        + "\n"
+        + ascii_plot(
+            {"parallel": curves["parallel"], "non parallel": curves["non_parallel"]},
+            title="WiCi ratio",
+            x_label="number of tasks",
+        ),
+    )
+
+    for family in ("parallel", "non_parallel"):
+        curve = curves[family]
+        values = [curve[n] for n in TASK_COUNTS]
+        # Bounded by a small constant, far below the worst-case guarantee.
+        assert all(1.0 - 1e-9 <= v <= 4.0 for v in values), family
+        # Ratios flatten: the largest instance is no worse than the smallest.
+        assert values[-1] <= values[0] + 0.25, family
+    # For large task counts the moldable (Parallel) workload is served at
+    # least as well as the sequential one.
+    assert curves["parallel"][1000] <= curves["non_parallel"][1000] + 0.5

@@ -1,0 +1,77 @@
+"""FIG3-CIMENT: Figure 3 -- the four largest clusters of the CIMENT project.
+
+Builds the exact platform of Figure 3 (104 bi-Itanium2/Myrinet, 48 bi-Xeon
+/GigE, 40 + 24 bi-Athlon/Eth100), generates the per-community workloads of
+section 5.2 and runs the centralized best-effort organisation on it.  The
+benchmark reports the platform inventory and the per-cluster outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import ascii_table
+from repro.platform.ciment import CIMENT_CLUSTERS, ciment_grid
+from repro.simulation.grid_sim import CentralizedGridSimulator
+from repro.workload.communities import COMMUNITY_PROFILES, community_workload, grid_workload
+
+#: Community -> cluster mapping used by the CIMENT experiments (each cluster
+#: is owned by one community, see repro.platform.ciment).
+COMMUNITY_CLUSTER = {
+    "computer-science": "icluster-itanium",
+    "numerical-physics": "xeon-cluster",
+    "astrophysics": "athlon-cluster-a",
+    "medical-research": "athlon-cluster-b",
+}
+
+
+def simulate_ciment():
+    grid = ciment_grid()
+    local = {}
+    bags = []
+    for index, (community, cluster_name) in enumerate(sorted(COMMUNITY_CLUSTER.items())):
+        cluster = grid.cluster(cluster_name)
+        local[cluster_name] = community_workload(
+            community, 12, cluster.processor_count, random_state=10 + index
+        )
+        bags.extend(grid_workload(community, random_state=50 + index))
+    simulator = CentralizedGridSimulator(grid, local_policy="backfill")
+    return grid, bags, simulator.run(local, bags)
+
+
+def test_figure3_ciment_platform_and_simulation(run_once, report):
+    grid, bags, result = run_once(simulate_ciment)
+
+    inventory = [
+        {"cluster": name, "nodes": nodes, "cores/node": cores, "interconnect": net}
+        for name, nodes, cores, _speed, net, _bw, _comm in CIMENT_CLUSTERS
+    ]
+    outcome = [
+        {
+            "cluster": cluster.name,
+            "community": cluster.community,
+            "local_jobs": result.local_criteria[cluster.name].n_jobs,
+            "local_makespan_h": result.local_criteria[cluster.name].makespan,
+            "utilization": result.utilization[cluster.name],
+        }
+        for cluster in grid
+    ]
+    report(
+        "Figure 3: the 4 largest CIMENT clusters",
+        ascii_table(inventory) + "\n" + ascii_table(outcome)
+        + f"\nbest-effort runs completed: {result.total_runs_completed}, "
+          f"kills: {result.kills}, launches: {result.launches}",
+    )
+
+    # Platform shape of Figure 3.
+    assert grid.node_count == 216 and grid.processor_count == 432
+    assert {c.name for c in grid} == set(COMMUNITY_CLUSTER.values())
+    # Every community's local jobs were executed on its own cluster.
+    for community, cluster_name in COMMUNITY_CLUSTER.items():
+        schedule = result.local_schedules[cluster_name]
+        assert all(e.job.owner == community for e in schedule)
+    # The multi-parametric grid jobs all completed via best-effort filling.
+    assert result.total_runs_completed == sum(b.n_runs for b in bags)
+    # Local jobs are never disturbed: kills only remove best-effort runs,
+    # which are resubmitted (launches = runs + kills).
+    assert result.launches == result.total_runs_completed + result.kills

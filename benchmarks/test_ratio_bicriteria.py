@@ -1,0 +1,83 @@
+"""RATIO-BICRIT: the bi-criteria doubling batches of section 4.4 (bound 4*rho).
+
+The Hall/Schulz/Shmoys/Wein construction guarantees, simultaneously, a
+makespan within 4*rho of the optimal makespan and a weighted completion time
+within 4*rho of its optimum (rho being the ratio of the inner makespan
+procedure).  The benchmark measures both ratios on random moldable instances
+and also reports the single-criterion specialists (MRT for Cmax, WSPT list
+scheduling for sum wC) to show the trade-off the bi-criteria schedule makes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    makespan_lower_bound,
+    performance_ratio,
+    weighted_completion_lower_bound,
+)
+from repro.core.criteria import makespan, weighted_completion_time
+from repro.core.policies.bicriteria import BiCriteriaScheduler
+from repro.core.policies.list_scheduling import ListScheduler
+from repro.core.policies.mrt import MRTScheduler
+from repro.experiments.ratio_checks import check_bicriteria_ratio
+from repro.experiments.reporting import ascii_table
+from repro.workload.models import WorkloadConfig, generate_moldable_jobs
+
+MACHINES = 64
+JOB_COUNTS = (40, 100, 200)
+RHO = 2.0  # ratio of the deadline-aware / greedy inner procedure
+
+
+def sweep_bicriteria():
+    rows = []
+    for n_jobs in JOB_COUNTS:
+        jobs = generate_moldable_jobs(
+            n_jobs, MACHINES, config=WorkloadConfig(weight_scheme="work"),
+            random_state=n_jobs,
+        )
+        cmax_bound = makespan_lower_bound(jobs, MACHINES)
+        wc_bound = weighted_completion_lower_bound(jobs, MACHINES)
+
+        bicriteria = BiCriteriaScheduler().schedule(jobs, MACHINES)
+        bicriteria.validate()
+        mrt = MRTScheduler().schedule(jobs, MACHINES)
+        wspt = ListScheduler("wspt").schedule(jobs, MACHINES)
+
+        rows.append(
+            {
+                "jobs": n_jobs,
+                "bicrit_cmax_ratio": performance_ratio(makespan(bicriteria), cmax_bound),
+                "bicrit_wc_ratio": performance_ratio(
+                    weighted_completion_time(bicriteria), wc_bound
+                ),
+                "mrt_cmax_ratio": performance_ratio(makespan(mrt), cmax_bound),
+                "wspt_wc_ratio": performance_ratio(
+                    weighted_completion_time(wspt), wc_bound
+                ),
+            }
+        )
+    return rows
+
+
+def test_bicriteria_ratio(run_once, report):
+    rows = run_once(sweep_bicriteria)
+    report("RATIO-BICRIT: bi-criteria doubling batches (stated bound 4*rho on both criteria)",
+           ascii_table(rows))
+    for row in rows:
+        assert row["bicrit_cmax_ratio"] <= 4 * RHO + 1e-9
+        assert row["bicrit_wc_ratio"] <= 4 * RHO + 1e-9
+        # The bi-criteria schedule pays at most a constant factor over each
+        # single-criterion specialist.
+        assert row["bicrit_cmax_ratio"] <= 4 * row["mrt_cmax_ratio"] + 1e-9
+        assert row["bicrit_wc_ratio"] <= 4 * row["wspt_wc_ratio"] + 1e-9
+
+
+def test_bicriteria_ratio_check_helper(run_once, report):
+    cmax_check, wc_check = run_once(check_bicriteria_ratio, machine_count=MACHINES,
+                                    job_counts=(60,), repetitions=2)
+    report("RATIO-BICRIT (experiment helper)",
+           ascii_table([cmax_check.as_dict(), wc_check.as_dict()]))
+    assert cmax_check.within_bound
+    assert wc_check.within_bound

@@ -1,0 +1,85 @@
+"""MIX-RIGID: the three strategies of section 5.1 for mixing rigid and moldable jobs.
+
+"The first trivial idea is to separate rigid and moldable jobs and schedule
+one category after the other.  Another solution is to calculate a-priori an
+allocation for the moldable jobs [...].  The last solution is to modify the
+bi-criteria algorithm in order to schedule each rigid job in the first batch
+in which it fits.  These ideas probably lead to an increased performance
+ratio."
+
+The benchmark quantifies that increase on synthetic mixed workloads with
+varying rigid fractions, for both criteria.  Shape assertions: every strategy
+stays within a small constant of the lower bounds, and the first-fit-batch
+strategy (the one the paper leans towards) is never the worst of the three on
+the weighted completion time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    makespan_lower_bound,
+    performance_ratio,
+    weighted_completion_lower_bound,
+)
+from repro.core.criteria import makespan, weighted_completion_time
+from repro.core.policies.rigid_moldable_mix import STRATEGIES, MixedScheduler
+from repro.experiments.reporting import ascii_table
+from repro.workload.models import WorkloadConfig, generate_mixed_jobs
+
+MACHINES = 32
+RIGID_FRACTIONS = (0.2, 0.5, 0.8)
+N_JOBS = 60
+
+
+def sweep_mix():
+    rows = []
+    for fraction in RIGID_FRACTIONS:
+        jobs = generate_mixed_jobs(
+            N_JOBS, MACHINES, rigid_fraction=fraction,
+            config=WorkloadConfig(weight_scheme="work"),
+            random_state=int(fraction * 100),
+        )
+        cmax_bound = makespan_lower_bound(jobs, MACHINES)
+        wc_bound = weighted_completion_lower_bound(jobs, MACHINES)
+        for strategy in STRATEGIES:
+            schedule = MixedScheduler(strategy).schedule(jobs, MACHINES)
+            schedule.validate()
+            rows.append(
+                {
+                    "rigid_fraction": fraction,
+                    "strategy": strategy,
+                    "cmax_ratio": performance_ratio(makespan(schedule), cmax_bound),
+                    "wc_ratio": performance_ratio(
+                        weighted_completion_time(schedule), wc_bound
+                    ),
+                }
+            )
+    return rows
+
+
+def test_rigid_moldable_mix_strategies(run_once, report):
+    rows = run_once(sweep_mix)
+    report("MIX-RIGID: strategies for a mix of rigid and moldable jobs (section 5.1)",
+           ascii_table(rows))
+
+    for row in rows:
+        # "Increased performance ratio", but still bounded by small constants.
+        assert row["cmax_ratio"] <= 5.0
+        assert row["wc_ratio"] <= 8.0
+
+    # The first-fit-batch integration stays within 50% of the best strategy on
+    # the weighted completion time for every rigid fraction.
+    for fraction in RIGID_FRACTIONS:
+        group = {r["strategy"]: r for r in rows if r["rigid_fraction"] == fraction}
+        best_wc = min(r["wc_ratio"] for r in group.values())
+        assert group["first_fit_batch"]["wc_ratio"] <= 1.5 * best_wc + 1e-9
+
+    # The more rigid the workload, the less the strategies differ (with few
+    # moldable jobs there is little left to decide).
+    def spread(fraction):
+        values = [r["wc_ratio"] for r in rows if r["rigid_fraction"] == fraction]
+        return max(values) - min(values)
+
+    assert spread(RIGID_FRACTIONS[-1]) <= spread(RIGID_FRACTIONS[0]) + 1e-9

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Divisible Load scheduling: one round, several rounds, or work stealing?
+
+Section 2.1 of the paper introduces the Divisible Load model and notes that
+the distribution of the load "can be made in one, several rounds or
+dynamically with a work stealing strategy".  This example compares the three
+modes (plus the naive equal split and the asymptotic steady-state bound) on:
+
+* a homogeneous bus platform (the polynomial closed-form case),
+* a heterogeneous star with per-worker bandwidths,
+* the same star with per-message latencies (where using every worker or too
+  many rounds becomes counter-productive).
+
+Run with:  python examples/divisible_load.py
+"""
+
+from __future__ import annotations
+
+from repro.core.dlt import (
+    DLTPlatform,
+    bus_single_round,
+    multi_round_distribution,
+    optimize_round_count,
+    star_single_round,
+    steady_state_throughput,
+    work_stealing_distribution,
+)
+from repro.core.dlt.bus import bus_equal_split
+from repro.core.dlt.platform import DLTWorker
+from repro.core.dlt.star import best_participating_subset
+from repro.experiments.reporting import ascii_table
+
+LOAD = 10_000.0
+
+
+def compare(platform: DLTPlatform, title: str) -> None:
+    steady = steady_state_throughput(platform)
+    single = star_single_round(LOAD, platform)
+    multi = optimize_round_count(LOAD, platform, max_rounds=16)
+    stealing = work_stealing_distribution(LOAD, platform)
+    rows = [
+        {"strategy": "equal split (naive)",
+         "makespan": bus_equal_split(LOAD, platform,
+                                     bus_time_per_unit=platform.workers[0].comm_time).makespan},
+        {"strategy": "single round (optimal fractions)", "makespan": single.makespan},
+        {"strategy": f"multi round (best of 1..16 = {multi.rounds} rounds)",
+         "makespan": multi.makespan},
+        {"strategy": f"work stealing (chunk {stealing.chunk_size:.1f})",
+         "makespan": stealing.makespan},
+        {"strategy": "steady-state lower bound", "makespan": LOAD / steady.throughput},
+    ]
+    print(ascii_table(rows, title=title))
+    print(f"  workers participating in the single round: {single.participating}"
+          f" / {len(platform)}\n")
+
+
+def main() -> None:
+    # 1. Homogeneous bus: the closed form of section 2.1 ("polynomial").
+    bus = DLTPlatform.homogeneous(16, compute_time=1.0, comm_time=0.02)
+    compare(bus, "Homogeneous bus (16 workers, moderate communication cost)")
+
+    # 2. Heterogeneous star: optimal fractions + fastest-links-first order.
+    star = DLTPlatform(
+        [DLTWorker(f"w{i}", compute_time=0.5 + 0.25 * (i % 5), comm_time=0.01 * (1 + i % 3))
+         for i in range(16)]
+    )
+    compare(star, "Heterogeneous star (16 workers, per-worker bandwidths)")
+
+    # 3. Latencies: the participating set matters.
+    lazy = DLTPlatform(
+        [DLTWorker(f"w{i}", compute_time=1.0, comm_time=0.01, latency=20.0) for i in range(16)]
+    )
+    subset = best_participating_subset(LOAD / 20, lazy)
+    print("With a per-message latency of 20 time units and a small load "
+          f"({LOAD / 20:.0f} units),")
+    print(f"the best single-round distribution only uses {subset.participating} of the "
+          f"16 workers (makespan {subset.makespan:.1f}).")
+    few_rounds = multi_round_distribution(LOAD, lazy, rounds=2)
+    many_rounds = multi_round_distribution(LOAD, lazy, rounds=64)
+    print(f"And 2 rounds ({few_rounds.makespan:.1f}) beat 64 rounds "
+          f"({many_rounds.makespan:.1f}): latencies penalise over-splitting.")
+
+
+if __name__ == "__main__":
+    main()

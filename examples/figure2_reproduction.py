@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 2 of the paper from the command line.
+
+Runs the bi-criteria simulation on a 100-machine cluster for the two workload
+families ("Non Parallel" and "Parallel"), prints the two ratio curves as text
+tables and ASCII plots, and writes the raw points to ``figure2_points.csv``
+for external plotting.
+
+Run with:  python examples/figure2_reproduction.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.figure2 import Figure2Config, figure2_curves, run_figure2
+from repro.experiments.reporting import ascii_plot, ascii_table, to_csv
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep (for a fast demo)")
+    parser.add_argument("--output", default="figure2_points.csv",
+                        help="CSV file for the raw simulation points")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        config = Figure2Config(task_counts=(50, 200, 600), repetitions=1)
+    else:
+        config = Figure2Config(task_counts=(50, 100, 200, 400, 600, 800, 1000),
+                               repetitions=3)
+
+    print(f"Simulating {len(config.task_counts)} task counts x "
+          f"{len(config.families)} families x {config.repetitions} seeds "
+          f"on a {config.machine_count}-machine cluster...")
+    points = run_figure2(config)
+    curves = figure2_curves(points)
+
+    for criterion, label in (("wici", "sum w_i C_i ratio (Figure 2, top)"),
+                             ("cmax", "Cmax ratio (Figure 2, bottom)")):
+        rows = [
+            {
+                "n_tasks": n,
+                "non_parallel": curves[criterion]["non_parallel"][n],
+                "parallel": curves[criterion]["parallel"][n],
+            }
+            for n in config.task_counts
+        ]
+        print()
+        print(ascii_table(rows, title=label))
+        print(ascii_plot(
+            {"parallel": curves[criterion]["parallel"],
+             "non parallel": curves[criterion]["non_parallel"]},
+            title=label, x_label="number of tasks",
+        ))
+
+    output = Path(args.output)
+    output.write_text(to_csv([p.as_dict() for p in points]))
+    print(f"Raw points written to {output} ({len(points)} rows).")
+
+
+if __name__ == "__main__":
+    main()

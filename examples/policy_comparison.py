@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Which policy for which application?
+
+The title question of the paper: different applications (workload shapes) and
+different objectives call for different scheduling policies.  This example
+runs a panel of policies on three application profiles and prints, for each
+criterion, which policy wins -- reproducing the qualitative message of the
+paper:
+
+* makespan-oriented moldable scheduling  -> MRT dual approximation,
+* (weighted) average completion time     -> SMART shelves / WSPT ordering,
+* both at once                           -> the bi-criteria doubling batches,
+* on-line arrival streams                -> batch transform / backfilling,
+* bags of small independent runs         -> divisible-load style policies
+  (see examples/divisible_load.py and the grid examples).
+
+Run with:  python examples/policy_comparison.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.criteria import makespan, mean_stretch, weighted_completion_time
+from repro.core.job import Job
+from repro.core.policies import (
+    BatchOnlineScheduler,
+    BiCriteriaScheduler,
+    ConservativeBackfilling,
+    EasyBackfilling,
+    ListScheduler,
+    MRTScheduler,
+    SmartShelfScheduler,
+)
+from repro.experiments.reporting import ascii_table
+from repro.metrics.ratios import schedule_ratios
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.models import (
+    WorkloadConfig,
+    generate_moldable_jobs,
+    generate_rigid_jobs,
+)
+
+MACHINES = 64
+
+
+def applications() -> Dict[str, List[Job]]:
+    """Three application profiles inspired by the CIMENT communities."""
+
+    return {
+        # Off-line moldable batch (e.g. a campaign of numerical simulations).
+        "moldable-batch": generate_moldable_jobs(
+            60, MACHINES, config=WorkloadConfig(weight_scheme="work"), random_state=1
+        ),
+        # Rigid production jobs with priorities (weighted completion time matters).
+        "rigid-weighted": generate_rigid_jobs(
+            80, MACHINES, config=WorkloadConfig(weight_scheme="random"), random_state=2
+        ),
+        # On-line stream of interactive / debug jobs (stretch matters).
+        "online-stream": poisson_arrivals(
+            generate_moldable_jobs(
+                60, MACHINES, config=WorkloadConfig(runtime_range=(0.5, 10.0)), random_state=3
+            ),
+            rate=2.0,
+            random_state=3,
+        ),
+    }
+
+
+def policy_panel():
+    return [
+        ListScheduler("lpt"),
+        ListScheduler("wspt"),
+        SmartShelfScheduler(),
+        MRTScheduler(),
+        BiCriteriaScheduler(),
+        BatchOnlineScheduler(MRTScheduler()),
+        ConservativeBackfilling(),
+        EasyBackfilling(),
+    ]
+
+
+def main() -> None:
+    for application, jobs in applications().items():
+        rows = []
+        for policy in policy_panel():
+            try:
+                if hasattr(policy, "schedule"):
+                    schedule = policy.schedule(jobs, MACHINES)
+            except Exception as error:  # a policy may not support a job type
+                rows.append({"policy": policy.name, "error": str(error)[:40]})
+                continue
+            schedule.validate(check_release_dates=False)
+            ratios = schedule_ratios(schedule, jobs, machine_count=MACHINES)
+            rows.append(
+                {
+                    "policy": policy.name,
+                    "makespan": makespan(schedule),
+                    "cmax_ratio": ratios.makespan_ratio,
+                    "sum_wC_ratio": ratios.weighted_completion_ratio,
+                    "mean_stretch": mean_stretch(schedule),
+                }
+            )
+        print(ascii_table(rows, title=f"\n=== application: {application} "
+                                      f"({len(jobs)} jobs, {MACHINES} processors) ==="))
+        numeric = [r for r in rows if "makespan" in r]
+        best_cmax = min(numeric, key=lambda r: r["makespan"])["policy"]
+        best_wc = min(numeric, key=lambda r: r["sum_wC_ratio"])["policy"]
+        best_stretch = min(numeric, key=lambda r: r["mean_stretch"])["policy"]
+        print(f"  best makespan            : {best_cmax}")
+        print(f"  best weighted completion : {best_wc}")
+        print(f"  best mean stretch        : {best_stretch}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro -- Models for scheduling on large scale platforms.
+
+A reproduction of Dutot, Eyraud, Mounié and Trystram, *"Models for scheduling
+on large scale platforms: which policy for which application?"* (IPDPS 2004):
+Parallel-Task and Divisible-Load scheduling policies, the discrete-event
+cluster / light-grid simulators they run on, the synthetic workloads of the
+CIMENT communities, and the experiment harness that regenerates the paper's
+figures.
+
+Package map
+-----------
+``repro.core``
+    Job models, criteria, lower bounds, PT policies and DLT algorithms (the
+    paper's contribution).
+``repro.platform``
+    Machines, clusters, light grids, the CIMENT platform of Figure 3.
+``repro.simulation``
+    Discrete-event engine, single-cluster and grid simulators (centralized
+    best-effort and decentralized load exchange).
+``repro.workload``
+    Synthetic workload generators (rigid / moldable jobs, multi-parametric
+    bags, community profiles), arrival processes, SWF I/O.
+``repro.metrics``
+    Performance ratios, fairness, aggregation of repeated runs.
+``repro.experiments``
+    The experiment harness and the Figure 2 / ratio-check experiments.
+"""
+
+from repro.core.job import (
+    DivisibleJob,
+    Job,
+    JobKind,
+    MalleableJob,
+    MoldableJob,
+    ParametricSweep,
+    RigidJob,
+)
+from repro.core.allocation import Allocation, Reservation, Schedule, ScheduledJob
+from repro.core import bounds, criteria, dlt, policies, speedup
+from repro.platform import Cluster, LightGrid, Machine, ciment_grid
+from repro.simulation import (
+    CentralizedGridSimulator,
+    ClusterSimulator,
+    DecentralizedGridSimulator,
+    Simulator,
+)
+from repro.workload import figure2_workload, generate_moldable_jobs, generate_rigid_jobs
+from repro.metrics import schedule_ratios
+from repro.experiments import run_figure2, Figure2Config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Job",
+    "JobKind",
+    "RigidJob",
+    "MoldableJob",
+    "MalleableJob",
+    "DivisibleJob",
+    "ParametricSweep",
+    "Allocation",
+    "Reservation",
+    "Schedule",
+    "ScheduledJob",
+    "bounds",
+    "criteria",
+    "dlt",
+    "policies",
+    "speedup",
+    "Machine",
+    "Cluster",
+    "LightGrid",
+    "ciment_grid",
+    "Simulator",
+    "ClusterSimulator",
+    "CentralizedGridSimulator",
+    "DecentralizedGridSimulator",
+    "figure2_workload",
+    "generate_moldable_jobs",
+    "generate_rigid_jobs",
+    "schedule_ratios",
+    "run_figure2",
+    "Figure2Config",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Core model of the paper: Parallel Tasks, Divisible Load, criteria, policies.
+
+The :mod:`repro.core` package contains the paper's primary contribution:
+
+* the **job models** of section 2 (rigid, moldable, malleable parallel tasks
+  and divisible load tasks) in :mod:`repro.core.job`;
+* the **speedup / penalty models** that give a moldable task its execution
+  time as a function of the number of processors in :mod:`repro.core.speedup`;
+* **schedules** (allocations + start times) with validation and Gantt export
+  in :mod:`repro.core.allocation`;
+* the **optimisation criteria** of section 3 in :mod:`repro.core.criteria`;
+* **lower bounds** used to compute performance ratios in
+  :mod:`repro.core.bounds`;
+* the **scheduling policies** of section 4 and 5.1 in
+  :mod:`repro.core.policies`;
+* the **divisible load** algorithms of section 2.1 in :mod:`repro.core.dlt`.
+"""
+
+from repro.core.job import (
+    DivisibleJob,
+    Job,
+    JobKind,
+    MalleableJob,
+    MoldableJob,
+    RigidJob,
+)
+from repro.core.allocation import Allocation, Schedule, ScheduledJob
+from repro.core.speedup import (
+    AmdahlSpeedup,
+    CommunicationPenaltySpeedup,
+    LinearSpeedup,
+    PowerLawSpeedup,
+    RooflineSpeedup,
+    SpeedupModel,
+    make_runtime_table,
+)
+from repro.core import bounds, criteria
+
+__all__ = [
+    "Job",
+    "JobKind",
+    "RigidJob",
+    "MoldableJob",
+    "MalleableJob",
+    "DivisibleJob",
+    "Allocation",
+    "Schedule",
+    "ScheduledJob",
+    "SpeedupModel",
+    "LinearSpeedup",
+    "AmdahlSpeedup",
+    "PowerLawSpeedup",
+    "CommunicationPenaltySpeedup",
+    "RooflineSpeedup",
+    "make_runtime_table",
+    "bounds",
+    "criteria",
+]

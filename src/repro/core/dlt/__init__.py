@@ -1,0 +1,44 @@
+"""Divisible Load Theory (DLT) algorithms (section 2.1 of the paper).
+
+A Divisible Load Task is "a (usually large) set of computations that can be
+partitioned in every possible way, each part being completely independent of
+the other parts".  The scheduling difficulty "lies in the distribution of the
+task to the available processors.  This distribution can be made in one,
+several rounds or dynamically with a work stealing strategy".
+
+* :mod:`repro.core.dlt.bus` -- single-round distribution over a shared bus
+  ("simple problems as the single round distribution on processors connected
+  by a common bus are polynomial": the closed form is implemented here);
+* :mod:`repro.core.dlt.star` -- single-round distribution on a heterogeneous
+  star (one-port master, per-worker bandwidths and latencies);
+* :mod:`repro.core.dlt.multiround` -- multi-round distributions that overlap
+  communication and computation;
+* :mod:`repro.core.dlt.steady_state` -- asymptotic throughput ("the theory of
+  asymptotic behavior shows that optimal solutions can be computed in
+  polynomial time", section 5.2);
+* :mod:`repro.core.dlt.workstealing` -- dynamic distribution with a
+  work-stealing strategy.
+"""
+
+from repro.core.dlt.platform import DLTWorker, DLTPlatform
+from repro.core.dlt.bus import bus_single_round, BusDistribution
+from repro.core.dlt.star import star_single_round, StarDistribution
+from repro.core.dlt.multiround import multi_round_distribution, MultiRoundResult, optimize_round_count
+from repro.core.dlt.steady_state import steady_state_throughput, SteadyStateSolution
+from repro.core.dlt.workstealing import work_stealing_distribution, WorkStealingResult
+
+__all__ = [
+    "DLTWorker",
+    "DLTPlatform",
+    "bus_single_round",
+    "BusDistribution",
+    "star_single_round",
+    "StarDistribution",
+    "multi_round_distribution",
+    "MultiRoundResult",
+    "optimize_round_count",
+    "steady_state_throughput",
+    "SteadyStateSolution",
+    "work_stealing_distribution",
+    "WorkStealingResult",
+]

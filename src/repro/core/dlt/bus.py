@@ -1,0 +1,143 @@
+"""Single-round divisible-load distribution over a shared bus.
+
+This is the "simple problem [...] polynomial" case of section 2.1: the master
+and the workers are connected by a common bus, data is sent to one worker at
+a time (one-port model), and each worker starts computing as soon as it has
+received its share.  The classical closed form makes all participating
+workers finish at the same instant, which is optimal for a single round.
+
+Derivation (standard DLT argument): let ``alpha_i`` be the fraction of the
+load ``W`` sent to worker ``i`` (in transmission order), ``z`` the bus time
+per load unit and ``w_i`` the compute time per load unit of worker ``i``.
+Worker ``i`` finishes at
+
+``T_i = sum_{j <= i} z * alpha_j * W  +  w_i * alpha_i * W``.
+
+Equating ``T_i = T_{i+1}`` gives the recursion
+``alpha_{i+1} = alpha_i * w_i / (z + w_{i+1})``; the normalisation
+``sum alpha_i = 1`` then fixes ``alpha_1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.dlt.platform import DLTPlatform, DLTWorker
+
+
+@dataclass(frozen=True)
+class BusDistribution:
+    """Result of a single-round bus distribution."""
+
+    fractions: Tuple[float, ...]
+    loads: Tuple[float, ...]
+    makespan: float
+    order: Tuple[str, ...]
+    comm_finish_times: Tuple[float, ...]
+    worker_finish_times: Tuple[float, ...]
+
+    @property
+    def participating(self) -> int:
+        """Number of workers that received a non-negligible share."""
+
+        return sum(1 for f in self.fractions if f > 1e-12)
+
+
+def bus_single_round(
+    total_load: float,
+    platform: DLTPlatform,
+    *,
+    bus_time_per_unit: Optional[float] = None,
+) -> BusDistribution:
+    """Optimal single-round distribution of ``total_load`` over a bus.
+
+    Parameters
+    ----------
+    total_load:
+        Amount of load ``W`` held by the master.
+    platform:
+        The workers.  Their ``comm_time`` must all be identical (it *is* the
+        bus); pass ``bus_time_per_unit`` to override it explicitly.
+    """
+
+    if total_load <= 0:
+        raise ValueError("total_load must be > 0")
+    workers = platform.workers
+    if bus_time_per_unit is None:
+        if not platform.is_bus():
+            raise ValueError(
+                "platform is not a bus (heterogeneous links); use star_single_round "
+                "or pass bus_time_per_unit explicitly"
+            )
+        bus_time_per_unit = workers[0].comm_time
+    if bus_time_per_unit < 0:
+        raise ValueError("bus_time_per_unit must be >= 0")
+
+    z = bus_time_per_unit
+    # With identical link times the makespan of the closed form does not
+    # depend on the transmission order; workers are used in the given order.
+    w = [worker.compute_time for worker in workers]
+    m = len(w)
+    # Unnormalised fractions via the recursion alpha_{i+1} = alpha_i w_i / (z + w_{i+1}).
+    raw = [1.0]
+    for i in range(1, m):
+        raw.append(raw[i - 1] * w[i - 1] / (z + w[i]))
+    total = sum(raw)
+    fractions = [r / total for r in raw]
+    loads = [f * total_load for f in fractions]
+
+    comm_finish = []
+    finish = []
+    clock = 0.0
+    for i, worker in enumerate(workers):
+        clock += z * loads[i]
+        comm_finish.append(clock)
+        finish.append(clock + w[i] * loads[i])
+    makespan = max(finish) if finish else 0.0
+    return BusDistribution(
+        fractions=tuple(fractions),
+        loads=tuple(loads),
+        makespan=makespan,
+        order=tuple(worker.name for worker in workers),
+        comm_finish_times=tuple(comm_finish),
+        worker_finish_times=tuple(finish),
+    )
+
+
+def bus_equal_split(
+    total_load: float,
+    platform: DLTPlatform,
+    *,
+    bus_time_per_unit: Optional[float] = None,
+) -> BusDistribution:
+    """Naive baseline: split the load equally among the workers.
+
+    Used by the DLT benchmark to show the benefit of the optimal closed form
+    on heterogeneous workers.
+    """
+
+    if total_load <= 0:
+        raise ValueError("total_load must be > 0")
+    workers = platform.workers
+    if bus_time_per_unit is None:
+        bus_time_per_unit = workers[0].comm_time
+    z = bus_time_per_unit
+    m = len(workers)
+    fractions = [1.0 / m] * m
+    loads = [total_load / m] * m
+    comm_finish = []
+    finish = []
+    clock = 0.0
+    for i, worker in enumerate(workers):
+        clock += z * loads[i]
+        comm_finish.append(clock)
+        finish.append(clock + worker.compute_time * loads[i])
+    return BusDistribution(
+        fractions=tuple(fractions),
+        loads=tuple(loads),
+        makespan=max(finish),
+        order=tuple(worker.name for worker in workers),
+        comm_finish_times=tuple(comm_finish),
+        worker_finish_times=tuple(finish),
+    )

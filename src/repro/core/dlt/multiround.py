@@ -1,0 +1,134 @@
+"""Multi-round divisible-load distribution.
+
+A single-round distribution forces each worker to stay idle while all the
+data of the *other* workers is shipped before it (one-port master).  "This
+distribution can be made in one, several rounds or dynamically" (section
+2.1): splitting the load into several rounds overlaps communication with
+computation and reduces the idle time at the cost of paying the per-message
+latency several times.
+
+The implementation follows the spirit of uniform multi-round schemes (UMR):
+
+* round sizes grow geometrically (``growth`` factor), so early rounds are
+  small (workers start computing quickly) and later rounds are large
+  (amortising latencies);
+* inside a round the load is split between workers proportionally to their
+  compute rates;
+* the timeline is *simulated exactly* (one-port master, workers compute
+  rounds in order), so the reported makespan accounts for every latency and
+  for any idle time the chosen parameters leave.
+
+:func:`optimize_round_count` sweeps the number of rounds and returns the best
+configuration; the DLT benchmark uses it to show the single-round /
+multi-round crossover as latencies grow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dlt.platform import DLTPlatform, DLTWorker
+
+
+@dataclass(frozen=True)
+class MultiRoundResult:
+    """Timeline of a multi-round distribution."""
+
+    rounds: int
+    growth: float
+    makespan: float
+    round_loads: Tuple[float, ...]
+    per_worker_load: Dict[str, float]
+    idle_time: float
+
+    @property
+    def total_load(self) -> float:
+        return sum(self.round_loads)
+
+
+def _round_sizes(total_load: float, rounds: int, growth: float) -> List[float]:
+    """Geometric round sizes summing to ``total_load``."""
+
+    if growth <= 0:
+        raise ValueError("growth must be > 0")
+    weights = [growth ** r for r in range(rounds)]
+    scale = total_load / sum(weights)
+    return [w * scale for w in weights]
+
+
+def multi_round_distribution(
+    total_load: float,
+    platform: DLTPlatform,
+    *,
+    rounds: int = 4,
+    growth: float = 2.0,
+) -> MultiRoundResult:
+    """Simulate a multi-round distribution and return its exact makespan.
+
+    The master serves workers round after round (one-port model, fastest
+    links first inside a round); each worker processes its chunks in the
+    order received.
+    """
+
+    if total_load <= 0:
+        raise ValueError("total_load must be > 0")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    workers = sorted(platform.workers, key=lambda w: (w.comm_time, w.name))
+    total_rate = sum(w.compute_rate for w in workers)
+    round_loads = _round_sizes(total_load, rounds, growth)
+
+    master_free = 0.0
+    worker_ready: Dict[str, float] = {w.name: 0.0 for w in workers}  # when the worker finishes its queued work
+    per_worker_load: Dict[str, float] = {w.name: 0.0 for w in workers}
+    busy_time: Dict[str, float] = {w.name: 0.0 for w in workers}
+
+    for round_load in round_loads:
+        for worker in workers:
+            share = round_load * worker.compute_rate / total_rate
+            if share <= 0:
+                continue
+            per_worker_load[worker.name] += share
+            # One-port master: the transfer starts when the master is free.
+            comm_start = master_free
+            comm_end = comm_start + worker.latency + worker.comm_time * share
+            master_free = comm_end
+            # The worker starts this chunk when it has both received the data
+            # and finished its previously queued chunks.
+            compute_start = max(comm_end, worker_ready[worker.name])
+            compute_end = compute_start + worker.compute_time * share
+            worker_ready[worker.name] = compute_end
+            busy_time[worker.name] += worker.compute_time * share
+
+    makespan = max(worker_ready.values()) if workers else 0.0
+    idle = sum(max(0.0, makespan - busy_time[w.name]) for w in workers)
+    return MultiRoundResult(
+        rounds=rounds,
+        growth=growth,
+        makespan=makespan,
+        round_loads=tuple(round_loads),
+        per_worker_load=per_worker_load,
+        idle_time=idle,
+    )
+
+
+def optimize_round_count(
+    total_load: float,
+    platform: DLTPlatform,
+    *,
+    max_rounds: int = 16,
+    growth: float = 2.0,
+) -> MultiRoundResult:
+    """Best multi-round configuration over ``rounds in 1..max_rounds``."""
+
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    best: Optional[MultiRoundResult] = None
+    for rounds in range(1, max_rounds + 1):
+        result = multi_round_distribution(total_load, platform, rounds=rounds, growth=growth)
+        if best is None or result.makespan < best.makespan - 1e-12:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,148 @@
+"""Worker / platform description shared by the DLT algorithms.
+
+The DLT algorithms use the classical master-worker abstraction: a master
+holds the whole load and ``m`` workers process it.  Worker ``i`` is described
+by:
+
+* ``compute_time`` -- time to process one unit of load (the inverse of its
+  speed);
+* ``comm_time`` -- time to ship one unit of load to it (the inverse of the
+  bandwidth of its link);
+* ``latency`` -- fixed start-up cost of each message sent to it.
+
+A shared *bus* is the special case where every worker has the same
+``comm_time`` and zero latency.  Helpers convert the Parallel-Task platform
+descriptions of :mod:`repro.platform` into DLT platforms so the grid
+experiments can treat each cluster as one "big worker".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.platform.cluster import Cluster
+from repro.platform.grid import LightGrid
+
+
+@dataclass(frozen=True)
+class DLTWorker:
+    """One worker of a DLT master-worker platform."""
+
+    name: str
+    compute_time: float
+    comm_time: float = 0.0
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_time <= 0:
+            raise ValueError(f"worker {self.name!r}: compute_time must be > 0")
+        if self.comm_time < 0:
+            raise ValueError(f"worker {self.name!r}: comm_time must be >= 0")
+        if self.latency < 0:
+            raise ValueError(f"worker {self.name!r}: latency must be >= 0")
+
+    @property
+    def compute_rate(self) -> float:
+        """Load units processed per time unit."""
+
+        return 1.0 / self.compute_time
+
+
+class DLTPlatform:
+    """A master and a list of workers."""
+
+    def __init__(self, workers: Sequence[DLTWorker]) -> None:
+        if not workers:
+            raise ValueError("a DLT platform needs at least one worker")
+        names = [w.name for w in workers]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate worker names")
+        self.workers: List[DLTWorker] = list(workers)
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __iter__(self):
+        return iter(self.workers)
+
+    def __getitem__(self, index: int) -> DLTWorker:
+        return self.workers[index]
+
+    @property
+    def total_compute_rate(self) -> float:
+        return sum(w.compute_rate for w in self.workers)
+
+    def is_bus(self) -> bool:
+        """True when every worker shares the same link characteristics."""
+
+        first = self.workers[0]
+        return all(
+            abs(w.comm_time - first.comm_time) < 1e-12
+            and abs(w.latency - first.latency) < 1e-12
+            for w in self.workers
+        )
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        n_workers: int,
+        *,
+        compute_time: float = 1.0,
+        comm_time: float = 0.0,
+        latency: float = 0.0,
+    ) -> "DLTPlatform":
+        return cls(
+            [
+                DLTWorker(f"worker-{i}", compute_time, comm_time, latency)
+                for i in range(n_workers)
+            ]
+        )
+
+    @classmethod
+    def from_cluster(cls, cluster: Cluster, *, data_per_unit: float = 1.0) -> "DLTPlatform":
+        """One DLT worker per processor of a cluster.
+
+        ``data_per_unit`` converts load units into data volume shipped over
+        the cluster interconnect.
+        """
+
+        workers = []
+        speeds = cluster.processor_speeds()
+        comm_time = data_per_unit / cluster.interconnect.bandwidth
+        for i, speed in enumerate(speeds):
+            workers.append(
+                DLTWorker(
+                    name=f"{cluster.name}-p{i:04d}",
+                    compute_time=1.0 / speed,
+                    comm_time=comm_time,
+                    latency=cluster.interconnect.latency,
+                )
+            )
+        return cls(workers)
+
+    @classmethod
+    def from_grid(cls, grid: LightGrid, *, data_per_unit: float = 1.0) -> "DLTPlatform":
+        """One DLT worker per *cluster*: the grid-level view used in section 5.2.
+
+        Each cluster is aggregated into a single worker whose compute rate is
+        the sum of its processors' rates; the link is the wide-area link from
+        the (arbitrary) first cluster, or the default grid link parameters.
+        """
+
+        workers = []
+        for cluster in grid:
+            rate = cluster.total_compute_rate
+            link = grid.link(grid.clusters[0].name, cluster.name) if cluster is not grid.clusters[0] else None
+            comm_time = data_per_unit / (link.bandwidth if link else grid.default_bandwidth * 10)
+            latency = link.latency if link else 0.0
+            workers.append(
+                DLTWorker(
+                    name=cluster.name,
+                    compute_time=1.0 / rate,
+                    comm_time=comm_time,
+                    latency=latency,
+                )
+            )
+        return cls(workers)

@@ -1,0 +1,66 @@
+"""Parallel-Task scheduling policies (sections 4 and 5.1 of the paper).
+
+Off-line policies (all jobs available at time 0):
+
+* :class:`~repro.core.policies.list_scheduling.ListScheduler` -- classical
+  list scheduling of rigid jobs (FCFS / LPT / SPT orders),
+* :class:`~repro.core.policies.shelf.ShelfScheduler` -- NFDH/FFDH shelf
+  packing of rigid jobs,
+* :class:`~repro.core.policies.shelf.SmartShelfScheduler` -- the
+  Schwiegelshohn et al. SMART shelves for (weighted) completion time
+  (section 4.3, ratios 8 and 8.53),
+* :class:`~repro.core.policies.mrt.MRTScheduler` -- the dual-approximation
+  two-shelf algorithm for moldable makespan (section 4.1, ratio 3/2 + eps),
+* :class:`~repro.core.policies.mrt.GreedyMoldableScheduler` -- a simple
+  allocate-then-pack baseline.
+
+On-line policies (jobs have release dates):
+
+* :class:`~repro.core.policies.batch_online.BatchOnlineScheduler` -- the
+  Shmoys/Wein/Williamson batch transform (section 4.2, ratio 2 rho),
+* :class:`~repro.core.policies.bicriteria.BiCriteriaScheduler` -- the
+  doubling-deadline batches of Hall et al. (section 4.4, ratio 4 rho on both
+  Cmax and sum w_j C_j); this is the algorithm whose simulation produces
+  Figure 2,
+* :class:`~repro.core.policies.backfilling.ConservativeBackfilling` and
+  :class:`~repro.core.policies.backfilling.EasyBackfilling` -- the
+  production-style baselines used by the local cluster schedulers,
+* :class:`~repro.core.policies.rigid_moldable_mix.MixedScheduler` -- the
+  three strategies of section 5.1 for handling a mix of rigid and moldable
+  jobs,
+* :mod:`~repro.core.policies.reservations` -- reservation-aware scheduling
+  (section 5.1).
+"""
+
+from repro.core.policies.base import (
+    MoldableAllocator,
+    OfflineScheduler,
+    ReleaseDateScheduler,
+    SchedulerError,
+)
+from repro.core.policies.list_scheduling import ListScheduler
+from repro.core.policies.shelf import ShelfScheduler, SmartShelfScheduler
+from repro.core.policies.mrt import GreedyMoldableScheduler, MRTScheduler
+from repro.core.policies.batch_online import BatchOnlineScheduler
+from repro.core.policies.bicriteria import BiCriteriaScheduler
+from repro.core.policies.backfilling import ConservativeBackfilling, EasyBackfilling
+from repro.core.policies.rigid_moldable_mix import MixedScheduler
+from repro.core.policies.reservations import ReservationAwareScheduler
+
+__all__ = [
+    "OfflineScheduler",
+    "ReleaseDateScheduler",
+    "MoldableAllocator",
+    "SchedulerError",
+    "ListScheduler",
+    "ShelfScheduler",
+    "SmartShelfScheduler",
+    "MRTScheduler",
+    "GreedyMoldableScheduler",
+    "BatchOnlineScheduler",
+    "BiCriteriaScheduler",
+    "ConservativeBackfilling",
+    "EasyBackfilling",
+    "MixedScheduler",
+    "ReservationAwareScheduler",
+]

@@ -1,0 +1,271 @@
+"""Backfilling policies: the production-style baselines.
+
+The paper mentions conservative backfilling as the mechanism used to "fill
+the holes in the Gantt chart" with multi-parametric jobs (section 5.2).  The
+local cluster schedulers of the grid simulators use one of the two standard
+variants:
+
+* **conservative backfilling** -- every job receives, at submission time, a
+  start-time *reservation* at the earliest instant where it fits without
+  delaying any previously reserved job.  Later jobs may therefore be placed
+  in earlier holes, but never at the expense of earlier jobs;
+
+* **EASY (aggressive) backfilling** -- only the job at the head of the queue
+  receives a reservation; any other queued job may be started immediately if
+  doing so does not delay that head-of-queue reservation.
+
+Both implementations are *clairvoyant* (they trust the runtime estimates), as
+assumed in section 2.2 ("we have an estimation of the characteristics of the
+submitted jobs").  Moldable jobs are frozen to rigid ones by a
+:class:`~repro.core.policies.base.MoldableAllocator` before queueing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.allocation import Schedule, pack_contiguously
+from repro.core.job import Job, validate_jobs
+from repro.core.policies.base import (
+    MoldableAllocator,
+    ReleaseDateScheduler,
+    SchedulerError,
+)
+
+
+# ---------------------------------------------------------------------------
+# Availability profile
+# ---------------------------------------------------------------------------
+
+
+class AvailabilityProfile:
+    """Piecewise-constant count of free processors over time.
+
+    The profile starts with ``machine_count`` processors free from time 0 to
+    infinity; booking a job carves processors out of the interval it
+    occupies.  ``earliest_fit`` implements the core primitive of conservative
+    backfilling: the earliest instant (not before ``ready``) at which
+    ``nbproc`` processors are continuously free for ``duration`` time units.
+    """
+
+    def __init__(self, machine_count: int) -> None:
+        if machine_count < 1:
+            raise ValueError("machine_count must be >= 1")
+        self.machine_count = machine_count
+        # Sorted list of breakpoints [(time, free_from_time_on)], implicit
+        # last segment extends to infinity.
+        self._times: List[float] = [0.0]
+        self._free: List[int] = [machine_count]
+
+    # -- queries ---------------------------------------------------------------
+    def free_at(self, time: float) -> int:
+        idx = self._locate(time)
+        return self._free[idx]
+
+    def _locate(self, time: float) -> int:
+        """Index of the segment containing ``time``."""
+
+        lo, hi = 0, len(self._times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._times[mid] <= time + 1e-12:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def earliest_fit(self, ready: float, nbproc: int, duration: float) -> float:
+        """Earliest start >= ready with ``nbproc`` processors free during the run."""
+
+        if nbproc > self.machine_count:
+            raise SchedulerError(
+                f"request for {nbproc} processors on a {self.machine_count}-processor profile"
+            )
+        candidates = [ready] + [t for t in self._times if t > ready + 1e-12]
+        for start in candidates:
+            if self._fits(start, nbproc, duration):
+                return start
+        # The profile always ends with all processors free, so the last
+        # breakpoint is always feasible; we never reach this point.
+        raise AssertionError("no feasible start found (profile invariant broken)")
+
+    def _fits(self, start: float, nbproc: int, duration: float) -> bool:
+        end = start + duration
+        idx = self._locate(start)
+        while idx < len(self._times) and self._times[idx] < end - 1e-12:
+            if self._free[idx] < nbproc:
+                # Only segments overlapping [start, end) matter.
+                seg_end = self._times[idx + 1] if idx + 1 < len(self._times) else math.inf
+                if seg_end > start + 1e-12:
+                    return False
+            idx += 1
+        return True
+
+    # -- updates ---------------------------------------------------------------
+    def book(self, start: float, duration: float, nbproc: int) -> None:
+        """Remove ``nbproc`` processors from the profile during [start, start+duration)."""
+
+        if duration <= 0:
+            return
+        end = start + duration
+        self._insert_breakpoint(start)
+        self._insert_breakpoint(end)
+        for idx, t in enumerate(self._times):
+            if start - 1e-12 <= t < end - 1e-12:
+                self._free[idx] -= nbproc
+                if self._free[idx] < -1e-9:
+                    raise SchedulerError(
+                        f"profile over-booked at time {t}: {self._free[idx]} processors free"
+                    )
+        # keep integer counts clean
+        self._free = [max(0, int(round(f))) for f in self._free]
+
+    def _insert_breakpoint(self, time: float) -> None:
+        idx = self._locate(time)
+        if abs(self._times[idx] - time) <= 1e-12:
+            return
+        self._times.insert(idx + 1, time)
+        self._free.insert(idx + 1, self._free[idx])
+
+    def breakpoints(self) -> List[Tuple[float, int]]:
+        return list(zip(self._times, self._free))
+
+
+# ---------------------------------------------------------------------------
+# Conservative backfilling
+# ---------------------------------------------------------------------------
+
+
+class ConservativeBackfilling(ReleaseDateScheduler):
+    """Conservative backfilling of rigid (or frozen moldable) jobs."""
+
+    def __init__(self, allocator: Optional[MoldableAllocator] = None) -> None:
+        self.allocator = allocator or MoldableAllocator("sequential")
+        self.name = "conservative-backfilling"
+
+    def schedule(self, jobs: Sequence[Job], machine_count: int) -> Schedule:
+        jobs = validate_jobs(jobs)
+        if not jobs:
+            return Schedule(machine_count)
+        profile = AvailabilityProfile(machine_count)
+        placements: List[Tuple[Job, float, int]] = []
+        # Jobs are processed in submission (release date) order, as in a real
+        # batch system where the reservation is computed at submission time.
+        for job in sorted(jobs, key=lambda j: (j.release_date, j.name)):
+            nbproc = self.allocator.allocate(job, machine_count)
+            duration = job.runtime(nbproc)
+            start = profile.earliest_fit(job.release_date, nbproc, duration)
+            profile.book(start, duration, nbproc)
+            placements.append((job, start, nbproc))
+        return pack_contiguously(machine_count, placements)
+
+
+# ---------------------------------------------------------------------------
+# EASY (aggressive) backfilling
+# ---------------------------------------------------------------------------
+
+
+class EasyBackfilling(ReleaseDateScheduler):
+    """EASY backfilling: only the head of the queue holds a reservation.
+
+    The schedule is built by simulating the queue: at every decision instant
+    (a job arrival or a job completion) the policy starts the head of the
+    queue if enough processors are free; otherwise it computes the *shadow
+    time* (earliest time at which the head job will be able to start) and
+    backfills any queued job that terminates before the shadow time or does
+    not use the extra processors needed by the head job.
+    """
+
+    def __init__(self, allocator: Optional[MoldableAllocator] = None) -> None:
+        self.allocator = allocator or MoldableAllocator("sequential")
+        self.name = "easy-backfilling"
+
+    def schedule(self, jobs: Sequence[Job], machine_count: int) -> Schedule:
+        jobs = validate_jobs(jobs)
+        if not jobs:
+            return Schedule(machine_count)
+        frozen = {
+            job.name: (job, self.allocator.allocate(job, machine_count))
+            for job in jobs
+        }
+        arrivals = sorted(jobs, key=lambda j: (j.release_date, j.name))
+        pending = list(arrivals)
+        queue: List[str] = []
+        running: List[Tuple[float, str, int]] = []  # (end, name, nbproc)
+        placements: List[Tuple[Job, float, int]] = []
+        now = 0.0
+        free = machine_count
+
+        def start_job(name: str, time: float) -> None:
+            nonlocal free
+            job, nbproc = frozen[name]
+            running.append((time + job.runtime(nbproc), name, nbproc))
+            running.sort()
+            placements.append((job, time, nbproc))
+            free -= nbproc
+
+        while pending or queue or running:
+            # Advance the clock to the next event.
+            next_times = []
+            if pending:
+                next_times.append(pending[0].release_date)
+            if running:
+                next_times.append(running[0][0])
+            if not next_times:
+                break
+            now = max(now, min(next_times))
+            # Process completions then arrivals at `now`.
+            while running and running[0][0] <= now + 1e-12:
+                _, name, nbproc = running.pop(0)
+                free += nbproc
+            while pending and pending[0].release_date <= now + 1e-12:
+                queue.append(pending.pop(0).name)
+
+            progressed = True
+            while progressed and queue:
+                progressed = False
+                head_job, head_procs = frozen[queue[0]]
+                if head_procs <= free:
+                    start_job(queue.pop(0), now)
+                    progressed = True
+                    continue
+                # Shadow time: when will the head job be able to start?
+                shadow, extra = self._shadow(running, free, head_procs)
+                # Try to backfill the remaining queued jobs.
+                for name in list(queue[1:]):
+                    job, nbproc = frozen[name]
+                    if nbproc > free:
+                        continue
+                    finishes_before_shadow = now + job.runtime(nbproc) <= shadow + 1e-12
+                    fits_in_extra = nbproc <= extra
+                    if finishes_before_shadow or fits_in_extra:
+                        queue.remove(name)
+                        start_job(name, now)
+                        if nbproc <= extra:
+                            extra -= nbproc
+                        progressed = True
+        return pack_contiguously(machine_count, placements)
+
+    @staticmethod
+    def _shadow(
+        running: Sequence[Tuple[float, str, int]], free: int, needed: int
+    ) -> Tuple[float, int]:
+        """(shadow time, extra processors) for the head-of-queue reservation."""
+
+        available = free
+        for end, _name, nbproc in sorted(running):
+            if available >= needed:
+                break
+            available += nbproc
+            shadow = end
+        else:
+            shadow = 0.0 if available >= needed else math.inf
+        if available < needed:
+            return math.inf, 0
+        # After the shadow time the head job uses `needed` processors; the
+        # extra processors are those left over which backfilled jobs may use
+        # even beyond the shadow time.
+        extra = available - needed
+        return shadow if free < needed else 0.0, extra

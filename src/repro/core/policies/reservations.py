@@ -1,0 +1,101 @@
+"""Reservation-aware scheduling (section 5.1, "Reservations").
+
+"An important point for a management system is the ability to perform
+reservations.  This would allow a user to ask for a given number of
+processors in a given time window.  [...] The scheduling algorithm must then
+cope with this additional constraint, which makes a certain number of nodes
+unavailable during a period of time."
+
+The paper notes that fully integrating reservations into the batch algorithms
+is difficult ("a batch algorithm could try to ensure that batch boundaries
+match the beginning and the end of the reservations, but that would likely be
+inefficient").  The implementation below takes the pragmatic route used by
+production systems: jobs are scheduled by conservative backfilling against an
+availability profile from which the reserved blocks have been removed.  Any
+rigid/moldable mix is supported through the usual allocation step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.allocation import Reservation, Schedule, ScheduleError
+from repro.core.job import Job, validate_jobs
+from repro.core.policies.backfilling import AvailabilityProfile
+from repro.core.policies.base import (
+    MoldableAllocator,
+    ReleaseDateScheduler,
+    SchedulerError,
+)
+
+
+class ReservationAwareScheduler(ReleaseDateScheduler):
+    """Conservative backfilling around a set of advance reservations."""
+
+    def __init__(
+        self,
+        reservations: Sequence[Reservation] = (),
+        allocator: Optional[MoldableAllocator] = None,
+    ) -> None:
+        self.reservations = tuple(reservations)
+        self.allocator = allocator or MoldableAllocator("bounded_efficiency")
+        self.name = "reservation-aware"
+
+    def schedule(self, jobs: Sequence[Job], machine_count: int) -> Schedule:
+        jobs = validate_jobs(jobs)
+        for reservation in self.reservations:
+            for p in reservation.processors:
+                if not 0 <= p < machine_count:
+                    raise SchedulerError(
+                        f"reservation {reservation.label!r} references processor {p} "
+                        f"outside the platform"
+                    )
+        schedule = Schedule(machine_count, reservations=self.reservations)
+        if not jobs:
+            return schedule
+
+        profile = AvailabilityProfile(machine_count)
+        for reservation in self.reservations:
+            profile.book(
+                reservation.start,
+                reservation.end - reservation.start,
+                len(reservation.processors),
+            )
+
+        # Per-processor busy intervals, pre-seeded with the reservations so
+        # concrete processor choices avoid the reserved blocks.
+        busy: List[List[Tuple[float, float]]] = [[] for _ in range(machine_count)]
+        for reservation in self.reservations:
+            for p in reservation.processors:
+                busy[p].append((reservation.start, reservation.end))
+
+        def processors_free(start: float, end: float) -> List[int]:
+            free = []
+            for p in range(machine_count):
+                if all(end <= s + 1e-12 or start >= e - 1e-12 for (s, e) in busy[p]):
+                    free.append(p)
+            return free
+
+        for job in sorted(jobs, key=lambda j: (j.release_date, j.name)):
+            nbproc = self.allocator.allocate(job, machine_count)
+            duration = job.runtime(nbproc)
+            start = job.release_date
+            # The profile gives a candidate start; because reservations pin
+            # *specific* processors (not just a count) the candidate is then
+            # verified against the concrete per-processor intervals and pushed
+            # later if needed.
+            for _ in range(10_000):
+                start = profile.earliest_fit(start, nbproc, duration)
+                candidates = processors_free(start, start + duration)
+                if len(candidates) >= nbproc:
+                    break
+                start = start + max(duration * 0.01, 1e-6)
+            else:  # pragma: no cover - defensive guard
+                raise SchedulerError(f"could not place job {job.name!r} around reservations")
+            chosen = candidates[:nbproc]
+            profile.book(start, duration, nbproc)
+            for p in chosen:
+                busy[p].append((start, start + duration))
+            schedule.add(job, start, chosen, duration)
+        return schedule

@@ -1,0 +1,129 @@
+"""Generic experiment runner: parameter sweeps with seeded repetitions.
+
+Every benchmark of the repository is a thin wrapper around this harness: it
+declares a grid of parameters, a function running one configuration with one
+seed and returning a flat ``dict`` of metrics, and the harness takes care of
+running the cross product, collecting the rows and aggregating repetitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.metrics.aggregate import Summary, aggregate_runs, group_by
+
+
+RunFunction = Callable[..., Mapping[str, Any]]
+
+
+@dataclass
+class ExperimentResult:
+    """All rows produced by an experiment plus aggregation helpers."""
+
+    name: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def filter(self, **conditions: Any) -> "ExperimentResult":
+        """Rows matching all the given column=value conditions."""
+
+        rows = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in conditions.items())
+        ]
+        return ExperimentResult(name=self.name, rows=rows, elapsed_seconds=self.elapsed_seconds)
+
+    def column(self, key: str) -> List[Any]:
+        return [row[key] for row in self.rows if key in row]
+
+    def aggregate(self, metrics: Optional[Sequence[str]] = None) -> Dict[str, Summary]:
+        return aggregate_runs(self.rows, metrics=metrics)
+
+    def grouped_mean(self, group_key: str, metric: str) -> Dict[Any, float]:
+        """Mean of ``metric`` for each value of ``group_key`` (sweep curves)."""
+
+        out: Dict[Any, float] = {}
+        for value, rows in group_by(self.rows, group_key).items():
+            values = [float(r[metric]) for r in rows if metric in r]
+            if values:
+                out[value] = sum(values) / len(values)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class ExperimentRunner:
+    """Run a function over a parameter grid with repetitions.
+
+    Parameters
+    ----------
+    name:
+        Experiment identifier (stored in every row).
+    run:
+        Callable invoked as ``run(seed=<int>, **params)``; must return a
+        mapping of metric name to value.
+    parameters:
+        Mapping of parameter name to the list of values to sweep.
+    repetitions:
+        Number of seeds per parameter combination.
+    base_seed:
+        Seeds are ``base_seed + repetition_index`` so results are reproducible
+        and distinct across repetitions.
+    """
+
+    name: str
+    run: RunFunction
+    parameters: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    repetitions: int = 3
+    base_seed: int = 1234
+
+    def execute(self, *, progress: Optional[Callable[[str], None]] = None) -> ExperimentResult:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        start = time.perf_counter()
+        result = ExperimentResult(name=self.name)
+        keys = sorted(self.parameters)
+        combos: Iterable[Tuple[Any, ...]]
+        if keys:
+            combos = itertools.product(*(self.parameters[k] for k in keys))
+        else:
+            combos = [()]
+        for combo in combos:
+            params = dict(zip(keys, combo))
+            for repetition in range(self.repetitions):
+                seed = self.base_seed + repetition
+                if progress is not None:
+                    progress(f"{self.name}: {params} seed={seed}")
+                metrics = dict(self.run(seed=seed, **params))
+                row: Dict[str, Any] = {"experiment": self.name, "seed": seed}
+                row.update(params)
+                row.update(metrics)
+                result.rows.append(row)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+
+def sweep(
+    name: str,
+    run: RunFunction,
+    *,
+    repetitions: int = 3,
+    base_seed: int = 1234,
+    **parameters: Sequence[Any],
+) -> ExperimentResult:
+    """Convenience wrapper: ``sweep("exp", fn, n_jobs=[10, 100], policy=["a", "b"])``."""
+
+    runner = ExperimentRunner(
+        name=name,
+        run=run,
+        parameters=parameters,
+        repetitions=repetitions,
+        base_seed=base_seed,
+    )
+    return runner.execute()

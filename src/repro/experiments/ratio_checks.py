@@ -1,0 +1,219 @@
+"""Empirical verification of the approximation ratios stated in the paper.
+
+Section 4 states four results:
+
+* **3/2 + eps** for the off-line moldable makespan (MRT, section 4.1);
+* **2 rho** for the batch transform, i.e. **3 + eps** when combined with MRT
+  (section 4.2);
+* **8** (unweighted) / **8.53** (weighted) for the SMART shelves on the sum
+  of completion times of rigid jobs (section 4.3);
+* **4 rho** on both criteria for the bi-criteria doubling batches
+  (section 4.4).
+
+The checks below generate random instances, run the corresponding policy and
+report the worst observed ratio against the lower bounds.  Observing ratios
+below the stated bounds does not *prove* the bounds, but a violation would
+reveal an implementation bug -- this is how the benchmarks tie the code back
+to the claims of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.bounds import (
+    makespan_lower_bound,
+    performance_ratio,
+    sum_completion_lower_bound,
+    weighted_completion_lower_bound,
+)
+from repro.core.criteria import (
+    makespan,
+    sum_completion_times,
+    weighted_completion_time,
+)
+from repro.core.policies.batch_online import BatchOnlineScheduler
+from repro.core.policies.bicriteria import BiCriteriaScheduler
+from repro.core.policies.mrt import GreedyMoldableScheduler, MRTScheduler
+from repro.core.policies.shelf import SmartShelfScheduler
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.models import WorkloadConfig, generate_moldable_jobs, generate_rigid_jobs
+
+RandomState = Union[int, np.random.Generator, None]
+
+
+@dataclass(frozen=True)
+class RatioCheck:
+    """Result of one empirical ratio check."""
+
+    policy: str
+    criterion: str
+    stated_bound: float
+    worst_ratio: float
+    mean_ratio: float
+    instances: int
+
+    @property
+    def within_bound(self) -> bool:
+        return self.worst_ratio <= self.stated_bound + 1e-9
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "policy": self.policy,
+            "criterion": self.criterion,
+            "stated_bound": self.stated_bound,
+            "worst_ratio": self.worst_ratio,
+            "mean_ratio": self.mean_ratio,
+            "instances": self.instances,
+            "within_bound": self.within_bound,
+        }
+
+
+def _summary(policy: str, criterion: str, bound: float, ratios: Sequence[float]) -> RatioCheck:
+    return RatioCheck(
+        policy=policy,
+        criterion=criterion,
+        stated_bound=bound,
+        worst_ratio=max(ratios),
+        mean_ratio=sum(ratios) / len(ratios),
+        instances=len(ratios),
+    )
+
+
+def check_mrt_ratio(
+    *,
+    machine_count: int = 32,
+    job_counts: Sequence[int] = (10, 30, 60),
+    repetitions: int = 3,
+    epsilon: float = 0.05,
+    seed: int = 7,
+) -> RatioCheck:
+    """Empirical makespan ratio of the MRT algorithm (stated bound 3/2 + eps)."""
+
+    scheduler = MRTScheduler(epsilon=epsilon)
+    ratios: List[float] = []
+    for n_jobs in job_counts:
+        for repetition in range(repetitions):
+            jobs = generate_moldable_jobs(
+                n_jobs, machine_count, random_state=seed + 97 * repetition + n_jobs
+            )
+            schedule = scheduler.schedule(jobs, machine_count)
+            schedule.validate()
+            bound = makespan_lower_bound(jobs, machine_count)
+            ratios.append(performance_ratio(makespan(schedule), bound))
+    return _summary("mrt-dual-approx", "makespan", 1.5 + epsilon, ratios)
+
+
+def check_batch_ratio(
+    *,
+    machine_count: int = 32,
+    job_counts: Sequence[int] = (20, 50),
+    repetitions: int = 3,
+    epsilon: float = 0.05,
+    load: float = 1.5,
+    seed: int = 11,
+) -> RatioCheck:
+    """Empirical on-line makespan ratio of the batch transform (stated bound 2 * (3/2 + eps)).
+
+    The lower bound used already accounts for release dates, so the measured
+    ratio is directly comparable to the ``3 + eps`` statement of section 4.2.
+    """
+
+    scheduler = BatchOnlineScheduler(MRTScheduler(epsilon=epsilon))
+    ratios: List[float] = []
+    for n_jobs in job_counts:
+        for repetition in range(repetitions):
+            rng_seed = seed + 131 * repetition + n_jobs
+            jobs = generate_moldable_jobs(n_jobs, machine_count, random_state=rng_seed)
+            # Arrival rate chosen to keep the platform busy but not saturated.
+            jobs = poisson_arrivals(
+                jobs,
+                rate=load * machine_count / 50.0,
+                random_state=rng_seed,
+            )
+            schedule = scheduler.schedule(jobs, machine_count)
+            schedule.validate()
+            bound = makespan_lower_bound(jobs, machine_count)
+            ratios.append(performance_ratio(makespan(schedule), bound))
+    return _summary("batch(mrt)", "makespan", 2 * (1.5 + epsilon), ratios)
+
+
+def check_smart_ratio(
+    *,
+    machine_count: int = 32,
+    job_counts: Sequence[int] = (20, 50, 100),
+    repetitions: int = 3,
+    weighted: bool = True,
+    seed: int = 13,
+) -> RatioCheck:
+    """Empirical (weighted) completion-time ratio of the SMART shelves (bounds 8 / 8.53)."""
+
+    scheduler = SmartShelfScheduler()
+    ratios: List[float] = []
+    config = WorkloadConfig(weight_scheme="random" if weighted else "unit")
+    for n_jobs in job_counts:
+        for repetition in range(repetitions):
+            jobs = generate_rigid_jobs(
+                n_jobs,
+                machine_count,
+                config=config,
+                random_state=seed + 17 * repetition + n_jobs,
+            )
+            schedule = scheduler.schedule(jobs, machine_count)
+            schedule.validate()
+            if weighted:
+                value = weighted_completion_time(schedule)
+                bound = weighted_completion_lower_bound(jobs, machine_count)
+            else:
+                value = sum_completion_times(schedule)
+                bound = sum_completion_lower_bound(jobs, machine_count)
+            ratios.append(performance_ratio(value, bound))
+    stated = 8.53 if weighted else 8.0
+    criterion = "weighted_completion" if weighted else "sum_completion"
+    return _summary("smart-shelves", criterion, stated, ratios)
+
+
+def check_bicriteria_ratio(
+    *,
+    machine_count: int = 32,
+    job_counts: Sequence[int] = (20, 50, 100),
+    repetitions: int = 3,
+    seed: int = 17,
+) -> Tuple[RatioCheck, RatioCheck]:
+    """Empirical (Cmax, sum w C) ratios of the bi-criteria scheduler (bound 4 rho each).
+
+    ``rho`` is the ratio of the inner makespan procedure; with the greedy
+    moldable procedure rho <= 2, hence the stated bound 8 on both criteria.
+    """
+
+    scheduler = BiCriteriaScheduler(GreedyMoldableScheduler())
+    cmax_ratios: List[float] = []
+    wc_ratios: List[float] = []
+    config = WorkloadConfig(weight_scheme="work")
+    for n_jobs in job_counts:
+        for repetition in range(repetitions):
+            jobs = generate_moldable_jobs(
+                n_jobs,
+                machine_count,
+                config=config,
+                random_state=seed + 29 * repetition + n_jobs,
+            )
+            schedule = scheduler.schedule(jobs, machine_count)
+            schedule.validate()
+            cmax_ratios.append(
+                performance_ratio(makespan(schedule), makespan_lower_bound(jobs, machine_count))
+            )
+            wc_ratios.append(
+                performance_ratio(
+                    weighted_completion_time(schedule),
+                    weighted_completion_lower_bound(jobs, machine_count),
+                )
+            )
+    rho = 2.0
+    return (
+        _summary("bicriteria(greedy)", "makespan", 4 * rho, cmax_ratios),
+        _summary("bicriteria(greedy)", "weighted_completion", 4 * rho, wc_ratios),
+    )

@@ -1,0 +1,129 @@
+"""Plain-text reporting: ASCII tables, ASCII line plots and CSV export.
+
+The repository has no plotting dependency; the examples and benchmarks print
+their results as aligned text tables and simple character plots (enough to
+see the *shape* of the Figure 2 curves in a terminal), and can dump CSV for
+external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_cell(row.get(c, ""), precision) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), max((len(line[i]) for line in body), default=0))
+        for i in range(len(columns))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write("  ".join(h.ljust(w) for h, w in zip(header, widths)) + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for line in body:
+        out.write("  ".join(cell.ljust(w) for cell, w in zip(line, widths)) + "\n")
+    return out.getvalue()
+
+
+def ascii_plot(
+    series: Mapping[str, Mapping[float, float]],
+    *,
+    width: int = 70,
+    height: int = 18,
+    title: Optional[str] = None,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Very small ASCII line plot: one character per series per x position.
+
+    ``series`` maps a series name to ``{x: y}``.  Values are scaled to the
+    plotting box; each series uses the first letter of its name as marker.
+    """
+
+    points: List[Tuple[float, float]] = [
+        (float(x), float(y)) for curve in series.values() for x, y in curve.items()
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if math.isclose(x_min, x_max):
+        x_max = x_min + 1.0
+    if math.isclose(y_min, y_max):
+        y_max = y_min + 1.0
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+
+    for name, curve in series.items():
+        marker = name[0].upper() if name else "*"
+        for x, y in sorted(curve.items()):
+            grid[to_row(float(y))][to_col(float(x))] = marker
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(f"{y_max:10.3f} +" + "".join(grid[0]) + "\n")
+    for row in grid[1:-1]:
+        out.write(" " * 11 + "|" + "".join(row) + "\n")
+    out.write(f"{y_min:10.3f} +" + "".join(grid[-1]) + "\n")
+    out.write(" " * 12 + f"{x_min:<10.1f}" + " " * max(0, width - 20) + f"{x_max:>10.1f}\n")
+    legend = ", ".join(f"{name[0].upper()} = {name}" for name in series)
+    out.write(f"{x_label}   [{legend}]" + (f"   y: {y_label}" if y_label else "") + "\n")
+    return out.getvalue()
+
+
+def to_csv(rows: Sequence[Mapping[str, Any]], *, columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise dict rows to CSV text."""
+
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    out = io.StringIO()
+    out.write(",".join(str(c) for c in columns) + "\n")
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            text = str(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            cells.append(text)
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()

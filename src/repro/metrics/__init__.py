@@ -1,0 +1,25 @@
+"""Evaluation metrics: performance ratios, fairness, aggregation.
+
+* :mod:`repro.metrics.ratios` -- performance ratios of a schedule against the
+  lower bounds of :mod:`repro.core.bounds` (the quantities plotted in
+  Figure 2);
+* :mod:`repro.metrics.fairness` -- per-community usage and fairness indices
+  for the grid experiments (section 5.2: "guarantee a kind of fairness
+  between the different communities");
+* :mod:`repro.metrics.aggregate` -- aggregation of repeated experiments
+  (means, percentiles, confidence half-widths).
+"""
+
+from repro.metrics.ratios import RatioReport, schedule_ratios
+from repro.metrics.fairness import community_usage, jain_fairness_index, fairness_report
+from repro.metrics.aggregate import aggregate_runs, summarize
+
+__all__ = [
+    "RatioReport",
+    "schedule_ratios",
+    "community_usage",
+    "jain_fairness_index",
+    "fairness_report",
+    "aggregate_runs",
+    "summarize",
+]

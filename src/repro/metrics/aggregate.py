@@ -1,0 +1,103 @@
+"""Aggregation of repeated experiment runs.
+
+Every benchmark repeats its simulations over several seeds; this module turns
+the resulting list of per-run dictionaries into summary rows (mean, standard
+deviation, percentiles and a normal-approximation confidence half-width) that
+the reporting helpers print as tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of one metric over repeated runs."""
+
+    metric: str
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+    ci95_halfwidth: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "metric": self.metric,
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "p90": self.p90,
+            "max": self.maximum,
+            "ci95": self.ci95_halfwidth,
+        }
+
+
+def summarize(metric: str, values: Sequence[float]) -> Summary:
+    """Summary statistics of a list of values (empty lists yield NaNs)."""
+
+    if len(values) == 0:
+        nan = float("nan")
+        return Summary(metric, 0, nan, nan, nan, nan, nan, nan, nan)
+    array = np.asarray(list(values), dtype=float)
+    mean = float(array.mean())
+    std = float(array.std(ddof=1)) if len(array) > 1 else 0.0
+    ci = 1.96 * std / math.sqrt(len(array)) if len(array) > 1 else 0.0
+    return Summary(
+        metric=metric,
+        count=len(array),
+        mean=mean,
+        std=std,
+        minimum=float(array.min()),
+        median=float(np.median(array)),
+        p90=float(np.percentile(array, 90)),
+        maximum=float(array.max()),
+        ci95_halfwidth=ci,
+    )
+
+
+def aggregate_runs(
+    runs: Sequence[Mapping[str, float]],
+    *,
+    metrics: Optional[Sequence[str]] = None,
+) -> Dict[str, Summary]:
+    """Aggregate a list of per-run metric dictionaries.
+
+    ``metrics`` restricts the aggregation to the given keys; by default every
+    numeric key present in the first run is aggregated.
+    """
+
+    if not runs:
+        return {}
+    if metrics is None:
+        metrics = [
+            key
+            for key, value in runs[0].items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        ]
+    out: Dict[str, Summary] = {}
+    for metric in metrics:
+        values = [float(run[metric]) for run in runs if metric in run]
+        out[metric] = summarize(metric, values)
+    return out
+
+
+def group_by(
+    runs: Sequence[Mapping[str, object]], key: str
+) -> Dict[object, List[Mapping[str, object]]]:
+    """Group run dictionaries by the value of ``key`` (stable order)."""
+
+    groups: Dict[object, List[Mapping[str, object]]] = {}
+    for run in runs:
+        groups.setdefault(run.get(key), []).append(run)
+    return groups

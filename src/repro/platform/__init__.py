@@ -1,0 +1,39 @@
+"""Platform models: machines, clusters and light grids.
+
+Section 1.2 of the paper describes the target execution support: *"a few
+clusters composed each by a collection of a medium number of SMP or simple PC
+machines (typically several tenth or several hundreds of nodes).  Such a
+system may be highly heterogeneous between clusters [...] but weakly
+heterogeneous inside each cluster"*.
+
+* :mod:`repro.platform.machine` -- a single node (speed, core count),
+* :mod:`repro.platform.cluster` -- a cluster of nodes with an interconnect,
+* :mod:`repro.platform.grid` -- a *light grid*: a few clusters in the same
+  geographical area with submission front-ends (Figure 1),
+* :mod:`repro.platform.ciment` -- the concrete CIMENT platform of Figure 3,
+* :mod:`repro.platform.generators` -- random platform generators used by the
+  benchmarks.
+"""
+
+from repro.platform.machine import Machine
+from repro.platform.cluster import Cluster, Interconnect
+from repro.platform.grid import LightGrid, GridLink
+from repro.platform.ciment import ciment_grid, CIMENT_CLUSTERS
+from repro.platform.generators import (
+    homogeneous_cluster,
+    heterogeneous_cluster,
+    random_light_grid,
+)
+
+__all__ = [
+    "Machine",
+    "Cluster",
+    "Interconnect",
+    "LightGrid",
+    "GridLink",
+    "ciment_grid",
+    "CIMENT_CLUSTERS",
+    "homogeneous_cluster",
+    "heterogeneous_cluster",
+    "random_light_grid",
+]

@@ -1,0 +1,139 @@
+"""Cluster model: a weakly heterogeneous collection of machines.
+
+A cluster is the unit of administration in the paper's light grid: it has its
+own submission queue, its own scheduling policy and is "weakly heterogeneous"
+(same OS, processors of different generations / clock speeds).  The cluster
+exposes a flat view of its *processors* (node cores) which is what the
+Parallel-Task policies schedule on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.platform.machine import Machine
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Description of the cluster's internal network.
+
+    The PT policies never use it directly (communications are implicit in the
+    PT model); the DLT distribution algorithms and the grid simulators use
+    ``bandwidth`` (load units per time unit) and ``latency`` (time units per
+    message) to charge data movements.
+    """
+
+    name: str = "ethernet-100"
+    bandwidth: float = 100.0
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be > 0")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+
+    def transfer_time(self, volume: float) -> float:
+        """Time to ship ``volume`` units of data over the interconnect."""
+
+        if volume < 0:
+            raise ValueError("volume must be >= 0")
+        if volume == 0:
+            return 0.0
+        return self.latency + volume / self.bandwidth
+
+
+class Cluster:
+    """A named collection of machines behind a common interconnect."""
+
+    def __init__(
+        self,
+        name: str,
+        machines: Sequence[Machine],
+        interconnect: Optional[Interconnect] = None,
+        *,
+        community: Optional[str] = None,
+    ) -> None:
+        if not machines:
+            raise ValueError(f"cluster {name!r}: at least one machine is required")
+        names = [m.name for m in machines]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cluster {name!r}: duplicate machine names")
+        self.name = name
+        self.machines: Tuple[Machine, ...] = tuple(machines)
+        self.interconnect = interconnect or Interconnect()
+        #: Community owning the cluster (used by the grid fairness metrics).
+        self.community = community
+
+    # -- size ------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self.machines)
+
+    @property
+    def processor_count(self) -> int:
+        """Total number of processors (cores) in the cluster."""
+
+        return sum(m.cores for m in self.machines)
+
+    @property
+    def total_compute_rate(self) -> float:
+        return sum(m.compute_rate for m in self.machines)
+
+    # -- processor-level view ---------------------------------------------
+    def processor_speeds(self) -> List[float]:
+        """Speed of each processor, in processor-index order.
+
+        Processor ``i`` of the flat view belongs to machine ``i // cores``
+        when all machines have the same core count; in general the flat view
+        enumerates machines in order and their cores consecutively.
+        """
+
+        speeds: List[float] = []
+        for machine in self.machines:
+            speeds.extend([machine.speed] * machine.cores)
+        return speeds
+
+    def processor_machine(self, processor: int) -> Machine:
+        """Machine hosting flat processor index ``processor``."""
+
+        if processor < 0:
+            raise IndexError(processor)
+        for machine in self.machines:
+            if processor < machine.cores:
+                return machine
+            processor -= machine.cores
+        raise IndexError("processor index outside cluster")
+
+    def is_homogeneous(self, tolerance: float = 1e-9) -> bool:
+        speeds = {round(m.speed / tolerance) for m in self.machines} if tolerance else set()
+        first = self.machines[0].speed
+        return all(abs(m.speed - first) <= tolerance for m in self.machines)
+
+    def slowest_speed(self) -> float:
+        return min(m.speed for m in self.machines)
+
+    def fastest_speed(self) -> float:
+        return max(m.speed for m in self.machines)
+
+    def describe(self) -> Dict[str, object]:
+        """Plain-dict description (used by reports and the README examples)."""
+
+        return {
+            "name": self.name,
+            "nodes": self.node_count,
+            "processors": self.processor_count,
+            "interconnect": self.interconnect.name,
+            "bandwidth": self.interconnect.bandwidth,
+            "community": self.community,
+            "speed_range": (self.slowest_speed(), self.fastest_speed()),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.name!r}, nodes={self.node_count}, "
+            f"processors={self.processor_count}, "
+            f"interconnect={self.interconnect.name!r})"
+        )

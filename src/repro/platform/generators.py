@@ -1,0 +1,146 @@
+"""Random platform generators used by tests and benchmarks.
+
+The experiments of the paper use a 100-machine homogeneous cluster
+(Figure 2); the multi-cluster benchmarks also exercise heterogeneous and
+randomly-sized platforms.  All generators take an explicit
+:class:`numpy.random.Generator` or integer seed so every experiment is
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.platform.cluster import Cluster, Interconnect
+from repro.platform.grid import GridLink, LightGrid
+from repro.platform.machine import Machine
+
+RandomState = Union[int, np.random.Generator, None]
+
+
+def _rng(random_state: RandomState) -> np.random.Generator:
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+def homogeneous_cluster(
+    name: str,
+    processors: int,
+    *,
+    speed: float = 1.0,
+    cores_per_node: int = 1,
+    bandwidth: float = 1000.0,
+    community: Optional[str] = None,
+) -> Cluster:
+    """A cluster of ``processors`` identical processors.
+
+    ``processors`` must be divisible by ``cores_per_node``; by default one
+    core per node so the cluster has exactly ``processors`` machines -- this
+    is the "cluster of 100 machines" configuration of Figure 2.
+    """
+
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    if processors % cores_per_node != 0:
+        raise ValueError("processors must be a multiple of cores_per_node")
+    nodes = processors // cores_per_node
+    machines = [
+        Machine(name=f"{name}-{i:04d}", speed=speed, cores=cores_per_node)
+        for i in range(nodes)
+    ]
+    return Cluster(
+        name,
+        machines,
+        Interconnect(name="cluster-switch", bandwidth=bandwidth),
+        community=community,
+    )
+
+
+def heterogeneous_cluster(
+    name: str,
+    nodes: int,
+    *,
+    speed_range: Sequence[float] = (0.8, 1.2),
+    cores_per_node: int = 1,
+    bandwidth: float = 1000.0,
+    community: Optional[str] = None,
+    random_state: RandomState = None,
+) -> Cluster:
+    """A *weakly heterogeneous* cluster (speeds drawn uniformly in ``speed_range``).
+
+    This matches the intra-cluster heterogeneity described in section 1.2:
+    "different generations of processors running under the same Operating
+    System with different clock speeds".
+    """
+
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    lo, hi = speed_range
+    if lo <= 0 or hi < lo:
+        raise ValueError("invalid speed_range")
+    rng = _rng(random_state)
+    speeds = rng.uniform(lo, hi, size=nodes)
+    machines = [
+        Machine(name=f"{name}-{i:04d}", speed=float(speeds[i]), cores=cores_per_node)
+        for i in range(nodes)
+    ]
+    return Cluster(
+        name,
+        machines,
+        Interconnect(name="cluster-switch", bandwidth=bandwidth),
+        community=community,
+    )
+
+
+def random_light_grid(
+    *,
+    n_clusters: int = 3,
+    nodes_range: Sequence[int] = (20, 120),
+    speed_range: Sequence[float] = (0.5, 1.5),
+    cores_per_node: int = 2,
+    random_state: RandomState = None,
+    name: str = "random-grid",
+) -> LightGrid:
+    """A random light grid: highly heterogeneous *between* clusters.
+
+    Each cluster gets a single speed drawn from ``speed_range`` (uniform) and
+    a node count drawn from ``nodes_range``; this reproduces the "highly
+    heterogeneous between clusters but weakly heterogeneous inside each
+    cluster" structure.
+    """
+
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    rng = _rng(random_state)
+    lo_n, hi_n = nodes_range
+    lo_s, hi_s = speed_range
+    if lo_n < 1 or hi_n < lo_n:
+        raise ValueError("invalid nodes_range")
+    if lo_s <= 0 or hi_s < lo_s:
+        raise ValueError("invalid speed_range")
+    clusters: List[Cluster] = []
+    for c in range(n_clusters):
+        nodes = int(rng.integers(lo_n, hi_n + 1))
+        speed = float(rng.uniform(lo_s, hi_s))
+        machines = [
+            Machine(name=f"c{c}-n{i:04d}", speed=speed, cores=cores_per_node)
+            for i in range(nodes)
+        ]
+        clusters.append(
+            Cluster(
+                f"cluster-{c}",
+                machines,
+                Interconnect(name="cluster-switch", bandwidth=1000.0),
+                community=f"community-{c}",
+            )
+        )
+    names = [c.name for c in clusters]
+    links = [
+        GridLink(a, b, bandwidth=float(rng.uniform(10.0, 100.0)), latency=1e-3)
+        for i, a in enumerate(names)
+        for b in names[i + 1 :]
+    ]
+    return LightGrid(name, clusters, links)

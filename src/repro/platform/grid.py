@@ -1,0 +1,151 @@
+"""Light grid model (Figure 1 of the paper).
+
+A *light grid* is "a collection of few clusters in a same geographical area".
+Jobs are submitted through specific front-end nodes ("the submissions of jobs
+is done by some specific nodes by the way of several priority files"), each
+cluster is administrated separately, and the clusters are connected by
+wide-area links that are slower than the cluster interconnects.
+
+The :class:`LightGrid` object is a static description; the dynamics (local
+schedulers, the centralized best-effort server, the decentralized exchange
+protocol) live in :mod:`repro.simulation.grid_sim` and
+:mod:`repro.simulation.decentralized`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.platform.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class GridLink:
+    """A wide-area link between two clusters of the grid."""
+
+    src: str
+    dst: str
+    bandwidth: float = 10.0
+    latency: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be > 0")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+        if self.src == self.dst:
+            raise ValueError("a grid link must connect two distinct clusters")
+
+    def transfer_time(self, volume: float) -> float:
+        if volume < 0:
+            raise ValueError("volume must be >= 0")
+        if volume == 0:
+            return 0.0
+        return self.latency + volume / self.bandwidth
+
+
+class LightGrid:
+    """A few clusters connected by wide-area links, with submission front-ends."""
+
+    def __init__(
+        self,
+        name: str,
+        clusters: Sequence[Cluster],
+        links: Sequence[GridLink] = (),
+        *,
+        default_bandwidth: float = 10.0,
+        default_latency: float = 0.05,
+    ) -> None:
+        if not clusters:
+            raise ValueError("a grid needs at least one cluster")
+        names = [c.name for c in clusters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate cluster names in grid")
+        self.name = name
+        self.clusters: Tuple[Cluster, ...] = tuple(clusters)
+        self._by_name: Dict[str, Cluster] = {c.name: c for c in clusters}
+        self._links: Dict[Tuple[str, str], GridLink] = {}
+        for link in links:
+            if link.src not in self._by_name or link.dst not in self._by_name:
+                raise ValueError(
+                    f"link {link.src!r} -> {link.dst!r} references an unknown cluster"
+                )
+            self._links[(link.src, link.dst)] = link
+            self._links.setdefault(
+                (link.dst, link.src),
+                GridLink(link.dst, link.src, link.bandwidth, link.latency),
+            )
+        self.default_bandwidth = default_bandwidth
+        self.default_latency = default_latency
+
+    # -- lookups -----------------------------------------------------------
+    def cluster(self, name: str) -> Cluster:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no cluster named {name!r} in grid {self.name!r}") from None
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def cluster_names(self) -> List[str]:
+        return [c.name for c in self.clusters]
+
+    # -- sizes -------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return sum(c.node_count for c in self.clusters)
+
+    @property
+    def processor_count(self) -> int:
+        return sum(c.processor_count for c in self.clusters)
+
+    @property
+    def total_compute_rate(self) -> float:
+        return sum(c.total_compute_rate for c in self.clusters)
+
+    def largest_cluster(self) -> Cluster:
+        return max(self.clusters, key=lambda c: c.processor_count)
+
+    # -- links ---------------------------------------------------------------
+    def link(self, src: str, dst: str) -> GridLink:
+        """Link between two clusters; a default link is synthesised if missing."""
+
+        if src == dst:
+            raise ValueError("no link from a cluster to itself")
+        self.cluster(src)
+        self.cluster(dst)
+        key = (src, dst)
+        if key in self._links:
+            return self._links[key]
+        return GridLink(src, dst, self.default_bandwidth, self.default_latency)
+
+    def transfer_time(self, src: str, dst: str, volume: float) -> float:
+        if src == dst:
+            return 0.0
+        return self.link(src, dst).transfer_time(volume)
+
+    # -- reports -------------------------------------------------------------
+    def describe(self) -> List[Dict[str, object]]:
+        return [c.describe() for c in self.clusters]
+
+    def summary(self) -> str:
+        lines = [f"Light grid {self.name!r}: {len(self.clusters)} clusters, "
+                 f"{self.node_count} nodes, {self.processor_count} processors"]
+        for c in self.clusters:
+            lines.append(
+                f"  - {c.name}: {c.node_count} nodes x {c.machines[0].cores} cores "
+                f"({c.interconnect.name}, community={c.community})"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"LightGrid({self.name!r}, clusters={len(self.clusters)}, "
+            f"processors={self.processor_count})"
+        )

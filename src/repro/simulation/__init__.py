@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation ("A simulated implementation of a variation of the
+bi-criteria algorithm has been realized") relies on an event-driven simulator
+of a cluster / light grid.  This package provides that substrate, written
+from scratch for this reproduction:
+
+* :mod:`repro.simulation.events` -- event queue primitives,
+* :mod:`repro.simulation.engine` -- the simulation kernel (clock, event loop,
+  generator-based processes),
+* :mod:`repro.simulation.resources` -- a processor-pool resource with
+  reservations and preemption (needed to kill best-effort jobs),
+* :mod:`repro.simulation.tracing` -- execution traces and Gantt recording,
+* :mod:`repro.simulation.cluster_sim` -- on-line simulation of one cluster
+  driven by any scheduling policy,
+* :mod:`repro.simulation.grid_sim` -- the centralized light-grid organisation
+  of section 5.2 (best-effort multi-parametric jobs filling the holes),
+* :mod:`repro.simulation.decentralized` -- the decentralized organisation
+  (load exchange between clusters).
+"""
+
+from repro.simulation.engine import Simulator, Process, Timeout
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.resources import ProcessorPool, AllocationRequest
+from repro.simulation.tracing import Trace, TraceEvent
+from repro.simulation.cluster_sim import ClusterSimulator, SimulationResult
+from repro.simulation.grid_sim import CentralizedGridSimulator, GridSimulationResult
+from repro.simulation.decentralized import DecentralizedGridSimulator
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Event",
+    "EventQueue",
+    "ProcessorPool",
+    "AllocationRequest",
+    "Trace",
+    "TraceEvent",
+    "ClusterSimulator",
+    "SimulationResult",
+    "CentralizedGridSimulator",
+    "GridSimulationResult",
+    "DecentralizedGridSimulator",
+]

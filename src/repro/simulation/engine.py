@@ -1,0 +1,218 @@
+"""The discrete-event simulation kernel.
+
+The :class:`Simulator` owns the clock and the event queue.  Two programming
+styles are supported:
+
+* **callbacks** -- ``sim.schedule(delay, fn)`` runs ``fn()`` after ``delay``
+  time units; this is the style used by the cluster and grid simulators;
+* **processes** -- generator functions that ``yield Timeout(d)`` (sleep) or
+  ``yield event`` objects created by :meth:`Simulator.event` (wait until the
+  event is succeeded).  Processes are convenient for writing scenario scripts
+  in tests and examples.
+
+The kernel is deterministic: simultaneous events run in scheduling order
+(see :mod:`repro.simulation.events`), and there is no hidden source of
+randomness -- all randomness lives in the workload generators, which take
+explicit seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, List, Optional, Union
+
+from repro.simulation.events import Event, EventQueue
+
+
+@dataclass
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` time units."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("Timeout delay must be >= 0")
+
+
+class SimEvent:
+    """A one-shot condition processes can wait on.
+
+    ``succeed(value)`` wakes every waiting process and stores ``value`` which
+    becomes the result of the ``yield``.
+    """
+
+    def __init__(self, sim: "Simulator", label: str = "") -> None:
+        self._sim = sim
+        self.label = label
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise RuntimeError(f"event {self.label!r} already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.schedule(0.0, lambda p=process: p._resume(self.value))
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            self._sim.schedule(0.0, lambda p=process: p._resume(self.value))
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """A generator-based simulation process."""
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        self._sim = sim
+        self._generator = generator
+        self.name = name or repr(generator)
+        self.finished = False
+        self.result: Any = None
+        self.completion_event = SimEvent(sim, label=f"{self.name}.done")
+
+    def _start(self) -> None:
+        self._sim.schedule(0.0, lambda: self._resume(None), label=f"start {self.name}")
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.completion_event.succeed(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._sim.schedule(yielded.delay, lambda: self._resume(None),
+                               label=f"wake {self.name}")
+        elif isinstance(yielded, SimEvent):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            yielded.completion_event._add_waiter(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded an unsupported object: {yielded!r}"
+            )
+
+
+class Simulator:
+    """Discrete-event simulation kernel: clock + event queue + process runner."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stop_requested = False
+        self.processed_events = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Run ``callback`` after ``delay`` time units (relative to now)."""
+
+        if delay < 0:
+            raise ValueError("cannot schedule in the past (negative delay)")
+        return self._queue.push(self._now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Run ``callback`` at absolute simulation time ``time`` (>= now)."""
+
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule at {time}, current time is already {self._now}"
+            )
+        return self._queue.push(max(time, self._now), callback, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        self._queue.cancel(event)
+
+    # -- processes -----------------------------------------------------------
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register and start a generator-based process."""
+
+        process = Process(self, generator, name)
+        process._start()
+        return process
+
+    def event(self, label: str = "") -> SimEvent:
+        """Create a waitable one-shot event."""
+
+        return SimEvent(self, label)
+
+    # -- run loop ------------------------------------------------------------
+    def run(self, until: Optional[float] = None, *, max_events: Optional[int] = None) -> float:
+        """Process events until the queue is empty, ``until`` or ``max_events``.
+
+        Returns the simulation time reached.
+        """
+
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stop_requested = False
+        count = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                assert next_time is not None
+                if until is not None and next_time > until + 1e-12:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                assert event.callback is not None
+                event.callback()
+                self.processed_events += 1
+                count += 1
+                if self._stop_requested:
+                    break
+                if max_events is not None and count >= max_events:
+                    break
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+
+        self._stop_requested = True
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now:.3f}, pending={len(self._queue)})"

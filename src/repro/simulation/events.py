@@ -1,0 +1,113 @@
+"""Event queue primitives for the discrete-event simulation kernel.
+
+Events are ordered by ``(time, priority, sequence number)``: ties on time are
+broken first by an explicit integer priority (smaller runs first) and then by
+insertion order, which makes every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event fires.
+    priority:
+        Tie-break priority: events scheduled at the same time fire in
+        increasing priority order (default 0).
+    seq:
+        Monotonic insertion counter; never set manually.
+    callback:
+        Callable invoked with no argument when the event fires.
+    label:
+        Free-form description, kept for traces and debugging.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default=0)
+    callback: Optional[Callable[[], None]] = field(default=None, compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be silently dropped."""
+
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        if time < 0:
+            raise ValueError("cannot schedule an event at a negative time")
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next non-cancelled event.
+
+        Raises :class:`IndexError` when the queue is empty.
+        """
+
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None`` when empty."""
+
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return max(self._live, 0)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,159 @@
+"""Execution traces of the simulators.
+
+A :class:`Trace` is an append-only list of :class:`TraceEvent` records
+(submission, start, completion, kill, resubmission, ...).  The grid metrics
+(best-effort kill counts, per-community usage, ...) are computed from traces,
+and the traces can be exported to CSV-style records or converted into a
+:class:`repro.core.allocation.Schedule` for Gantt rendering.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+EVENT_KINDS = (
+    "submit",
+    "start",
+    "complete",
+    "kill",
+    "resubmit",
+    "reserve",
+    "release",
+    "migrate",
+    "reject",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event of a simulation."""
+
+    time: float
+    kind: str
+    job: str
+    cluster: Optional[str] = None
+    processors: Tuple[int, ...] = ()
+    info: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("trace event with negative time")
+
+
+class Trace:
+    """Append-only list of simulation events with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        job: str,
+        *,
+        cluster: Optional[str] = None,
+        processors: Sequence[int] = (),
+        info: str = "",
+    ) -> TraceEvent:
+        event = TraceEvent(
+            time=time,
+            kind=kind,
+            job=job,
+            cluster=cluster,
+            processors=tuple(processors),
+            info=info,
+        )
+        self._events.append(event)
+        return event
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None, job: Optional[str] = None) -> List[TraceEvent]:
+        out = self._events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if job is not None:
+            out = [e for e in out if e.job == job]
+        return list(out)
+
+    def count(self, kind: str, job: Optional[str] = None) -> int:
+        return len(self.events(kind, job))
+
+    def completion_time(self, job: str) -> Optional[float]:
+        """Time of the *last* completion event of ``job`` (None if never completed)."""
+
+        times = [e.time for e in self._events if e.kind == "complete" and e.job == job]
+        return max(times) if times else None
+
+    def first_start(self, job: str) -> Optional[float]:
+        times = [e.time for e in self._events if e.kind == "start" and e.job == job]
+        return min(times) if times else None
+
+    def kills(self, job: Optional[str] = None) -> int:
+        """Number of best-effort kill events (section 5.2, centralized organisation)."""
+
+        return self.count("kill", job)
+
+    def busy_intervals(self, cluster: Optional[str] = None) -> List[Tuple[str, float, float, int]]:
+        """(job, start, end, nbproc) intervals reconstructed from start/complete/kill events."""
+
+        open_intervals: Dict[Tuple[str, Optional[str]], Tuple[float, int]] = {}
+        intervals: List[Tuple[str, float, float, int]] = []
+        for event in self._events:
+            if cluster is not None and event.cluster != cluster:
+                continue
+            key = (event.job, event.cluster)
+            if event.kind == "start":
+                open_intervals[key] = (event.time, len(event.processors))
+            elif event.kind in ("complete", "kill") and key in open_intervals:
+                start, nbproc = open_intervals.pop(key)
+                intervals.append((event.job, start, event.time, nbproc))
+        return intervals
+
+    def utilization(self, machine_count: int, horizon: float, cluster: Optional[str] = None) -> float:
+        """Fraction of the processor-time area busy up to ``horizon``."""
+
+        if machine_count < 1:
+            raise ValueError("machine_count must be >= 1")
+        if horizon <= 0:
+            return 0.0
+        busy = 0.0
+        for _job, start, end, nbproc in self.busy_intervals(cluster):
+            busy += max(0.0, min(end, horizon) - min(start, horizon)) * nbproc
+        return busy / (machine_count * horizon)
+
+    # -- export ----------------------------------------------------------------
+    def to_records(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "time": e.time,
+                "kind": e.kind,
+                "job": e.job,
+                "cluster": e.cluster,
+                "processors": list(e.processors),
+                "info": e.info,
+            }
+            for e in self._events
+        ]
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["time", "kind", "job", "cluster", "processors", "info"])
+        for e in self._events:
+            writer.writerow(
+                [f"{e.time:.6f}", e.kind, e.job, e.cluster or "",
+                 " ".join(map(str, e.processors)), e.info]
+            )
+        return buffer.getvalue()

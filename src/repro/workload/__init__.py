@@ -1,0 +1,49 @@
+"""Synthetic workload generation.
+
+The experiments of the paper use synthetic workloads: Figure 2 simulates "a
+cluster of 100 machines, parallel and non-parallel jobs", and section 5.2
+describes qualitatively the workloads of the CIMENT communities ("the
+numerical physicists have long (up to several weeks), sequential jobs to
+perform, while the computer scientists' jobs are shorter, focusing mainly on
+debug"; "a majority of the jobs submitted in this context are
+multi-parametric jobs").
+
+* :mod:`repro.workload.models` -- random rigid / moldable job generators
+  (runtime distributions, speedup profiles, weights);
+* :mod:`repro.workload.arrivals` -- arrival processes (Poisson, bursty,
+  off-line);
+* :mod:`repro.workload.parametric` -- multi-parametric bags of tasks;
+* :mod:`repro.workload.communities` -- per-community profiles used by the
+  CIMENT grid experiments;
+* :mod:`repro.workload.swf` -- a minimal reader/writer for the Standard
+  Workload Format so traces can be exchanged with other tools.
+"""
+
+from repro.workload.models import (
+    WorkloadConfig,
+    generate_moldable_jobs,
+    generate_rigid_jobs,
+    generate_mixed_jobs,
+    figure2_workload,
+)
+from repro.workload.arrivals import poisson_arrivals, bursty_arrivals, offline_arrivals
+from repro.workload.parametric import generate_parametric_bags
+from repro.workload.communities import COMMUNITY_PROFILES, community_workload, grid_workload
+from repro.workload.swf import jobs_to_swf, swf_to_jobs
+
+__all__ = [
+    "WorkloadConfig",
+    "generate_moldable_jobs",
+    "generate_rigid_jobs",
+    "generate_mixed_jobs",
+    "figure2_workload",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "offline_arrivals",
+    "generate_parametric_bags",
+    "COMMUNITY_PROFILES",
+    "community_workload",
+    "grid_workload",
+    "jobs_to_swf",
+    "swf_to_jobs",
+]

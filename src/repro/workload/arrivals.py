@@ -1,0 +1,129 @@
+"""Arrival processes: turning an off-line job set into an on-line one.
+
+The on-line policies of sections 4.2-4.4 need jobs with release dates.  The
+generators below assign release dates to an existing list of jobs (returning
+*new* job objects -- jobs are treated as immutable descriptions):
+
+* :func:`offline_arrivals` -- everything available at time 0;
+* :func:`poisson_arrivals` -- exponential inter-arrival times, the standard
+  model for independent users submitting to a cluster;
+* :func:`bursty_arrivals` -- arrivals grouped in bursts, modelling campaign
+  submissions (a user submitting a whole parameter sweep at once).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.job import Job
+
+RandomState = Union[int, np.random.Generator, None]
+
+
+def _rng(random_state: RandomState) -> np.random.Generator:
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+def _with_release(job: Job, release_date: float) -> Job:
+    """Return a copy of ``job`` with the given release date."""
+
+    return dataclasses.replace(job, release_date=float(max(0.0, release_date)))
+
+
+def offline_arrivals(jobs: Sequence[Job]) -> List[Job]:
+    """All jobs available at time 0 (the off-line setting of section 4.1)."""
+
+    return [_with_release(job, 0.0) for job in jobs]
+
+
+def poisson_arrivals(
+    jobs: Sequence[Job],
+    *,
+    rate: Optional[float] = None,
+    mean_interarrival: Optional[float] = None,
+    random_state: RandomState = None,
+    sorted_by_name: bool = True,
+) -> List[Job]:
+    """Assign Poisson-process release dates to the jobs.
+
+    Exactly one of ``rate`` (arrivals per time unit) or ``mean_interarrival``
+    must be given.  Jobs receive their release dates in list order (or name
+    order when ``sorted_by_name``), which keeps the mapping deterministic for
+    a fixed seed.
+    """
+
+    if (rate is None) == (mean_interarrival is None):
+        raise ValueError("specify exactly one of rate / mean_interarrival")
+    if rate is not None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        mean_interarrival = 1.0 / rate
+    assert mean_interarrival is not None
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be > 0")
+    rng = _rng(random_state)
+    ordered = sorted(jobs, key=lambda j: j.name) if sorted_by_name else list(jobs)
+    gaps = rng.exponential(mean_interarrival, size=len(ordered))
+    releases = np.cumsum(gaps)
+    return [_with_release(job, float(t)) for job, t in zip(ordered, releases)]
+
+
+def bursty_arrivals(
+    jobs: Sequence[Job],
+    *,
+    burst_size: int = 10,
+    burst_gap: float = 50.0,
+    random_state: RandomState = None,
+) -> List[Job]:
+    """Group jobs into bursts of ``burst_size`` separated by ``burst_gap``.
+
+    Inside a burst all jobs share the same release date (with a tiny jitter to
+    keep orderings unambiguous).
+    """
+
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    if burst_gap < 0:
+        raise ValueError("burst_gap must be >= 0")
+    rng = _rng(random_state)
+    ordered = sorted(jobs, key=lambda j: j.name)
+    out: List[Job] = []
+    for i, job in enumerate(ordered):
+        burst_index = i // burst_size
+        jitter = float(rng.uniform(0.0, 1e-6))
+        out.append(_with_release(job, burst_index * burst_gap + jitter))
+    return out
+
+
+def scaled_load_arrivals(
+    jobs: Sequence[Job],
+    machine_count: int,
+    *,
+    target_utilization: float = 0.7,
+    random_state: RandomState = None,
+) -> List[Job]:
+    """Poisson arrivals whose rate targets a given average platform utilization.
+
+    The arrival rate is chosen so that (average work per job) x (rate) equals
+    ``target_utilization x machine_count``: the standard way of generating
+    on-line instances with a controlled load factor.
+    """
+
+    if not 0 < target_utilization:
+        raise ValueError("target_utilization must be > 0")
+    if machine_count < 1:
+        raise ValueError("machine_count must be >= 1")
+    from repro.core.bounds import min_work  # local import to avoid a cycle at import time
+
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    mean_work = sum(min_work(j) for j in jobs) / len(jobs)
+    rate = target_utilization * machine_count / max(mean_work, 1e-12)
+    return poisson_arrivals(jobs, rate=rate, random_state=random_state)

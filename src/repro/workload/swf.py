@@ -1,0 +1,109 @@
+"""Minimal Standard Workload Format (SWF) support.
+
+The Standard Workload Format is the de-facto interchange format of the
+parallel workload archive: one line per job with 18 whitespace-separated
+fields.  Only the fields relevant to this library are interpreted:
+
+==  ==========================  ======================================
+#   SWF field                   mapping
+==  ==========================  ======================================
+1   job number                  job name (``job-<number>``)
+2   submit time                 ``release_date``
+4   run time                    runtime of the allocated processor count
+5   number of allocated procs   ``nbproc`` (rigid view)
+11  requested memory            ignored
+12  requested time              ignored (clairvoyant runtimes are used)
+15  user id                     ``owner``
+==  ==========================  ======================================
+
+Export writes rigid jobs (moldable jobs are exported with their minimal
+allocation); import produces :class:`repro.core.job.RigidJob` objects.  This
+is enough to replay external traces through the policies and to dump
+generated workloads for inspection with external tools.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+from repro.core.job import Job, MoldableJob, RigidJob
+
+SWF_FIELDS = 18
+
+
+def jobs_to_swf(jobs: Sequence[Job], *, comment: str = "") -> str:
+    """Serialise jobs to SWF text (one line per job, 18 fields)."""
+
+    lines: List[str] = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"; {row}")
+    for index, job in enumerate(sorted(jobs, key=lambda j: (j.release_date, j.name)), start=1):
+        if isinstance(job, RigidJob):
+            nbproc, runtime = job.nbproc, job.duration
+        elif isinstance(job, MoldableJob):
+            nbproc = job.min_procs
+            runtime = job.runtime(nbproc)
+        else:
+            raise TypeError(f"cannot export job of type {type(job)!r} to SWF")
+        fields = [-1] * SWF_FIELDS
+        fields[0] = index
+        fields[1] = job.release_date
+        fields[2] = 0            # wait time (unknown before scheduling)
+        fields[3] = runtime
+        fields[4] = nbproc
+        fields[7] = nbproc       # requested processors
+        fields[8] = runtime      # requested time (clairvoyant)
+        fields[11] = job.weight
+        fields[14] = job.owner or -1
+        line = " ".join(
+            f"{f:.4f}" if isinstance(f, float) else str(f) for f in fields
+        )
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def swf_to_jobs(text: Union[str, TextIO]) -> List[RigidJob]:
+    """Parse SWF text into rigid jobs (comment lines starting with ';' are skipped)."""
+
+    if hasattr(text, "read"):
+        text = text.read()  # type: ignore[union-attr]
+    assert isinstance(text, str)
+    jobs: List[RigidJob] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(";") or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 5:
+            raise ValueError(f"SWF line {line_number}: expected at least 5 fields, got {len(parts)}")
+        job_id = parts[0]
+        submit = float(parts[1])
+        runtime = float(parts[3])
+        nbproc = int(float(parts[4]))
+        if runtime <= 0 or nbproc <= 0:
+            # The archive uses -1 for unknown values; such jobs are skipped.
+            continue
+        weight = 1.0
+        if len(parts) > 11:
+            try:
+                candidate = float(parts[11])
+                if candidate > 0:
+                    weight = candidate
+            except ValueError:
+                pass
+        owner: Optional[str] = None
+        if len(parts) > 14 and parts[14] not in ("-1", ""):
+            owner = parts[14]
+        jobs.append(
+            RigidJob(
+                name=f"job-{job_id}",
+                release_date=max(0.0, submit),
+                nbproc=nbproc,
+                duration=runtime,
+                weight=weight,
+                owner=owner,
+            )
+        )
+    return jobs

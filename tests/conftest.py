@@ -1,0 +1,57 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import MoldableJob, RigidJob
+from repro.core.speedup import AmdahlSpeedup, PowerLawSpeedup, make_runtime_table
+from repro.platform.generators import homogeneous_cluster
+from repro.workload.models import generate_moldable_jobs, generate_rigid_jobs
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_rigid_jobs():
+    """A tiny deterministic rigid instance used by many policy tests."""
+
+    return [
+        RigidJob(name="a", nbproc=2, duration=4.0, weight=2.0),
+        RigidJob(name="b", nbproc=1, duration=10.0, weight=1.0),
+        RigidJob(name="c", nbproc=3, duration=2.0, weight=5.0),
+        RigidJob(name="d", nbproc=1, duration=1.0, weight=1.0),
+        RigidJob(name="e", nbproc=2, duration=6.0, weight=3.0),
+    ]
+
+
+@pytest.fixture
+def small_moldable_jobs():
+    """A tiny deterministic moldable instance (monotonic profiles)."""
+
+    return [
+        MoldableJob(name="m1", runtimes=make_runtime_table(12.0, 4, AmdahlSpeedup(0.1))),
+        MoldableJob(name="m2", runtimes=make_runtime_table(6.0, 4, PowerLawSpeedup(0.9))),
+        MoldableJob(name="m3", runtimes=[5.0]),
+        MoldableJob(name="m4", runtimes=make_runtime_table(20.0, 4, AmdahlSpeedup(0.3)), weight=4.0),
+        MoldableJob(name="m5", runtimes=make_runtime_table(3.0, 2, PowerLawSpeedup(0.8)), weight=2.0),
+    ]
+
+
+@pytest.fixture
+def random_moldable_jobs():
+    return generate_moldable_jobs(25, 16, random_state=7)
+
+
+@pytest.fixture
+def random_rigid_jobs():
+    return generate_rigid_jobs(25, 16, random_state=7)
+
+
+@pytest.fixture
+def cluster16():
+    return homogeneous_cluster("test-cluster", 16)

@@ -1,0 +1,102 @@
+"""Unit tests of the single-round bus distribution closed form."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import divisible_makespan_lower_bound
+from repro.core.dlt.bus import BusDistribution, bus_equal_split, bus_single_round
+from repro.core.dlt.platform import DLTPlatform, DLTWorker
+
+
+class TestBusSingleRound:
+    def test_no_communication_perfect_sharing(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=1.0, comm_time=0.0)
+        result = bus_single_round(100.0, platform)
+        assert result.makespan == pytest.approx(25.0)
+        assert result.fractions == pytest.approx((0.25,) * 4)
+
+    def test_heterogeneous_workers_share_proportionally_without_comm(self):
+        workers = [DLTWorker("fast", 0.5, 0.0), DLTWorker("slow", 2.0, 0.0)]
+        result = bus_single_round(100.0, DLTPlatform(workers))
+        # rates 2 and 0.5 -> shares 80 / 20, makespan 40
+        assert result.loads[0] == pytest.approx(80.0)
+        assert result.loads[1] == pytest.approx(20.0)
+        assert result.makespan == pytest.approx(40.0)
+
+    def test_all_workers_finish_simultaneously(self):
+        platform = DLTPlatform.homogeneous(5, compute_time=1.3, comm_time=0.07)
+        result = bus_single_round(50.0, platform)
+        finish = result.worker_finish_times
+        assert max(finish) - min(finish) < 1e-9
+
+    def test_fractions_sum_to_one(self):
+        platform = DLTPlatform.homogeneous(7, compute_time=0.9, comm_time=0.02)
+        result = bus_single_round(10.0, platform)
+        assert sum(result.fractions) == pytest.approx(1.0)
+        assert sum(result.loads) == pytest.approx(10.0)
+
+    def test_first_served_worker_gets_the_largest_share(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=1.0, comm_time=0.2)
+        result = bus_single_round(100.0, platform)
+        fractions = list(result.fractions)
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_makespan_above_ideal_lower_bound(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=1.0, comm_time=0.1)
+        result = bus_single_round(100.0, platform)
+        ideal = divisible_makespan_lower_bound(100.0, [w.compute_rate for w in platform])
+        assert result.makespan >= ideal - 1e-9
+
+    def test_optimal_beats_equal_split_on_heterogeneous_platform(self):
+        workers = [DLTWorker("w1", 0.5, 0.05), DLTWorker("w2", 1.0, 0.05),
+                   DLTWorker("w3", 3.0, 0.05)]
+        platform = DLTPlatform(workers)
+        optimal = bus_single_round(60.0, platform)
+        naive = bus_equal_split(60.0, platform)
+        assert optimal.makespan <= naive.makespan + 1e-9
+
+    def test_heterogeneous_links_rejected_without_override(self):
+        workers = [DLTWorker("a", 1.0, 0.1), DLTWorker("b", 1.0, 0.3)]
+        with pytest.raises(ValueError):
+            bus_single_round(10.0, DLTPlatform(workers))
+        # Explicit bus time overrides the check.
+        result = bus_single_round(10.0, DLTPlatform(workers), bus_time_per_unit=0.2)
+        assert result.makespan > 0
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            bus_single_round(0.0, DLTPlatform.homogeneous(2))
+
+    def test_single_worker(self):
+        platform = DLTPlatform.homogeneous(1, compute_time=2.0, comm_time=0.1)
+        result = bus_single_round(10.0, platform)
+        assert result.makespan == pytest.approx(10 * 0.1 + 10 * 2.0)
+        assert result.fractions == (1.0,)
+
+    def test_participating_count(self):
+        platform = DLTPlatform.homogeneous(3, compute_time=1.0, comm_time=0.0)
+        assert bus_single_round(9.0, platform).participating == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_workers=st.integers(min_value=1, max_value=12),
+    load=st.floats(min_value=0.1, max_value=10_000.0),
+    compute=st.floats(min_value=0.01, max_value=10.0),
+    comm=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_bus_closed_form_properties(n_workers, load, compute, comm):
+    """Properties of the closed form: conservation, simultaneous completion,
+    makespan between the ideal bound and the single-worker time."""
+
+    platform = DLTPlatform.homogeneous(n_workers, compute_time=compute, comm_time=comm)
+    result = bus_single_round(load, platform)
+    assert sum(result.loads) == pytest.approx(load, rel=1e-9)
+    assert all(f >= -1e-12 for f in result.fractions)
+    finish = result.worker_finish_times
+    assert max(finish) - min(finish) < 1e-6 * max(1.0, max(finish))
+    ideal = load * compute / n_workers
+    single = load * (compute + comm)
+    assert result.makespan >= ideal - 1e-9
+    assert result.makespan <= single + 1e-6 * single

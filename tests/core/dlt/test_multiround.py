@@ -1,0 +1,78 @@
+"""Unit tests of the multi-round divisible-load distribution."""
+
+import pytest
+
+from repro.core.dlt.bus import bus_single_round
+from repro.core.dlt.multiround import (
+    MultiRoundResult,
+    multi_round_distribution,
+    optimize_round_count,
+)
+from repro.core.dlt.platform import DLTPlatform, DLTWorker
+
+
+class TestMultiRound:
+    def test_load_conservation(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=1.0, comm_time=0.1)
+        result = multi_round_distribution(100.0, platform, rounds=5)
+        assert sum(result.round_loads) == pytest.approx(100.0)
+        assert sum(result.per_worker_load.values()) == pytest.approx(100.0)
+
+    def test_round_sizes_grow_geometrically(self):
+        platform = DLTPlatform.homogeneous(2, compute_time=1.0, comm_time=0.1)
+        result = multi_round_distribution(70.0, platform, rounds=3, growth=2.0)
+        loads = result.round_loads
+        assert loads[1] == pytest.approx(2 * loads[0])
+        assert loads[2] == pytest.approx(4 * loads[0])
+
+    def test_single_round_with_unit_growth_is_proportional_split(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=1.0, comm_time=0.0)
+        result = multi_round_distribution(100.0, platform, rounds=1)
+        assert result.makespan == pytest.approx(25.0)
+
+    def test_multi_round_beats_single_round_when_comm_is_significant(self):
+        # Large communication cost, no latency: splitting into rounds overlaps
+        # communication and computation and reduces the makespan.
+        platform = DLTPlatform.homogeneous(4, compute_time=1.0, comm_time=0.5)
+        single = multi_round_distribution(100.0, platform, rounds=1)
+        multi = multi_round_distribution(100.0, platform, rounds=8)
+        assert multi.makespan < single.makespan
+
+    def test_latency_penalises_too_many_rounds(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=1.0, comm_time=0.01, latency=5.0)
+        few = multi_round_distribution(100.0, platform, rounds=2)
+        many = multi_round_distribution(100.0, platform, rounds=32)
+        assert few.makespan < many.makespan
+
+    def test_makespan_never_below_ideal(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=2.0, comm_time=0.1)
+        result = multi_round_distribution(100.0, platform, rounds=4)
+        ideal = 100.0 * 2.0 / 4
+        assert result.makespan >= ideal - 1e-9
+
+    def test_invalid_parameters(self):
+        platform = DLTPlatform.homogeneous(2)
+        with pytest.raises(ValueError):
+            multi_round_distribution(0.0, platform)
+        with pytest.raises(ValueError):
+            multi_round_distribution(10.0, platform, rounds=0)
+        with pytest.raises(ValueError):
+            multi_round_distribution(10.0, platform, rounds=2, growth=0.0)
+
+
+class TestOptimizeRoundCount:
+    def test_returns_best_over_the_sweep(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=1.0, comm_time=0.3, latency=0.5)
+        best = optimize_round_count(200.0, platform, max_rounds=12)
+        for rounds in range(1, 13):
+            candidate = multi_round_distribution(200.0, platform, rounds=rounds)
+            assert best.makespan <= candidate.makespan + 1e-9
+
+    def test_no_comm_cost_prefers_single_round(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=1.0, comm_time=0.0)
+        best = optimize_round_count(100.0, platform, max_rounds=8)
+        assert best.makespan == pytest.approx(25.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            optimize_round_count(10.0, DLTPlatform.homogeneous(2), max_rounds=0)

@@ -1,0 +1,66 @@
+"""Unit tests of the DLT platform description."""
+
+import pytest
+
+from repro.core.dlt.platform import DLTPlatform, DLTWorker
+from repro.platform.ciment import ciment_grid
+from repro.platform.generators import heterogeneous_cluster, homogeneous_cluster
+
+
+class TestDLTWorker:
+    def test_compute_rate(self):
+        worker = DLTWorker("w", compute_time=0.5)
+        assert worker.compute_rate == 2.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DLTWorker("w", compute_time=0.0)
+        with pytest.raises(ValueError):
+            DLTWorker("w", compute_time=1.0, comm_time=-1.0)
+        with pytest.raises(ValueError):
+            DLTWorker("w", compute_time=1.0, latency=-1.0)
+
+
+class TestDLTPlatform:
+    def test_homogeneous_constructor(self):
+        platform = DLTPlatform.homogeneous(4, compute_time=2.0, comm_time=0.1)
+        assert len(platform) == 4
+        assert platform.is_bus()
+        assert platform.total_compute_rate == pytest.approx(2.0)
+
+    def test_duplicate_names_rejected(self):
+        workers = [DLTWorker("w", 1.0), DLTWorker("w", 2.0)]
+        with pytest.raises(ValueError):
+            DLTPlatform(workers)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DLTPlatform([])
+
+    def test_is_bus_detects_heterogeneous_links(self):
+        workers = [DLTWorker("a", 1.0, comm_time=0.1), DLTWorker("b", 1.0, comm_time=0.2)]
+        assert not DLTPlatform(workers).is_bus()
+
+    def test_from_cluster(self):
+        cluster = homogeneous_cluster("c", 8, speed=2.0, bandwidth=100.0)
+        platform = DLTPlatform.from_cluster(cluster, data_per_unit=1.0)
+        assert len(platform) == 8
+        assert platform[0].compute_time == pytest.approx(0.5)
+        assert platform[0].comm_time == pytest.approx(0.01)
+
+    def test_from_heterogeneous_cluster_orders_match_speeds(self):
+        cluster = heterogeneous_cluster("h", 4, speed_range=(0.5, 2.0), random_state=1)
+        platform = DLTPlatform.from_cluster(cluster)
+        speeds = cluster.processor_speeds()
+        for worker, speed in zip(platform, speeds):
+            assert worker.compute_time == pytest.approx(1.0 / speed)
+
+    def test_from_grid_one_worker_per_cluster(self):
+        grid = ciment_grid()
+        platform = DLTPlatform.from_grid(grid)
+        assert len(platform) == len(grid)
+        names = [w.name for w in platform]
+        assert set(names) == set(grid.cluster_names)
+        # The Itanium cluster is the largest and fastest: highest compute rate.
+        itanium = next(w for w in platform if w.name == "icluster-itanium")
+        assert itanium.compute_rate == max(w.compute_rate for w in platform)

@@ -1,0 +1,154 @@
+"""Unit tests of the conservative and EASY backfilling policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import makespan
+from repro.core.job import RigidJob
+from repro.core.policies.backfilling import (
+    AvailabilityProfile,
+    ConservativeBackfilling,
+    EasyBackfilling,
+)
+from repro.core.policies.base import SchedulerError
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.models import generate_rigid_jobs
+
+
+class TestAvailabilityProfile:
+    def test_initial_state(self):
+        profile = AvailabilityProfile(8)
+        assert profile.free_at(0.0) == 8
+        assert profile.free_at(1_000.0) == 8
+
+    def test_booking_reduces_free_count(self):
+        profile = AvailabilityProfile(8)
+        profile.book(2.0, 5.0, 3)
+        assert profile.free_at(0.0) == 8
+        assert profile.free_at(2.0) == 5
+        assert profile.free_at(6.9) == 5
+        assert profile.free_at(7.0) == 8
+
+    def test_earliest_fit_finds_hole(self):
+        profile = AvailabilityProfile(4)
+        profile.book(0.0, 10.0, 4)       # everything busy until t=10
+        assert profile.earliest_fit(0.0, 2, 3.0) == pytest.approx(10.0)
+
+    def test_earliest_fit_uses_partial_hole(self):
+        profile = AvailabilityProfile(4)
+        profile.book(0.0, 10.0, 2)       # 2 processors stay free
+        assert profile.earliest_fit(0.0, 2, 3.0) == 0.0
+        assert profile.earliest_fit(0.0, 3, 3.0) == pytest.approx(10.0)
+
+    def test_earliest_fit_respects_ready_time(self):
+        profile = AvailabilityProfile(4)
+        assert profile.earliest_fit(7.5, 1, 1.0) == 7.5
+
+    def test_overbooking_rejected(self):
+        profile = AvailabilityProfile(2)
+        profile.book(0.0, 5.0, 2)
+        with pytest.raises(SchedulerError):
+            profile.book(1.0, 1.0, 1)
+
+    def test_request_larger_than_platform_rejected(self):
+        profile = AvailabilityProfile(2)
+        with pytest.raises(SchedulerError):
+            profile.earliest_fit(0.0, 3, 1.0)
+
+
+class TestConservativeBackfilling:
+    def test_empty(self):
+        assert len(ConservativeBackfilling().schedule([], 4)) == 0
+
+    def test_respects_release_dates(self):
+        jobs = [RigidJob(name="a", nbproc=1, duration=2.0, release_date=5.0)]
+        schedule = ConservativeBackfilling().schedule(jobs, 4)
+        schedule.validate()
+        assert schedule["a"].start >= 5.0
+
+    def test_backfills_into_holes(self):
+        # A wide job blocks the machine from t=0 to 10; a later-submitted
+        # small job fits before it only if the hole is used.
+        jobs = [
+            RigidJob(name="wide", nbproc=4, duration=10.0, release_date=0.0),
+            RigidJob(name="blocker", nbproc=3, duration=4.0, release_date=0.0),
+            RigidJob(name="small", nbproc=1, duration=3.0, release_date=0.0),
+        ]
+        schedule = ConservativeBackfilling().schedule(jobs, 4)
+        schedule.validate()
+        # "small" (submitted last) runs alongside "blocker" in the hole before "wide".
+        assert schedule["small"].start < schedule["wide"].start
+
+    def test_never_delays_earlier_jobs(self):
+        """Conservative property: adding later jobs never delays earlier ones."""
+
+        jobs = generate_rigid_jobs(25, 8, random_state=3)
+        jobs = poisson_arrivals(jobs, rate=0.5, random_state=3)
+        first_half = sorted(jobs, key=lambda j: (j.release_date, j.name))[:12]
+        schedule_half = ConservativeBackfilling().schedule(first_half, 8)
+        schedule_full = ConservativeBackfilling().schedule(jobs, 8)
+        for job in first_half:
+            assert schedule_full[job.name].start <= schedule_half[job.name].start + 1e-9
+
+    def test_all_jobs_scheduled(self, random_rigid_jobs):
+        jobs = poisson_arrivals(random_rigid_jobs, rate=1.0, random_state=5)
+        schedule = ConservativeBackfilling().schedule(jobs, 16)
+        schedule.validate()
+        assert len(schedule) == len(jobs)
+
+
+class TestEasyBackfilling:
+    def test_empty(self):
+        assert len(EasyBackfilling().schedule([], 4)) == 0
+
+    def test_respects_release_dates(self):
+        jobs = [RigidJob(name="a", nbproc=2, duration=2.0, release_date=3.0),
+                RigidJob(name="b", nbproc=1, duration=1.0, release_date=0.0)]
+        schedule = EasyBackfilling().schedule(jobs, 4)
+        schedule.validate()
+        assert schedule["a"].start >= 3.0
+
+    def test_backfilling_improves_utilization(self):
+        # Head of queue needs the whole machine; a short job should be
+        # backfilled in front of it instead of waiting.
+        jobs = [
+            RigidJob(name="running", nbproc=3, duration=10.0, release_date=0.0),
+            RigidJob(name="head", nbproc=4, duration=5.0, release_date=1.0),
+            RigidJob(name="filler", nbproc=1, duration=2.0, release_date=1.0),
+        ]
+        schedule = EasyBackfilling().schedule(jobs, 4)
+        schedule.validate()
+        assert schedule["filler"].start == pytest.approx(1.0)
+        # The head job starts as soon as the big job finishes: backfilling did
+        # not delay it.
+        assert schedule["head"].start == pytest.approx(10.0)
+
+    def test_all_jobs_scheduled(self, random_rigid_jobs):
+        jobs = poisson_arrivals(random_rigid_jobs, rate=2.0, random_state=7)
+        schedule = EasyBackfilling().schedule(jobs, 16)
+        schedule.validate()
+        assert len(schedule) == len(jobs)
+
+    def test_offline_instance(self, random_rigid_jobs):
+        schedule = EasyBackfilling().schedule(random_rigid_jobs, 16)
+        schedule.validate()
+        assert len(schedule) == len(random_rigid_jobs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_jobs=st.integers(min_value=1, max_value=20),
+    machines=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=5_000),
+    rate=st.floats(min_value=0.05, max_value=5.0),
+)
+def test_backfilling_policies_always_produce_valid_schedules(n_jobs, machines, seed, rate):
+    """Property: both backfilling variants schedule every job, validly."""
+
+    jobs = generate_rigid_jobs(n_jobs, machines, random_state=seed)
+    jobs = poisson_arrivals(jobs, rate=rate, random_state=seed)
+    for policy in (ConservativeBackfilling(), EasyBackfilling()):
+        schedule = policy.schedule(jobs, machines)
+        schedule.validate()
+        assert len(schedule) == n_jobs

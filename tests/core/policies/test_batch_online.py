@@ -1,0 +1,76 @@
+"""Unit tests of the on-line batch transform (section 4.2)."""
+
+import pytest
+
+from repro.core.bounds import makespan_lower_bound
+from repro.core.criteria import makespan
+from repro.core.job import MoldableJob, RigidJob
+from repro.core.policies.batch_online import BatchOnlineScheduler
+from repro.core.policies.list_scheduling import ListScheduler
+from repro.core.policies.mrt import GreedyMoldableScheduler, MRTScheduler
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.models import generate_moldable_jobs
+
+
+class TestBatchOnlineScheduler:
+    def test_empty(self):
+        assert len(BatchOnlineScheduler().schedule([], 4)) == 0
+
+    def test_offline_instance_is_a_single_batch(self):
+        jobs = generate_moldable_jobs(10, 8, random_state=1)
+        scheduler = BatchOnlineScheduler(GreedyMoldableScheduler())
+        assert scheduler.batch_count(jobs, 8) == 1
+
+    def test_release_dates_respected(self):
+        jobs = [
+            MoldableJob(name="a", runtimes=[4.0], release_date=0.0),
+            MoldableJob(name="b", runtimes=[4.0], release_date=100.0),
+        ]
+        schedule = BatchOnlineScheduler(GreedyMoldableScheduler()).schedule(jobs, 4)
+        schedule.validate()
+        assert schedule["b"].start >= 100.0
+
+    def test_late_arrivals_form_later_batches(self):
+        jobs = [
+            MoldableJob(name="first", runtimes=[10.0], release_date=0.0),
+            # Arrives while the first batch is running: must wait for batch 2.
+            MoldableJob(name="second", runtimes=[1.0], release_date=1.0),
+        ]
+        scheduler = BatchOnlineScheduler(GreedyMoldableScheduler())
+        schedule = scheduler.schedule(jobs, 4)
+        schedule.validate()
+        assert scheduler.batch_count(jobs, 4) == 2
+        assert schedule["second"].start >= schedule["first"].completion - 1e-9
+
+    def test_idle_gap_between_arrivals(self):
+        jobs = [
+            MoldableJob(name="a", runtimes=[1.0], release_date=0.0),
+            MoldableJob(name="b", runtimes=[1.0], release_date=50.0),
+        ]
+        schedule = BatchOnlineScheduler(GreedyMoldableScheduler()).schedule(jobs, 2)
+        schedule.validate()
+        assert schedule["b"].start == pytest.approx(50.0)
+
+    def test_three_plus_eps_ratio_with_mrt_inside(self):
+        """Empirical check of the 3 + eps result of section 4.2."""
+
+        epsilon = 0.05
+        scheduler = BatchOnlineScheduler(MRTScheduler(epsilon=epsilon))
+        for seed in range(3):
+            jobs = generate_moldable_jobs(20, 8, random_state=seed)
+            jobs = poisson_arrivals(jobs, rate=0.3, random_state=seed)
+            schedule = scheduler.schedule(jobs, 8)
+            schedule.validate()
+            bound = makespan_lower_bound(jobs, 8)
+            assert makespan(schedule) <= (3.0 + 2 * epsilon) * bound * (1 + 1e-9)
+
+    def test_works_with_rigid_policy_inside(self):
+        jobs = [RigidJob(name=f"r{i}", nbproc=1 + i % 3, duration=2.0, release_date=float(i))
+                for i in range(9)]
+        scheduler = BatchOnlineScheduler(ListScheduler("lpt"))
+        schedule = scheduler.schedule(jobs, 4)
+        schedule.validate()
+        assert len(schedule) == 9
+
+    def test_name_mentions_inner_policy(self):
+        assert "mrt" in BatchOnlineScheduler(MRTScheduler()).name

@@ -1,0 +1,127 @@
+"""Unit tests of the MRT dual-approximation moldable scheduler (section 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import makespan_lower_bound
+from repro.core.criteria import makespan
+from repro.core.job import MoldableJob, RigidJob
+from repro.core.policies.mrt import GreedyMoldableScheduler, MRTScheduler, _as_moldable
+from repro.core.policies.base import SchedulerError
+from repro.core.speedup import AmdahlSpeedup, LinearSpeedup, make_runtime_table
+from repro.workload.models import generate_mixed_jobs, generate_moldable_jobs
+
+
+class TestAsMoldable:
+    def test_moldable_passthrough(self):
+        job = MoldableJob(name="m", runtimes=[3.0, 2.0])
+        assert _as_moldable(job, 4) is job
+
+    def test_rigid_becomes_single_allocation_profile(self):
+        job = RigidJob(name="r", nbproc=3, duration=5.0)
+        moldable = _as_moldable(job, 8)
+        assert moldable.min_procs == 3
+        assert moldable.runtime(3) == 5.0
+        assert moldable.canonical_allocation(5.0) == 3
+        assert moldable.canonical_allocation(4.0) is None
+
+    def test_rigid_too_large_rejected(self):
+        job = RigidJob(name="r", nbproc=16, duration=5.0)
+        with pytest.raises(SchedulerError):
+            _as_moldable(job, 8)
+
+
+class TestGreedyMoldableScheduler:
+    def test_valid_and_complete(self, random_moldable_jobs):
+        schedule = GreedyMoldableScheduler().schedule(random_moldable_jobs, 16)
+        schedule.validate()
+        assert len(schedule) == len(random_moldable_jobs)
+
+    def test_empty(self):
+        assert len(GreedyMoldableScheduler().schedule([], 8)) == 0
+
+
+class TestMRTScheduler:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            MRTScheduler(epsilon=0.0)
+
+    def test_valid_and_complete(self, random_moldable_jobs):
+        schedule = MRTScheduler().schedule(random_moldable_jobs, 16)
+        schedule.validate()
+        assert len(schedule) == len(random_moldable_jobs)
+
+    def test_empty(self):
+        assert len(MRTScheduler().schedule([], 8)) == 0
+
+    def test_single_job_gets_a_good_allocation(self):
+        # One perfectly parallel job on 8 processors: the optimum uses all of
+        # them; MRT must be within 3/2 of that.
+        job = MoldableJob(name="m", runtimes=make_runtime_table(80.0, 8, LinearSpeedup()))
+        schedule = MRTScheduler(epsilon=0.01).schedule([job], 8)
+        assert schedule.makespan() <= 1.5 * 10.0 * 1.01 + 1e-6
+
+    def test_ratio_within_three_halves_on_random_instances(self):
+        """Empirical check of the 3/2 + eps performance ratio."""
+
+        epsilon = 0.05
+        scheduler = MRTScheduler(epsilon=epsilon)
+        for seed in range(5):
+            jobs = generate_moldable_jobs(30, 16, random_state=seed)
+            schedule = scheduler.schedule(jobs, 16)
+            schedule.validate()
+            bound = makespan_lower_bound(jobs, 16)
+            assert makespan(schedule) <= (1.5 + epsilon) * bound * (1 + 1e-9)
+
+    def test_never_worse_than_greedy_baseline(self):
+        for seed in (1, 2, 3):
+            jobs = generate_moldable_jobs(25, 16, random_state=seed)
+            mrt = MRTScheduler().schedule(jobs, 16)
+            greedy = GreedyMoldableScheduler().schedule(jobs, 16)
+            # MRT falls back to the greedy schedule when its guesses fail, so
+            # it can never be worse.
+            assert makespan(mrt) <= makespan(greedy) + 1e-9
+
+    def test_start_time_offset(self, random_moldable_jobs):
+        schedule = MRTScheduler().schedule(random_moldable_jobs, 16, start_time=100.0)
+        assert min(e.start for e in schedule) >= 100.0 - 1e-9
+
+    def test_handles_rigid_jobs_in_the_mix(self):
+        jobs = generate_mixed_jobs(20, 8, rigid_fraction=0.4, random_state=9)
+        schedule = MRTScheduler().schedule(jobs, 8)
+        schedule.validate()
+        assert len(schedule) == 20
+
+    def test_sequential_only_jobs(self):
+        jobs = [MoldableJob(name=f"s{i}", runtimes=[float(i + 1)]) for i in range(10)]
+        schedule = MRTScheduler().schedule(jobs, 4)
+        schedule.validate()
+        bound = makespan_lower_bound(jobs, 4)
+        assert makespan(schedule) <= 2.0 * bound + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_jobs=st.integers(min_value=1, max_value=15),
+    machines=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_mrt_is_valid_and_within_two_of_the_bound_property(n_jobs, machines, seed):
+    """Property: MRT schedules are always valid and within 2x the lower bound.
+
+    The deterministic tests above check the 3/2 + eps ratio on the benchmark
+    instances; this property uses the looser factor 2 that the pragmatic
+    acceptance test (LPT packing of the knapsack allocations, see the module
+    docstring of ``repro.core.policies.mrt``) guarantees on *every* instance
+    -- the exact 3/2 construction of the original article can leave a small
+    gap on adversarial profiles.
+    """
+
+    epsilon = 0.1
+    jobs = generate_moldable_jobs(n_jobs, machines, random_state=seed)
+    schedule = MRTScheduler(epsilon=epsilon).schedule(jobs, machines)
+    schedule.validate()
+    assert len(schedule) == n_jobs
+    bound = makespan_lower_bound(jobs, machines)
+    assert schedule.makespan() <= 2.0 * bound * (1 + 1e-9)

@@ -1,0 +1,74 @@
+"""Unit tests of reservation-aware scheduling (section 5.1)."""
+
+import pytest
+
+from repro.core.allocation import Reservation
+from repro.core.job import MoldableJob, RigidJob
+from repro.core.policies.base import SchedulerError
+from repro.core.policies.reservations import ReservationAwareScheduler
+from repro.workload.models import generate_rigid_jobs
+
+
+class TestReservationAwareScheduler:
+    def test_no_reservations_behaves_like_backfilling(self, random_rigid_jobs):
+        schedule = ReservationAwareScheduler().schedule(random_rigid_jobs, 16)
+        schedule.validate()
+        assert len(schedule) == len(random_rigid_jobs)
+
+    def test_jobs_avoid_reserved_window(self):
+        # The whole platform is reserved in [5, 10): a job of duration 3
+        # released at 4 must either finish before 5 or start after 10.
+        reservation = Reservation(processors=tuple(range(4)), start=5.0, end=10.0,
+                                  label="demo")
+        scheduler = ReservationAwareScheduler([reservation])
+        job = RigidJob(name="a", nbproc=2, duration=3.0, release_date=4.0)
+        schedule = scheduler.schedule([job], 4)
+        schedule.validate()
+        start = schedule["a"].start
+        assert start >= 10.0 or start + 3.0 <= 5.0 + 1e-9
+
+    def test_job_fits_before_reservation(self):
+        reservation = Reservation(processors=tuple(range(4)), start=5.0, end=10.0)
+        scheduler = ReservationAwareScheduler([reservation])
+        job = RigidJob(name="quick", nbproc=1, duration=2.0, release_date=0.0)
+        schedule = scheduler.schedule([job], 4)
+        assert schedule["quick"].start == pytest.approx(0.0)
+
+    def test_partial_reservation_leaves_other_processors_usable(self):
+        # Only 2 of 4 processors are reserved: a 2-processor job can still run
+        # during the window on the free processors.
+        reservation = Reservation(processors=(0, 1), start=0.0, end=100.0)
+        scheduler = ReservationAwareScheduler([reservation])
+        job = RigidJob(name="a", nbproc=2, duration=5.0)
+        schedule = scheduler.schedule([job], 4)
+        schedule.validate()
+        assert schedule["a"].start == pytest.approx(0.0)
+        assert set(schedule["a"].processors).isdisjoint({0, 1})
+
+    def test_reservation_outside_platform_rejected(self):
+        reservation = Reservation(processors=(7,), start=0.0, end=1.0)
+        with pytest.raises(SchedulerError):
+            ReservationAwareScheduler([reservation]).schedule(
+                [RigidJob(name="a", nbproc=1, duration=1.0)], 4
+            )
+
+    def test_multiple_reservations_and_jobs(self):
+        reservations = [
+            Reservation(processors=(0, 1), start=2.0, end=6.0, label="demo-1"),
+            Reservation(processors=(2, 3), start=8.0, end=12.0, label="demo-2"),
+        ]
+        jobs = generate_rigid_jobs(12, 4, random_state=31)
+        scheduler = ReservationAwareScheduler(reservations)
+        schedule = scheduler.schedule(jobs, 4)
+        schedule.validate()   # Schedule.validate also checks reservation overlaps
+        assert len(schedule) == 12
+
+    def test_moldable_jobs_supported(self):
+        reservation = Reservation(processors=(0,), start=0.0, end=50.0)
+        jobs = [MoldableJob(name="m", runtimes=[10.0, 6.0, 5.0])]
+        schedule = ReservationAwareScheduler([reservation]).schedule(jobs, 4)
+        schedule.validate()
+        assert len(schedule) == 1
+
+    def test_empty(self):
+        assert len(ReservationAwareScheduler().schedule([], 4)) == 0

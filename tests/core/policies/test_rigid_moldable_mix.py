@@ -1,0 +1,72 @@
+"""Unit tests of the three rigid/moldable mixing strategies (section 5.1)."""
+
+import pytest
+
+from repro.core.bounds import makespan_lower_bound
+from repro.core.criteria import makespan, weighted_completion_time
+from repro.core.job import MoldableJob, RigidJob
+from repro.core.policies.rigid_moldable_mix import STRATEGIES, MixedScheduler
+from repro.workload.models import generate_mixed_jobs
+
+
+@pytest.fixture
+def mixed_jobs():
+    return generate_mixed_jobs(24, 16, rigid_fraction=0.4, random_state=21)
+
+
+class TestMixedScheduler:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            MixedScheduler("interleave")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_all_strategies_schedule_everything(self, strategy, mixed_jobs):
+        scheduler = MixedScheduler(strategy)
+        schedule = scheduler.schedule(mixed_jobs, 16)
+        schedule.validate()
+        assert len(schedule) == len(mixed_jobs)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_empty_instance(self, strategy):
+        assert len(MixedScheduler(strategy).schedule([], 8)) == 0
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_pure_rigid_instance(self, strategy):
+        jobs = [RigidJob(name=f"r{i}", nbproc=1 + i % 4, duration=float(i + 1))
+                for i in range(8)]
+        schedule = MixedScheduler(strategy).schedule(jobs, 8)
+        schedule.validate()
+        assert len(schedule) == 8
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_pure_moldable_instance(self, strategy):
+        jobs = [MoldableJob(name=f"m{i}", runtimes=[8.0, 5.0, 4.0]) for i in range(6)]
+        schedule = MixedScheduler(strategy).schedule(jobs, 8)
+        schedule.validate()
+        assert len(schedule) == 6
+
+    def test_makespans_stay_within_reasonable_factor(self, mixed_jobs):
+        """All three strategies stay within a small constant of the lower bound
+        ("these ideas probably lead to an increased performance ratio")."""
+
+        bound = makespan_lower_bound(mixed_jobs, 16)
+        for strategy in STRATEGIES:
+            schedule = MixedScheduler(strategy).schedule(mixed_jobs, 16)
+            assert makespan(schedule) <= 4.0 * bound + 1e-9
+
+    def test_first_fit_batch_helps_small_weighted_jobs(self):
+        """The first-fit-batch strategy lets a small rigid job run early while
+        the 'separate' strategy makes it wait for all the moldable work."""
+
+        jobs = [
+            MoldableJob(name="big-moldable", runtimes=[100.0, 60.0, 40.0, 30.0], weight=1.0),
+            RigidJob(name="tiny-rigid", nbproc=1, duration=1.0, weight=10.0),
+        ]
+        separate = MixedScheduler("separate").schedule(jobs, 4)
+        first_fit = MixedScheduler("first_fit_batch").schedule(jobs, 4)
+        assert first_fit["tiny-rigid"].completion < separate["tiny-rigid"].completion
+
+    def test_policy_names(self):
+        assert MixedScheduler("separate").name == "mixed-separate"
+        assert MixedScheduler("a_priori").name == "mixed-a_priori"
+        assert MixedScheduler("first_fit_batch").name == "mixed-first_fit_batch"

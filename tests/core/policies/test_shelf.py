@@ -1,0 +1,142 @@
+"""Unit tests of the shelf algorithms (NFDH/FFDH and SMART)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    makespan_lower_bound,
+    sum_completion_lower_bound,
+    weighted_completion_lower_bound,
+)
+from repro.core.criteria import makespan, sum_completion_times, weighted_completion_time
+from repro.core.job import RigidJob
+from repro.core.policies.shelf import ShelfScheduler, SmartShelfScheduler, _Shelf
+from repro.workload.models import WorkloadConfig, generate_rigid_jobs
+
+
+class TestShelfInternal:
+    def test_shelf_capacity(self):
+        shelf = _Shelf(height=2.0)
+        job = RigidJob(name="a", nbproc=3, duration=2.0, weight=2.0)
+        assert shelf.fits(3, 4)
+        shelf.add(job, 3)
+        assert not shelf.fits(2, 4)
+        assert shelf.weight == 2.0
+
+
+class TestShelfScheduler:
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            ShelfScheduler("worst-fit")
+
+    def test_all_jobs_start_at_shelf_boundaries(self, small_rigid_jobs):
+        schedule = ShelfScheduler("ffdh").schedule(small_rigid_jobs, 4)
+        schedule.validate()
+        starts = sorted({e.start for e in schedule})
+        # Jobs of the same shelf share the same start time: fewer distinct
+        # start times than jobs.
+        assert len(starts) <= len(small_rigid_jobs)
+
+    def test_ffdh_no_worse_than_nfdh(self):
+        jobs = generate_rigid_jobs(60, 16, random_state=23)
+        ffdh = ShelfScheduler("ffdh").schedule(jobs, 16)
+        nfdh = ShelfScheduler("nfdh").schedule(jobs, 16)
+        ffdh.validate()
+        nfdh.validate()
+        assert makespan(ffdh) <= makespan(nfdh) + 1e-9
+
+    def test_empty(self):
+        assert len(ShelfScheduler().schedule([], 4)) == 0
+
+    def test_single_wide_job(self):
+        job = RigidJob(name="wide", nbproc=4, duration=3.0)
+        schedule = ShelfScheduler().schedule([job], 4)
+        schedule.validate()
+        assert schedule.makespan() == 3.0
+
+    def test_ffdh_strip_packing_bound(self):
+        """FFDH makespan <= 1.7 * OPT + h_max (checked against the area bound)."""
+
+        for seed in range(5):
+            jobs = generate_rigid_jobs(50, 16, random_state=seed)
+            schedule = ShelfScheduler("ffdh").schedule(jobs, 16)
+            lower = makespan_lower_bound(jobs, 16)
+            h_max = max(j.duration for j in jobs)
+            assert makespan(schedule) <= 1.7 * lower + h_max + 1e-9
+
+
+class TestSmartShelfScheduler:
+    def test_valid_schedule(self, small_rigid_jobs):
+        schedule = SmartShelfScheduler().schedule(small_rigid_jobs, 4)
+        schedule.validate()
+        assert len(schedule) == len(small_rigid_jobs)
+
+    def test_empty(self):
+        assert len(SmartShelfScheduler().schedule([], 4)) == 0
+
+    def test_unweighted_ratio_stays_below_8(self):
+        """Empirical check of the SMART ratio (8) of section 4.3."""
+
+        for seed in range(4):
+            jobs = generate_rigid_jobs(
+                60, 16, config=WorkloadConfig(weight_scheme="unit"), random_state=seed
+            )
+            schedule = SmartShelfScheduler().schedule(jobs, 16)
+            schedule.validate()
+            value = sum_completion_times(schedule)
+            bound = sum_completion_lower_bound(jobs, 16)
+            assert value <= 8.0 * bound + 1e-9
+
+    def test_weighted_ratio_stays_below_8_53(self):
+        """Empirical check of the weighted SMART ratio (8.53) of section 4.3."""
+
+        for seed in range(4):
+            jobs = generate_rigid_jobs(
+                60, 16, config=WorkloadConfig(weight_scheme="random"), random_state=seed
+            )
+            schedule = SmartShelfScheduler().schedule(jobs, 16)
+            schedule.validate()
+            value = weighted_completion_time(schedule)
+            bound = weighted_completion_lower_bound(jobs, 16)
+            assert value <= 8.53 * bound + 1e-9
+
+    def test_small_weighted_jobs_scheduled_early(self):
+        """A tiny heavy job must not wait behind a huge light one."""
+
+        jobs = [
+            RigidJob(name="huge", nbproc=4, duration=64.0, weight=1.0),
+            RigidJob(name="tiny", nbproc=1, duration=1.0, weight=100.0),
+        ]
+        schedule = SmartShelfScheduler().schedule(jobs, 4)
+        schedule.validate()
+        assert schedule["tiny"].start < schedule["huge"].start
+
+    def test_shelf_heights_are_powers_of_two_of_pmin(self):
+        jobs = generate_rigid_jobs(30, 8, random_state=77)
+        schedule = SmartShelfScheduler().schedule(jobs, 8)
+        p_min = min(j.duration for j in jobs)
+        starts = sorted({round(e.start, 9) for e in schedule})
+        # Consecutive shelf starts differ by p_min * 2^k for some k >= 0.
+        for previous, current in zip(starts, starts[1:]):
+            gap = current - previous
+            ratio = gap / p_min
+            assert ratio > 0
+            power = math.log2(ratio)
+            assert abs(power - round(power)) < 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_jobs=st.integers(min_value=1, max_value=30),
+    machines=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_shelf_schedules_are_always_valid(n_jobs, machines, seed):
+    jobs = generate_rigid_jobs(n_jobs, machines, random_state=seed)
+    for scheduler in (ShelfScheduler("nfdh"), ShelfScheduler("ffdh"), SmartShelfScheduler()):
+        schedule = scheduler.schedule(jobs, machines)
+        schedule.validate()
+        assert len(schedule) == n_jobs

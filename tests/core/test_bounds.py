@@ -1,0 +1,107 @@
+"""Unit tests of the lower bounds used for performance ratios."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounds
+from repro.core.allocation import Schedule
+from repro.core.criteria import makespan, sum_completion_times, weighted_completion_time
+from repro.core.job import DivisibleJob, MoldableJob, ParametricSweep, RigidJob
+from repro.core.policies.list_scheduling import ListScheduler
+from repro.workload.models import generate_rigid_jobs
+
+
+class TestPerJobBounds:
+    def test_min_runtime(self):
+        assert bounds.min_runtime(RigidJob(name="r", nbproc=2, duration=3.0)) == 3.0
+        assert bounds.min_runtime(MoldableJob(name="m", runtimes=[8.0, 5.0])) == 5.0
+        assert bounds.min_runtime(ParametricSweep(name="s", n_runs=10, run_time=2.0)) == 2.0
+        assert bounds.min_runtime(DivisibleJob(name="d", load=5.0)) == 0.0
+
+    def test_min_work(self):
+        assert bounds.min_work(RigidJob(name="r", nbproc=2, duration=3.0)) == 6.0
+        assert bounds.min_work(MoldableJob(name="m", runtimes=[8.0, 5.0])) == 8.0
+        assert bounds.min_work(ParametricSweep(name="s", n_runs=10, run_time=2.0)) == 20.0
+        assert bounds.min_work(DivisibleJob(name="d", load=5.0)) == 5.0
+
+
+class TestMakespanLowerBound:
+    def test_critical_path_dominates(self):
+        jobs = [RigidJob(name="big", nbproc=1, duration=100.0),
+                RigidJob(name="small", nbproc=1, duration=1.0)]
+        assert bounds.makespan_lower_bound(jobs, 100) == 100.0
+
+    def test_area_dominates(self):
+        jobs = [RigidJob(name=f"j{i}", nbproc=1, duration=1.0) for i in range(100)]
+        assert bounds.makespan_lower_bound(jobs, 10) == pytest.approx(10.0)
+
+    def test_release_date_dominates(self):
+        jobs = [RigidJob(name="late", nbproc=1, duration=1.0, release_date=50.0)]
+        assert bounds.makespan_lower_bound(jobs, 4) == 51.0
+
+    def test_empty(self):
+        assert bounds.makespan_lower_bound([], 4) == 0.0
+
+    def test_invalid_machine_count(self):
+        with pytest.raises(ValueError):
+            bounds.makespan_lower_bound([], 0)
+
+
+class TestCompletionBounds:
+    def test_single_machine_wspt_is_tight(self):
+        # On one machine the squashed-area bound with WSPT order equals the optimum.
+        jobs = [
+            RigidJob(name="a", nbproc=1, duration=2.0, weight=1.0),
+            RigidJob(name="b", nbproc=1, duration=1.0, weight=10.0),
+        ]
+        bound = bounds.weighted_completion_lower_bound(jobs, 1)
+        # optimal order: b then a -> 10*1 + 1*3 = 13
+        assert bound == pytest.approx(13.0)
+
+    def test_sum_completion_bound_single_machine(self):
+        jobs = [RigidJob(name=c, nbproc=1, duration=d) for c, d in zip("abc", (3.0, 1.0, 2.0))]
+        # SPT: 1, 3, 6 -> 10
+        assert bounds.sum_completion_lower_bound(jobs, 1) == pytest.approx(10.0)
+
+    def test_bounds_are_below_any_actual_schedule(self):
+        jobs = generate_rigid_jobs(30, 8, random_state=3)
+        schedule = ListScheduler("wspt").schedule(jobs, 8)
+        schedule.validate()
+        assert bounds.weighted_completion_lower_bound(jobs, 8) <= weighted_completion_time(schedule) + 1e-9
+        assert bounds.sum_completion_lower_bound(jobs, 8) <= sum_completion_times(schedule) + 1e-9
+        assert bounds.makespan_lower_bound(jobs, 8) <= makespan(schedule) + 1e-9
+
+
+class TestOtherBounds:
+    def test_stretch_lower_bound(self):
+        jobs = [RigidJob(name="a", nbproc=1, duration=4.0),
+                RigidJob(name="b", nbproc=1, duration=2.0)]
+        assert bounds.stretch_lower_bound(jobs) == pytest.approx(3.0)
+        assert bounds.stretch_lower_bound([]) == 0.0
+
+    def test_divisible_makespan_lower_bound(self):
+        assert bounds.divisible_makespan_lower_bound(100.0, [1.0, 1.0, 2.0]) == pytest.approx(25.0)
+        with pytest.raises(ValueError):
+            bounds.divisible_makespan_lower_bound(10.0, [])
+
+    def test_performance_ratio(self):
+        assert bounds.performance_ratio(3.0, 2.0) == 1.5
+        assert bounds.performance_ratio(0.0, 0.0) == 1.0
+        assert math.isinf(bounds.performance_ratio(1.0, 0.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_jobs=st.integers(min_value=1, max_value=25),
+    machines=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_makespan_bound_never_exceeds_list_schedule(n_jobs, machines, seed):
+    """Property: the lower bound is below the makespan of an actual schedule."""
+
+    jobs = generate_rigid_jobs(n_jobs, machines, random_state=seed)
+    schedule = ListScheduler("lpt").schedule(jobs, machines)
+    assert bounds.makespan_lower_bound(jobs, machines) <= schedule.makespan() + 1e-9

@@ -1,0 +1,115 @@
+"""Unit tests of the metrics package (ratios, fairness, aggregation)."""
+
+import math
+
+import pytest
+
+from repro.core.allocation import Schedule
+from repro.core.job import RigidJob
+from repro.core.policies.list_scheduling import ListScheduler
+from repro.metrics.aggregate import aggregate_runs, group_by, summarize
+from repro.metrics.fairness import (
+    community_usage,
+    fairness_report,
+    jain_fairness_index,
+)
+from repro.metrics.ratios import schedule_ratios
+from repro.workload.models import generate_rigid_jobs
+
+
+class TestRatios:
+    def test_ratios_at_least_one_on_real_schedules(self):
+        jobs = generate_rigid_jobs(25, 8, random_state=1)
+        schedule = ListScheduler("lpt").schedule(jobs, 8)
+        report = schedule_ratios(schedule, jobs)
+        assert report.makespan_ratio >= 1.0 - 1e-9
+        assert report.weighted_completion_ratio >= 1.0 - 1e-9
+        assert report.sum_completion_ratio >= 1.0 - 1e-9
+        assert report.mean_stretch_ratio >= 1.0 - 1e-9
+        assert report.n_jobs == 25
+        assert set(report.as_dict()) >= {"makespan_ratio", "weighted_completion_ratio"}
+
+    def test_perfect_packing_has_ratio_one(self):
+        # Four identical unit jobs on four machines: the schedule equals every bound.
+        jobs = [RigidJob(name=f"j{i}", nbproc=1, duration=4.0) for i in range(4)]
+        schedule = Schedule(4)
+        for i, job in enumerate(jobs):
+            schedule.add(job, 0.0, [i])
+        report = schedule_ratios(schedule, jobs)
+        assert report.makespan_ratio == pytest.approx(1.0)
+
+    def test_jobs_default_to_schedule_contents(self):
+        jobs = generate_rigid_jobs(10, 4, random_state=2)
+        schedule = ListScheduler("lpt").schedule(jobs, 4)
+        implicit = schedule_ratios(schedule)
+        explicit = schedule_ratios(schedule, jobs)
+        assert implicit.makespan_ratio == pytest.approx(explicit.makespan_ratio)
+
+
+class TestFairness:
+    def test_jain_index_limits(self):
+        assert jain_fairness_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_fairness_index([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+        assert jain_fairness_index([]) == 1.0
+
+    def test_community_usage(self):
+        schedule = Schedule(4)
+        schedule.add(RigidJob(name="a", nbproc=2, duration=4.0, owner="phys"), 0.0, [0, 1])
+        schedule.add(RigidJob(name="b", nbproc=1, duration=2.0, owner="cs"), 0.0, [2])
+        schedule.add(RigidJob(name="c", nbproc=1, duration=2.0), 0.0, [3])
+        usage = community_usage(schedule)
+        assert usage["phys"]["work"] == pytest.approx(8.0)
+        assert usage["cs"]["jobs"] == 1
+        assert "(unowned)" in usage
+
+    def test_fairness_report_with_entitled_shares(self):
+        schedule = Schedule(4)
+        schedule.add(RigidJob(name="a", nbproc=2, duration=4.0, owner="phys"), 0.0, [0, 1])
+        schedule.add(RigidJob(name="b", nbproc=2, duration=4.0, owner="cs"), 0.0, [2, 3])
+        report = fairness_report(schedule, entitled_shares={"phys": 0.5, "cs": 0.5})
+        assert report.fairness_on_work == pytest.approx(1.0)
+        assert report.worst_community in ("phys", "cs")
+        assert report.as_dict()["fairness_on_work"] == pytest.approx(1.0)
+
+    def test_empty_schedule_fairness(self):
+        report = fairness_report(Schedule(2))
+        assert report.fairness_on_work == 1.0
+        assert report.worst_community is None
+
+
+class TestAggregate:
+    def test_summarize(self):
+        summary = summarize("metric", [1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+        assert summary.ci95_halfwidth > 0
+        assert summary.as_dict()["mean"] == pytest.approx(2.5)
+
+    def test_summarize_empty_and_singleton(self):
+        empty = summarize("m", [])
+        assert empty.count == 0
+        assert math.isnan(empty.mean)
+        single = summarize("m", [7.0])
+        assert single.std == 0.0
+        assert single.ci95_halfwidth == 0.0
+
+    def test_aggregate_runs(self):
+        runs = [{"policy": "a", "makespan": 10.0, "ok": True},
+                {"policy": "a", "makespan": 12.0, "ok": True}]
+        summaries = aggregate_runs(runs)
+        assert "makespan" in summaries
+        assert "policy" not in summaries      # non-numeric columns skipped
+        assert "ok" not in summaries          # booleans skipped
+        assert summaries["makespan"].mean == pytest.approx(11.0)
+        explicit = aggregate_runs(runs, metrics=["makespan"])
+        assert set(explicit) == {"makespan"}
+        assert aggregate_runs([]) == {}
+
+    def test_group_by(self):
+        rows = [{"family": "a", "x": 1}, {"family": "b", "x": 2}, {"family": "a", "x": 3}]
+        groups = group_by(rows, "family")
+        assert len(groups["a"]) == 2
+        assert len(groups["b"]) == 1
