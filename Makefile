@@ -1,0 +1,28 @@
+# Canonical entry points for the test suite, the benchmarks and a lint pass.
+#
+#   make test                  tier-1 unit suite (tests/)
+#   make bench                 paper-figure benchmarks (benchmarks/)
+#   make bench JOBS=4          ... fanned out to 4 worker processes
+#   make bench CACHE=.repro-cache   ... with the on-disk cell cache
+#   make lint                  byte-compile every source tree
+
+PYTHON ?= python
+JOBS ?=
+CACHE ?=
+
+BENCH_ENV = $(if $(JOBS),REPRO_JOBS=$(JOBS)) $(if $(CACHE),REPRO_CACHE_DIR=$(CACHE))
+
+.PHONY: test bench lint clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(BENCH_ENV) $(PYTHON) -m pytest benchmarks -q
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+clean:
+	rm -rf .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -6,7 +6,11 @@ curves with the reporting helpers, and asserts the *shape* that must hold
 (who wins, by roughly what factor) -- not the absolute numbers, which depend
 on the authors' unknown workload distributions.
 
-Run with ``pytest benchmarks/ --benchmark-only``.
+Run with ``pytest benchmarks``.  The sweeps go through the parallel
+experiment harness: set ``REPRO_JOBS=N`` to fan the (config, seed) cells out
+to ``N`` worker processes (results are identical to a serial run), and set
+``REPRO_CACHE_DIR=<dir>`` to skip cells already computed by a previous
+invocation.
 """
 
 from __future__ import annotations
@@ -22,6 +26,24 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.experiments.cache import ResultCache          # noqa: E402
+from repro.experiments.executors import resolve_executor  # noqa: E402
+from repro.experiments.harness import run_experiment      # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_executor():
+    """Executor shared by every benchmark sweep (selected by REPRO_JOBS)."""
+
+    return resolve_executor(None)
+
+
+@pytest.fixture(scope="session")
+def bench_cache():
+    """On-disk cell cache, enabled by setting REPRO_CACHE_DIR."""
+
+    return ResultCache.from_env()
+
 
 @pytest.fixture
 def run_once(benchmark):
@@ -29,6 +51,31 @@ def run_once(benchmark):
 
     def _run(function, *args, **kwargs):
         return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+@pytest.fixture
+def run_sweep(run_once, bench_executor, bench_cache):
+    """Run a parameter sweep through the harness, timed by pytest-benchmark.
+
+    ``run_sweep(name, run, parameters, repetitions=..., base_seed=...)``
+    returns the :class:`~repro.experiments.harness.ExperimentResult`; the
+    executor and cache come from the session fixtures above.
+    """
+
+    def _run(name, run, parameters=None, *, repetitions=1, base_seed=1234, **kwargs):
+        return run_once(
+            run_experiment,
+            name,
+            run,
+            parameters,
+            repetitions=repetitions,
+            base_seed=base_seed,
+            executor=bench_executor,
+            cache=bench_cache,
+            **kwargs,
+        )
 
     return _run
 

@@ -12,7 +12,8 @@ design choices rather than part of the published algorithm:
   work vs. unit weights).
 
 The ablation quantifies how much each choice matters on the Figure-2 workload
-so a reader can tell which parts of the reproduction drive the curves.
+so a reader can tell which parts of the reproduction drive the curves; the
+variants run as cells of the parallel sweep harness.
 Shape assertions: the default configuration is never the worst on the
 weighted-completion ratio, and starting the doubling at the lower bound trades
 weighted completion time for makespan (it merges the early batches).
@@ -37,44 +38,50 @@ MACHINES = 100
 N_TASKS = 300
 SEED = 2004
 
-
-def variants(jobs):
-    lb = makespan_lower_bound(jobs, MACHINES)
-    return {
-        "default (deadline-aware, d0=min runtime)": BiCriteriaScheduler(),
-        "inner = MRT": BiCriteriaScheduler(MRTScheduler()),
-        "inner = greedy allocate-then-pack": BiCriteriaScheduler(GreedyMoldableScheduler()),
-        "d0 = makespan lower bound": BiCriteriaScheduler(initial_deadline=lb),
-    }
+VARIANT_DEFAULT = "default (deadline-aware, d0=min runtime)"
+VARIANT_MRT = "inner = MRT"
+VARIANT_GREEDY = "inner = greedy allocate-then-pack"
+VARIANT_BIG_D0 = "d0 = makespan lower bound"
+VARIANTS = (VARIANT_DEFAULT, VARIANT_MRT, VARIANT_GREEDY, VARIANT_BIG_D0)
 
 
-def sweep_ablation():
+def make_scheduler(variant, lower_bound):
+    if variant == VARIANT_DEFAULT:
+        return BiCriteriaScheduler()
+    if variant == VARIANT_MRT:
+        return BiCriteriaScheduler(MRTScheduler())
+    if variant == VARIANT_GREEDY:
+        return BiCriteriaScheduler(GreedyMoldableScheduler())
+    if variant == VARIANT_BIG_D0:
+        return BiCriteriaScheduler(initial_deadline=lower_bound)
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def run_ablation_cell(seed, variant):
+    """One sweep cell: one scheduler variant on the shared Figure-2 workload."""
+
     jobs = figure2_workload(N_TASKS, MACHINES, family="parallel", random_state=SEED)
     cmax_bound = makespan_lower_bound(jobs, MACHINES)
     wc_bound = weighted_completion_lower_bound(jobs, MACHINES)
-    rows = []
-    for label, scheduler in variants(jobs).items():
-        schedule = scheduler.schedule(jobs, MACHINES)
-        schedule.validate()
-        rows.append(
-            {
-                "variant": label,
-                "batches": len(scheduler.last_batches),
-                "cmax_ratio": performance_ratio(makespan(schedule), cmax_bound),
-                "wc_ratio": performance_ratio(weighted_completion_time(schedule), wc_bound),
-            }
-        )
-    return rows
+    scheduler = make_scheduler(variant, cmax_bound)
+    schedule = scheduler.schedule(jobs, MACHINES)
+    schedule.validate()
+    return {
+        "batches": len(scheduler.last_batches),
+        "cmax_ratio": performance_ratio(makespan(schedule), cmax_bound),
+        "wc_ratio": performance_ratio(weighted_completion_time(schedule), wc_bound),
+    }
 
 
-def test_bicriteria_ablation(run_once, report):
-    rows = run_once(sweep_ablation)
+def test_bicriteria_ablation(run_sweep, report):
+    result = run_sweep("ablate-bicriteria", run_ablation_cell, {"variant": VARIANTS})
+    rows = result.rows
     report("ABLATE-BICRIT: design choices of the Figure-2 scheduler "
            f"({N_TASKS} parallel tasks, {MACHINES} machines)", ascii_table(rows))
 
     by_variant = {row["variant"]: row for row in rows}
-    default = by_variant["default (deadline-aware, d0=min runtime)"]
-    big_d0 = by_variant["d0 = makespan lower bound"]
+    default = by_variant[VARIANT_DEFAULT]
+    big_d0 = by_variant[VARIANT_BIG_D0]
 
     # Every variant stays within the 4*rho envelope on both criteria.
     for row in rows:
@@ -85,8 +92,8 @@ def test_bicriteria_ablation(run_once, report):
     # and the default deadline-aware procedure is never the worst.
     worst_wc = max(rows, key=lambda r: r["wc_ratio"])["variant"]
     worst_cmax = max(rows, key=lambda r: r["cmax_ratio"])["variant"]
-    assert worst_wc == "inner = greedy allocate-then-pack"
-    assert worst_cmax == "inner = greedy allocate-then-pack"
+    assert worst_wc == VARIANT_GREEDY
+    assert worst_cmax == VARIANT_GREEDY
     assert default["variant"] not in (worst_wc, worst_cmax)
     # Starting the doubling directly at the makespan lower bound collapses the
     # schedule into a single batch with a makespan close to the bound.  Note

@@ -4,7 +4,8 @@
 work stealing strategy."  The benchmark compares the three modes (plus the
 naive equal split and the asymptotic steady-state bound) on homogeneous and
 heterogeneous platforms of 2 to 64 workers, with and without communication
-latency.  The shapes that must hold:
+latency; the (workers, comm) grid goes through the parallel sweep harness.
+The shapes that must hold:
 
 * the optimal single-round closed form never loses to the equal split;
 * when communication is significant, multi-round distribution beats a single
@@ -28,6 +29,7 @@ from repro.experiments.reporting import ascii_table
 
 LOAD = 10_000.0
 WORKER_COUNTS = (2, 8, 32, 64)
+COMM_TIMES = (0.0, 0.02, 0.1)
 
 
 def heterogeneous_platform(n, comm_time, latency=0.0):
@@ -37,34 +39,24 @@ def heterogeneous_platform(n, comm_time, latency=0.0):
     )
 
 
-def sweep_dlt():
-    rows = []
-    for n_workers in WORKER_COUNTS:
-        for comm_time in (0.0, 0.02, 0.1):
-            platform = heterogeneous_platform(n_workers, comm_time)
-            single = star_single_round(LOAD, platform)
-            equal = bus_equal_split(LOAD, platform, bus_time_per_unit=comm_time)
-            one_round_prop = multi_round_distribution(LOAD, platform, rounds=1)
-            multi = optimize_round_count(LOAD, platform, max_rounds=8)
-            stealing = work_stealing_distribution(LOAD, platform)
-            steady = steady_state_lower_bound_makespan(LOAD, platform)
-            rows.append(
-                {
-                    "workers": n_workers,
-                    "comm": comm_time,
-                    "single_round": single.makespan,
-                    "equal_split": equal.makespan,
-                    "one_round_prop": one_round_prop.makespan,
-                    "multi_round": multi.makespan,
-                    "work_stealing": stealing.makespan,
-                    "steady_bound": steady,
-                }
-            )
-    return rows
+def run_dlt_cell(seed, workers, comm):
+    """One sweep cell: every distribution mode on one platform."""
+
+    platform = heterogeneous_platform(workers, comm)
+    return {
+        "single_round": star_single_round(LOAD, platform).makespan,
+        "equal_split": bus_equal_split(LOAD, platform, bus_time_per_unit=comm).makespan,
+        "one_round_prop": multi_round_distribution(LOAD, platform, rounds=1).makespan,
+        "multi_round": optimize_round_count(LOAD, platform, max_rounds=8).makespan,
+        "work_stealing": work_stealing_distribution(LOAD, platform).makespan,
+        "steady_bound": steady_state_lower_bound_makespan(LOAD, platform),
+    }
 
 
-def test_dlt_distribution_modes(run_once, report):
-    rows = run_once(sweep_dlt)
+def test_dlt_distribution_modes(run_sweep, report):
+    result = run_sweep("dlt-policies", run_dlt_cell,
+                       {"workers": WORKER_COUNTS, "comm": COMM_TIMES})
+    rows = result.rows
     report("DLT-POLICIES: divisible load distribution modes (makespan, load = 10k units)",
            ascii_table(rows))
     for row in rows:

@@ -6,7 +6,10 @@ benchmark builds a random light grid with the structure of the figure (highly
 heterogeneous between clusters, weakly heterogeneous inside), runs a mixed
 local + grid workload through the centralized simulator and reports the
 per-cluster utilisation -- the quantity the light-grid design is meant to
-improve ("leading to an overall better use of these resources").
+improve ("leading to an overall better use of these resources").  The
+simulation runs as one cell of the parallel sweep harness: the returned
+metrics are flat (and JSON-serialisable, so the cell caches) rather than the
+raw simulator objects.
 """
 
 from __future__ import annotations
@@ -21,7 +24,9 @@ from repro.workload.models import generate_moldable_jobs
 from repro.workload.parametric import generate_parametric_bags
 
 
-def build_and_simulate():
+def run_fig1_cell(seed):
+    """Build the light grid, simulate, and flatten the outcome to metrics."""
+
     grid = random_light_grid(n_clusters=3, nodes_range=(20, 60), cores_per_node=2,
                              random_state=1, name="figure1-light-grid")
     local = {}
@@ -34,15 +39,8 @@ def build_and_simulate():
                                     random_state=3)
     simulator = CentralizedGridSimulator(grid, local_policy="backfill")
     result = simulator.run(local, bags)
-    return grid, result
-
-
-def test_figure1_light_grid_structure_and_utilization(run_once, report):
-    grid, result = run_once(build_and_simulate)
-
-    rows = []
-    for cluster in grid:
-        rows.append(
+    return {
+        "clusters": [
             {
                 "cluster": cluster.name,
                 "nodes": cluster.node_count,
@@ -51,17 +49,29 @@ def test_figure1_light_grid_structure_and_utilization(run_once, report):
                 "utilization": result.utilization[cluster.name],
                 "local_makespan": result.local_criteria[cluster.name].makespan,
             }
-        )
+            for cluster in grid
+        ],
+        "n_clusters": len(grid),
+        "grid_processors": grid.processor_count,
+        "runs_completed": dict(result.runs_completed),
+        "total_runs_completed": result.total_runs_completed,
+        "grid_summary": grid.summary(),
+    }
+
+
+def test_figure1_light_grid_structure_and_utilization(run_sweep, report):
+    result = run_sweep("fig1-light-grid", run_fig1_cell)
+    row = result.rows[0]
+    cluster_rows = row["clusters"]
+
     report("Figure 1: a light grid (3 clusters + submission queues)",
-           grid.summary() + "\n\n" + ascii_table(rows))
+           row["grid_summary"] + "\n\n" + ascii_table(cluster_rows))
 
     # Structure of Figure 1: a few clusters, each with its own queue.
-    assert 2 <= len(grid) <= 5
-    assert grid.processor_count == sum(c.processor_count for c in grid)
+    assert 2 <= row["n_clusters"] <= 5
+    assert row["grid_processors"] == sum(c["processors"] for c in cluster_rows)
     # Every local workload completed and the grid bags were executed.
-    assert result.total_runs_completed == 2 * 0 + sum(
-        bag_runs for bag_runs in result.runs_completed.values()
-    )
-    assert all(result.runs_completed.values())
+    assert row["total_runs_completed"] == sum(row["runs_completed"].values())
+    assert all(row["runs_completed"].values())
     # Best-effort filling keeps the clusters busy without disturbing local jobs.
-    assert all(0.0 < u <= 1.0 + 1e-9 for u in result.utilization.values())
+    assert all(0.0 < c["utilization"] <= 1.0 + 1e-9 for c in cluster_rows)

@@ -28,8 +28,8 @@ CONFIG = Figure2Config(
 )
 
 
-def test_figure2_weighted_completion_ratio(run_once, report):
-    points = run_once(run_figure2, CONFIG)
+def test_figure2_weighted_completion_ratio(run_once, bench_executor, bench_cache, report):
+    points = run_once(run_figure2, CONFIG, executor=bench_executor, cache=bench_cache)
     curves = figure2_curves(points)["wici"]
 
     rows = [

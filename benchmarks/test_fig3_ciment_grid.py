@@ -3,7 +3,9 @@
 Builds the exact platform of Figure 3 (104 bi-Itanium2/Myrinet, 48 bi-Xeon
 /GigE, 40 + 24 bi-Athlon/Eth100), generates the per-community workloads of
 section 5.2 and runs the centralized best-effort organisation on it.  The
-benchmark reports the platform inventory and the per-cluster outcome.
+benchmark reports the platform inventory and the per-cluster outcome; the
+simulation runs as one cell of the parallel sweep harness with flat,
+JSON-serialisable metrics.
 """
 
 from __future__ import annotations
@@ -25,7 +27,9 @@ COMMUNITY_CLUSTER = {
 }
 
 
-def simulate_ciment():
+def run_ciment_cell(seed):
+    """Simulate the CIMENT grid and flatten the outcome to metrics."""
+
     grid = ciment_grid()
     local = {}
     bags = []
@@ -36,42 +40,59 @@ def simulate_ciment():
         )
         bags.extend(grid_workload(community, random_state=50 + index))
     simulator = CentralizedGridSimulator(grid, local_policy="backfill")
-    return grid, bags, simulator.run(local, bags)
+    result = simulator.run(local, bags)
+    return {
+        "node_count": grid.node_count,
+        "processor_count": grid.processor_count,
+        "cluster_names": sorted(c.name for c in grid),
+        "outcome": [
+            {
+                "cluster": cluster.name,
+                "community": cluster.community,
+                "local_jobs": result.local_criteria[cluster.name].n_jobs,
+                "local_makespan_h": result.local_criteria[cluster.name].makespan,
+                "utilization": result.utilization[cluster.name],
+            }
+            for cluster in grid
+        ],
+        # Ownership invariant, checked in-simulation: every local job on a
+        # community's cluster belongs to that community.
+        "owners_ok": {
+            cluster.name: all(
+                entry.job.owner == cluster.community
+                for entry in result.local_schedules[cluster.name]
+            )
+            for cluster in grid
+        },
+        "total_runs_completed": result.total_runs_completed,
+        "expected_runs": sum(bag.n_runs for bag in bags),
+        "kills": result.kills,
+        "launches": result.launches,
+    }
 
 
-def test_figure3_ciment_platform_and_simulation(run_once, report):
-    grid, bags, result = run_once(simulate_ciment)
+def test_figure3_ciment_platform_and_simulation(run_sweep, report):
+    result = run_sweep("fig3-ciment", run_ciment_cell)
+    row = result.rows[0]
 
     inventory = [
         {"cluster": name, "nodes": nodes, "cores/node": cores, "interconnect": net}
         for name, nodes, cores, _speed, net, _bw, _comm in CIMENT_CLUSTERS
     ]
-    outcome = [
-        {
-            "cluster": cluster.name,
-            "community": cluster.community,
-            "local_jobs": result.local_criteria[cluster.name].n_jobs,
-            "local_makespan_h": result.local_criteria[cluster.name].makespan,
-            "utilization": result.utilization[cluster.name],
-        }
-        for cluster in grid
-    ]
     report(
         "Figure 3: the 4 largest CIMENT clusters",
-        ascii_table(inventory) + "\n" + ascii_table(outcome)
-        + f"\nbest-effort runs completed: {result.total_runs_completed}, "
-          f"kills: {result.kills}, launches: {result.launches}",
+        ascii_table(inventory) + "\n" + ascii_table(row["outcome"])
+        + f"\nbest-effort runs completed: {row['total_runs_completed']}, "
+          f"kills: {row['kills']}, launches: {row['launches']}",
     )
 
     # Platform shape of Figure 3.
-    assert grid.node_count == 216 and grid.processor_count == 432
-    assert {c.name for c in grid} == set(COMMUNITY_CLUSTER.values())
+    assert row["node_count"] == 216 and row["processor_count"] == 432
+    assert set(row["cluster_names"]) == set(COMMUNITY_CLUSTER.values())
     # Every community's local jobs were executed on its own cluster.
-    for community, cluster_name in COMMUNITY_CLUSTER.items():
-        schedule = result.local_schedules[cluster_name]
-        assert all(e.job.owner == community for e in schedule)
+    assert all(row["owners_ok"].values())
     # The multi-parametric grid jobs all completed via best-effort filling.
-    assert result.total_runs_completed == sum(b.n_runs for b in bags)
+    assert row["total_runs_completed"] == row["expected_runs"]
     # Local jobs are never disturbed: kills only remove best-effort runs,
     # which are resubmitted (launches = runs + kills).
-    assert result.launches == result.total_runs_completed + result.kills
+    assert row["launches"] == row["total_runs_completed"] + row["kills"]

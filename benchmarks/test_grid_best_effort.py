@@ -10,6 +10,11 @@ stream of multi-parametric grid bags:
   kill/resubmission overhead ("since there are a large number of relatively
   small runs, the cost of killing one of them is not too big");
 * the utilisation gain brought by filling the holes of the local schedules.
+
+The with-grid and without-grid variants run as two cells of the parallel
+sweep harness; each cell flattens its simulator outcome (including a
+per-job start/completion fingerprint for the non-disturbance check) into
+JSON-serialisable metrics.
 """
 
 from __future__ import annotations
@@ -24,19 +29,20 @@ from repro.workload.arrivals import poisson_arrivals
 from repro.workload.models import generate_moldable_jobs
 from repro.workload.parametric import generate_parametric_bags
 
+CLUSTERS = (("alpha", 32), ("beta", 16), ("gamma", 16))
+
 
 def build_grid():
     return LightGrid(
         "best-effort-grid",
-        [homogeneous_cluster("alpha", 32, community="alpha-community"),
-         homogeneous_cluster("beta", 16, community="beta-community"),
-         homogeneous_cluster("gamma", 16, community="gamma-community")],
+        [homogeneous_cluster(name, procs, community=f"{name}-community")
+         for name, procs in CLUSTERS],
     )
 
 
 def build_workload():
     local = {}
-    for index, (name, procs) in enumerate((("alpha", 32), ("beta", 16), ("gamma", 16))):
+    for index, (name, procs) in enumerate(CLUSTERS):
         jobs = generate_moldable_jobs(20, procs, random_state=index,
                                       name_prefix=f"{name}-local")
         local[name] = poisson_arrivals(jobs, rate=1.0, random_state=index)
@@ -45,44 +51,66 @@ def build_workload():
     return local, bags
 
 
-def run_both():
+def run_best_effort_cell(seed, grid_jobs):
+    """One cell: the simulation with or without the best-effort grid stream."""
+
     grid = build_grid()
     local, bags = build_workload()
-    with_grid = CentralizedGridSimulator(grid, local_policy="backfill").run(local, bags)
-    without_grid = CentralizedGridSimulator(grid, local_policy="backfill",
-                                            best_effort_enabled=False).run(local, [])
-    return grid, bags, with_grid, without_grid
-
-
-def test_centralized_best_effort_grid(run_once, report):
-    grid, bags, with_grid, without_grid = run_once(run_both)
-
-    rows = []
-    for cluster in grid:
-        rows.append(
-            {
-                "cluster": cluster.name,
-                "util_without_grid": without_grid.utilization[cluster.name],
-                "util_with_grid": with_grid.utilization[cluster.name],
-                "local_makespan": with_grid.local_criteria[cluster.name].makespan,
+    simulator = CentralizedGridSimulator(grid, local_policy="backfill",
+                                         best_effort_enabled=grid_jobs)
+    result = simulator.run(local, bags if grid_jobs else [])
+    return {
+        "utilization": {c.name: result.utilization[c.name] for c in grid},
+        "local_makespan": {c.name: result.local_criteria[c.name].makespan for c in grid},
+        # Per-job (start, completion) times: the non-disturbance fingerprint.
+        "local_fingerprint": {
+            cluster.name: {
+                entry.job.name: [entry.start, entry.completion]
+                for entry in result.local_schedules[cluster.name]
             }
-        )
+            for cluster in grid
+        },
+        "total_runs_completed": result.total_runs_completed,
+        "expected_runs": sum(bag.n_runs for bag in bags),
+        "kills": result.kills,
+        "launches": result.launches,
+        "throughput": result.grid_throughput() if grid_jobs else 0.0,
+    }
+
+
+def test_centralized_best_effort_grid(run_sweep, report):
+    result = run_sweep("grid-best-effort", run_best_effort_cell,
+                       {"grid_jobs": (True, False)})
+    by_flag = {row["grid_jobs"]: row for row in result.rows}
+    with_grid, without_grid = by_flag[True], by_flag[False]
+
+    rows = [
+        {
+            "cluster": name,
+            "util_without_grid": without_grid["utilization"][name],
+            "util_with_grid": with_grid["utilization"][name],
+            "local_makespan": with_grid["local_makespan"][name],
+        }
+        for name, _procs in CLUSTERS
+    ]
     summary = (
-        f"best-effort runs: {with_grid.total_runs_completed} / "
-        f"{sum(b.n_runs for b in bags)} completed, kills: {with_grid.kills}, "
-        f"grid throughput: {with_grid.grid_throughput():.2f} runs per time unit"
+        f"best-effort runs: {with_grid['total_runs_completed']} / "
+        f"{with_grid['expected_runs']} completed, kills: {with_grid['kills']}, "
+        f"grid throughput: {with_grid['throughput']:.2f} runs per time unit"
     )
     report("GRID-BESTEFFORT: centralized organisation", ascii_table(rows) + "\n" + summary)
 
     # Non-disturbance invariant: identical local schedules with and without grid jobs.
-    for cluster in grid:
-        for entry in without_grid.local_schedules[cluster.name]:
-            other = with_grid.local_schedules[cluster.name][entry.job.name]
-            assert other.start == pytest.approx(entry.start)
-            assert other.completion == pytest.approx(entry.completion)
+    for name, _procs in CLUSTERS:
+        baseline = without_grid["local_fingerprint"][name]
+        disturbed = with_grid["local_fingerprint"][name]
+        assert set(baseline) == set(disturbed)
+        for job_name, (start, completion) in baseline.items():
+            assert disturbed[job_name][0] == pytest.approx(start)
+            assert disturbed[job_name][1] == pytest.approx(completion)
     # All grid work eventually completes despite the kills.
-    assert with_grid.total_runs_completed == sum(b.n_runs for b in bags)
-    assert with_grid.launches == with_grid.total_runs_completed + with_grid.kills
+    assert with_grid["total_runs_completed"] == with_grid["expected_runs"]
+    assert with_grid["launches"] == with_grid["total_runs_completed"] + with_grid["kills"]
     # Filling the holes increases utilisation on every cluster.
     for row in rows:
         assert row["util_with_grid"] >= row["util_without_grid"] - 1e-9

@@ -8,7 +8,8 @@ work than its own cluster can absorb), three organisations:
 * different imbalance thresholds, to show the trade-off between reactivity
   (better mean flow) and the number of migrations.
 
-Shape assertions: the exchange strictly reduces the mean flow time of the
+The three organisations run as cells of the parallel sweep harness.  Shape
+assertions: the exchange strictly reduces the mean flow time of the
 overloaded community without increasing the global makespan, and the number
 of migrations decreases as the threshold grows.
 """
@@ -23,6 +24,8 @@ from repro.platform.grid import GridLink, LightGrid
 from repro.simulation.decentralized import DecentralizedGridSimulator
 from repro.workload.arrivals import poisson_arrivals
 from repro.workload.models import generate_moldable_jobs
+
+ORGANISATIONS = ("isolated", "exchange(t=1)", "exchange(t=4)")
 
 
 def build_grid():
@@ -44,46 +47,53 @@ def build_submissions():
     return {"overloaded": heavy, "spare-a": light, "spare-b": []}
 
 
-def run_comparison():
+def make_simulator(grid, organisation):
+    if organisation == "isolated":
+        return DecentralizedGridSimulator(grid, exchange_enabled=False)
+    if organisation == "exchange(t=1)":
+        return DecentralizedGridSimulator(grid, imbalance_threshold=1.0)
+    if organisation == "exchange(t=4)":
+        return DecentralizedGridSimulator(grid, imbalance_threshold=4.0)
+    raise ValueError(f"unknown organisation {organisation!r}")
+
+
+def run_decentralized_cell(seed, organisation):
+    """One cell: one organisation on the shared imbalanced workload."""
+
     grid = build_grid()
-    submissions = build_submissions()
-    rows = []
-    results = {}
-    for label, simulator in (
-        ("isolated", DecentralizedGridSimulator(grid, exchange_enabled=False)),
-        ("exchange(t=1)", DecentralizedGridSimulator(grid, imbalance_threshold=1.0)),
-        ("exchange(t=4)", DecentralizedGridSimulator(grid, imbalance_threshold=4.0)),
-    ):
-        result = simulator.run(submissions)
-        results[label] = result
-        rows.append(
-            {
-                "organisation": label,
-                "mean_flow": result.mean_flow,
-                "max_flow": result.max_flow,
-                "makespan": result.makespan,
-                "migrations": result.migrations,
-                "fairness_work": result.fairness.fairness_on_work,
-            }
-        )
-    return rows, results
+    result = make_simulator(grid, organisation).run(build_submissions())
+    return {
+        "mean_flow": result.mean_flow,
+        "max_flow": result.max_flow,
+        "makespan": result.makespan,
+        "migrations": result.migrations,
+        "fairness_work": result.fairness.fairness_on_work,
+        "jobs_scheduled": sum(len(schedule) for schedule in result.schedules.values()),
+    }
 
 
-def test_decentralized_exchange(run_once, report):
-    rows, results = run_once(run_comparison)
-    report("GRID-DECENTRAL: isolated clusters vs load exchange", ascii_table(rows))
+def test_decentralized_exchange(run_sweep, report):
+    result = run_sweep("grid-decentralized", run_decentralized_cell,
+                       {"organisation": ORGANISATIONS})
+    rows = result.rows
+    report("GRID-DECENTRAL: isolated clusters vs load exchange",
+           ascii_table([{key: row[key] for key in
+                         ("organisation", "mean_flow", "max_flow", "makespan",
+                          "migrations", "fairness_work")}
+                        for row in rows]))
 
-    isolated = results["isolated"]
-    aggressive = results["exchange(t=1)"]
-    conservative = results["exchange(t=4)"]
+    by_organisation = {row["organisation"]: row for row in rows}
+    isolated = by_organisation["isolated"]
+    aggressive = by_organisation["exchange(t=1)"]
+    conservative = by_organisation["exchange(t=4)"]
 
     # Every organisation completes the whole workload.
-    for result in results.values():
-        assert sum(len(s) for s in result.schedules.values()) == 66
+    for row in rows:
+        assert row["jobs_scheduled"] == 66
     # Exchanging work strictly improves the mean response time of the
     # overloaded workload and does not hurt the global makespan.
-    assert aggressive.mean_flow < isolated.mean_flow
-    assert aggressive.makespan <= isolated.makespan + 1e-9
+    assert aggressive["mean_flow"] < isolated["mean_flow"]
+    assert aggressive["makespan"] <= isolated["makespan"] + 1e-9
     # A lower threshold reacts more (at least as many migrations).
-    assert aggressive.migrations >= conservative.migrations
-    assert aggressive.migrations > 0
+    assert aggressive["migrations"] >= conservative["migrations"]
+    assert aggressive["migrations"] > 0

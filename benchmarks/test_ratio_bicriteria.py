@@ -6,6 +6,7 @@ within 4*rho of its optimum (rho being the ratio of the inner makespan
 procedure).  The benchmark measures both ratios on random moldable instances
 and also reports the single-criterion specialists (MRT for Cmax, WSPT list
 scheduling for sum wC) to show the trade-off the bi-criteria schedule makes.
+The job-count grid goes through the parallel sweep harness.
 """
 
 from __future__ import annotations
@@ -30,39 +31,36 @@ JOB_COUNTS = (40, 100, 200)
 RHO = 2.0  # ratio of the deadline-aware / greedy inner procedure
 
 
-def sweep_bicriteria():
-    rows = []
-    for n_jobs in JOB_COUNTS:
-        jobs = generate_moldable_jobs(
-            n_jobs, MACHINES, config=WorkloadConfig(weight_scheme="work"),
-            random_state=n_jobs,
-        )
-        cmax_bound = makespan_lower_bound(jobs, MACHINES)
-        wc_bound = weighted_completion_lower_bound(jobs, MACHINES)
+def run_bicriteria_cell(seed, jobs):
+    """One sweep cell: bi-criteria vs the single-criterion specialists."""
 
-        bicriteria = BiCriteriaScheduler().schedule(jobs, MACHINES)
-        bicriteria.validate()
-        mrt = MRTScheduler().schedule(jobs, MACHINES)
-        wspt = ListScheduler("wspt").schedule(jobs, MACHINES)
+    workload = generate_moldable_jobs(
+        jobs, MACHINES, config=WorkloadConfig(weight_scheme="work"),
+        random_state=jobs,
+    )
+    cmax_bound = makespan_lower_bound(workload, MACHINES)
+    wc_bound = weighted_completion_lower_bound(workload, MACHINES)
 
-        rows.append(
-            {
-                "jobs": n_jobs,
-                "bicrit_cmax_ratio": performance_ratio(makespan(bicriteria), cmax_bound),
-                "bicrit_wc_ratio": performance_ratio(
-                    weighted_completion_time(bicriteria), wc_bound
-                ),
-                "mrt_cmax_ratio": performance_ratio(makespan(mrt), cmax_bound),
-                "wspt_wc_ratio": performance_ratio(
-                    weighted_completion_time(wspt), wc_bound
-                ),
-            }
-        )
-    return rows
+    bicriteria = BiCriteriaScheduler().schedule(workload, MACHINES)
+    bicriteria.validate()
+    mrt = MRTScheduler().schedule(workload, MACHINES)
+    wspt = ListScheduler("wspt").schedule(workload, MACHINES)
+
+    return {
+        "bicrit_cmax_ratio": performance_ratio(makespan(bicriteria), cmax_bound),
+        "bicrit_wc_ratio": performance_ratio(
+            weighted_completion_time(bicriteria), wc_bound
+        ),
+        "mrt_cmax_ratio": performance_ratio(makespan(mrt), cmax_bound),
+        "wspt_wc_ratio": performance_ratio(
+            weighted_completion_time(wspt), wc_bound
+        ),
+    }
 
 
-def test_bicriteria_ratio(run_once, report):
-    rows = run_once(sweep_bicriteria)
+def test_bicriteria_ratio(run_sweep, report):
+    result = run_sweep("ratio-bicriteria", run_bicriteria_cell, {"jobs": JOB_COUNTS})
+    rows = result.rows
     report("RATIO-BICRIT: bi-criteria doubling batches (stated bound 4*rho on both criteria)",
            ascii_table(rows))
     for row in rows:

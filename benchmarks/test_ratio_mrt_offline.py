@@ -4,7 +4,8 @@ The MRT dual-approximation algorithm for off-line moldable makespan has a
 proven performance ratio of 3/2 + eps.  The benchmark runs it on random
 moldable instances at the scales of the paper's setting (up to the 100-machine
 cluster of Figure 2), reports the observed ratios against the lower bound and
-compares with the greedy allocate-then-pack baseline.
+compares with the greedy allocate-then-pack baseline.  The (machines, jobs)
+grid goes through the parallel sweep harness (see benchmarks/conftest.py).
 """
 
 from __future__ import annotations
@@ -23,30 +24,26 @@ MACHINE_COUNTS = (16, 64, 100)
 JOB_COUNTS = (20, 60, 120)
 
 
-def sweep_mrt():
-    rows = []
-    mrt = MRTScheduler(epsilon=EPSILON)
-    greedy = GreedyMoldableScheduler()
-    for machines in MACHINE_COUNTS:
-        for n_jobs in JOB_COUNTS:
-            jobs = generate_moldable_jobs(n_jobs, machines, random_state=n_jobs + machines)
-            bound = makespan_lower_bound(jobs, machines)
-            mrt_schedule = mrt.schedule(jobs, machines)
-            greedy_schedule = greedy.schedule(jobs, machines)
-            mrt_schedule.validate()
-            rows.append(
-                {
-                    "machines": machines,
-                    "jobs": n_jobs,
-                    "mrt_ratio": performance_ratio(makespan(mrt_schedule), bound),
-                    "greedy_ratio": performance_ratio(makespan(greedy_schedule), bound),
-                }
-            )
-    return rows
+def run_mrt_cell(seed, machines, jobs):
+    """One sweep cell: both schedulers on one random instance."""
+
+    # The instance is keyed on the grid point (historical convention), so the
+    # reproduced ratios match the original serial benchmark exactly.
+    workload = generate_moldable_jobs(jobs, machines, random_state=jobs + machines)
+    bound = makespan_lower_bound(workload, machines)
+    mrt_schedule = MRTScheduler(epsilon=EPSILON).schedule(workload, machines)
+    greedy_schedule = GreedyMoldableScheduler().schedule(workload, machines)
+    mrt_schedule.validate()
+    return {
+        "mrt_ratio": performance_ratio(makespan(mrt_schedule), bound),
+        "greedy_ratio": performance_ratio(makespan(greedy_schedule), bound),
+    }
 
 
-def test_mrt_offline_ratio(run_once, report):
-    rows = run_once(sweep_mrt)
+def test_mrt_offline_ratio(run_sweep, report):
+    result = run_sweep("ratio-mrt", run_mrt_cell,
+                       {"machines": MACHINE_COUNTS, "jobs": JOB_COUNTS})
+    rows = result.rows
     report("RATIO-MRT: off-line moldable makespan (stated bound 3/2 + eps)",
            ascii_table(rows))
 

@@ -6,7 +6,8 @@ compared to the squashed-area lower bound.  The paper states ratios of 8
 (unweighted) and 8.53 (weighted); the observed ratios are far smaller, and
 the benchmark also reports how much the WSPT shelf ordering gains over plain
 first-fit shelf stacking (FFDH), i.e. "this ratio can be improved using more
-complex scheduling algorithms within batches".
+complex scheduling algorithms within batches".  The (weighted, jobs) grid
+goes through the parallel sweep harness.
 """
 
 from __future__ import annotations
@@ -27,44 +28,39 @@ MACHINES = 64
 JOB_COUNTS = (40, 100, 200)
 
 
-def sweep_smart():
-    smart = SmartShelfScheduler()
-    ffdh = ShelfScheduler("ffdh")
-    rows = []
-    for weighted in (False, True):
-        scheme = "random" if weighted else "unit"
-        for n_jobs in JOB_COUNTS:
-            jobs = generate_rigid_jobs(
-                n_jobs, MACHINES, config=WorkloadConfig(weight_scheme=scheme),
-                random_state=n_jobs + (1000 if weighted else 0),
-            )
-            smart_schedule = smart.schedule(jobs, MACHINES)
-            ffdh_schedule = ffdh.schedule(jobs, MACHINES)
-            smart_schedule.validate()
-            if weighted:
-                value = weighted_completion_time(smart_schedule)
-                baseline = weighted_completion_time(ffdh_schedule)
-                bound = weighted_completion_lower_bound(jobs, MACHINES)
-                stated = 8.53
-            else:
-                value = sum_completion_times(smart_schedule)
-                baseline = sum_completion_times(ffdh_schedule)
-                bound = sum_completion_lower_bound(jobs, MACHINES)
-                stated = 8.0
-            rows.append(
-                {
-                    "criterion": "sum wC" if weighted else "sum C",
-                    "jobs": n_jobs,
-                    "smart_ratio": performance_ratio(value, bound),
-                    "ffdh_ratio": performance_ratio(baseline, bound),
-                    "stated_bound": stated,
-                }
-            )
-    return rows
+def run_smart_cell(seed, weighted, jobs):
+    """One sweep cell: SMART vs FFDH shelves on one rigid instance."""
+
+    scheme = "random" if weighted else "unit"
+    workload = generate_rigid_jobs(
+        jobs, MACHINES, config=WorkloadConfig(weight_scheme=scheme),
+        random_state=jobs + (1000 if weighted else 0),
+    )
+    smart_schedule = SmartShelfScheduler().schedule(workload, MACHINES)
+    ffdh_schedule = ShelfScheduler("ffdh").schedule(workload, MACHINES)
+    smart_schedule.validate()
+    if weighted:
+        value = weighted_completion_time(smart_schedule)
+        baseline = weighted_completion_time(ffdh_schedule)
+        bound = weighted_completion_lower_bound(workload, MACHINES)
+        stated = 8.53
+    else:
+        value = sum_completion_times(smart_schedule)
+        baseline = sum_completion_times(ffdh_schedule)
+        bound = sum_completion_lower_bound(workload, MACHINES)
+        stated = 8.0
+    return {
+        "criterion": "sum wC" if weighted else "sum C",
+        "smart_ratio": performance_ratio(value, bound),
+        "ffdh_ratio": performance_ratio(baseline, bound),
+        "stated_bound": stated,
+    }
 
 
-def test_smart_shelves_ratio(run_once, report):
-    rows = run_once(sweep_smart)
+def test_smart_shelves_ratio(run_sweep, report):
+    result = run_sweep("ratio-smart", run_smart_cell,
+                       {"weighted": (False, True), "jobs": JOB_COUNTS})
+    rows = result.rows
     report("RATIO-SMART: SMART shelves for (weighted) completion time", ascii_table(rows))
     for row in rows:
         assert row["smart_ratio"] <= row["stated_bound"] + 1e-9

@@ -8,7 +8,8 @@ in which it fits.  These ideas probably lead to an increased performance
 ratio."
 
 The benchmark quantifies that increase on synthetic mixed workloads with
-varying rigid fractions, for both criteria.  Shape assertions: every strategy
+varying rigid fractions, for both criteria.  The (fraction, strategy) grid
+goes through the parallel sweep harness.  Shape assertions: every strategy
 stays within a small constant of the lower bounds, and the first-fit-batch
 strategy (the one the paper leans towards) is never the worst of the three on
 the weighted completion time.
@@ -33,34 +34,28 @@ RIGID_FRACTIONS = (0.2, 0.5, 0.8)
 N_JOBS = 60
 
 
-def sweep_mix():
-    rows = []
-    for fraction in RIGID_FRACTIONS:
-        jobs = generate_mixed_jobs(
-            N_JOBS, MACHINES, rigid_fraction=fraction,
-            config=WorkloadConfig(weight_scheme="work"),
-            random_state=int(fraction * 100),
-        )
-        cmax_bound = makespan_lower_bound(jobs, MACHINES)
-        wc_bound = weighted_completion_lower_bound(jobs, MACHINES)
-        for strategy in STRATEGIES:
-            schedule = MixedScheduler(strategy).schedule(jobs, MACHINES)
-            schedule.validate()
-            rows.append(
-                {
-                    "rigid_fraction": fraction,
-                    "strategy": strategy,
-                    "cmax_ratio": performance_ratio(makespan(schedule), cmax_bound),
-                    "wc_ratio": performance_ratio(
-                        weighted_completion_time(schedule), wc_bound
-                    ),
-                }
-            )
-    return rows
+def run_mix_cell(seed, rigid_fraction, strategy):
+    """One sweep cell: one strategy on one mixed workload."""
+
+    jobs = generate_mixed_jobs(
+        N_JOBS, MACHINES, rigid_fraction=rigid_fraction,
+        config=WorkloadConfig(weight_scheme="work"),
+        random_state=int(rigid_fraction * 100),
+    )
+    cmax_bound = makespan_lower_bound(jobs, MACHINES)
+    wc_bound = weighted_completion_lower_bound(jobs, MACHINES)
+    schedule = MixedScheduler(strategy).schedule(jobs, MACHINES)
+    schedule.validate()
+    return {
+        "cmax_ratio": performance_ratio(makespan(schedule), cmax_bound),
+        "wc_ratio": performance_ratio(weighted_completion_time(schedule), wc_bound),
+    }
 
 
-def test_rigid_moldable_mix_strategies(run_once, report):
-    rows = run_once(sweep_mix)
+def test_rigid_moldable_mix_strategies(run_sweep, report):
+    result = run_sweep("mix-rigid", run_mix_cell,
+                       {"rigid_fraction": RIGID_FRACTIONS, "strategy": STRATEGIES})
+    rows = result.rows
     report("MIX-RIGID: strategies for a mix of rigid and moldable jobs (section 5.1)",
            ascii_table(rows))
 

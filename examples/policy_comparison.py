@@ -14,6 +14,10 @@ paper:
 * bags of small independent runs         -> divisible-load style policies
   (see examples/divisible_load.py and the grid examples).
 
+The (application, policy) panel runs through the parallel experiment
+harness: every combination is one cell, so ``REPRO_JOBS=4`` fans the panel
+out to four worker processes with identical results.
+
 Run with:  python examples/policy_comparison.py
 """
 
@@ -32,6 +36,7 @@ from repro.core.policies import (
     MRTScheduler,
     SmartShelfScheduler,
 )
+from repro.experiments.harness import run_experiment
 from repro.experiments.reporting import ascii_table
 from repro.metrics.ratios import schedule_ratios
 from repro.workload.arrivals import poisson_arrivals
@@ -43,70 +48,101 @@ from repro.workload.models import (
 
 MACHINES = 64
 
+APPLICATIONS = ("moldable-batch", "rigid-weighted", "online-stream")
 
-def applications() -> Dict[str, List[Job]]:
-    """Three application profiles inspired by the CIMENT communities."""
+POLICY_PANEL = (
+    "lpt",
+    "wspt",
+    "smart-shelves",
+    "mrt",
+    "bicriteria",
+    "batch(mrt)",
+    "conservative-bf",
+    "easy-bf",
+)
 
-    return {
+
+def make_application(application: str) -> List[Job]:
+    """One of three application profiles inspired by the CIMENT communities."""
+
+    if application == "moldable-batch":
         # Off-line moldable batch (e.g. a campaign of numerical simulations).
-        "moldable-batch": generate_moldable_jobs(
+        return generate_moldable_jobs(
             60, MACHINES, config=WorkloadConfig(weight_scheme="work"), random_state=1
-        ),
+        )
+    if application == "rigid-weighted":
         # Rigid production jobs with priorities (weighted completion time matters).
-        "rigid-weighted": generate_rigid_jobs(
+        return generate_rigid_jobs(
             80, MACHINES, config=WorkloadConfig(weight_scheme="random"), random_state=2
-        ),
+        )
+    if application == "online-stream":
         # On-line stream of interactive / debug jobs (stretch matters).
-        "online-stream": poisson_arrivals(
+        return poisson_arrivals(
             generate_moldable_jobs(
                 60, MACHINES, config=WorkloadConfig(runtime_range=(0.5, 10.0)), random_state=3
             ),
             rate=2.0,
             random_state=3,
-        ),
+        )
+    raise ValueError(f"unknown application {application!r}")
+
+
+def make_policy(policy: str):
+    return {
+        "lpt": lambda: ListScheduler("lpt"),
+        "wspt": lambda: ListScheduler("wspt"),
+        "smart-shelves": SmartShelfScheduler,
+        "mrt": MRTScheduler,
+        "bicriteria": BiCriteriaScheduler,
+        "batch(mrt)": lambda: BatchOnlineScheduler(MRTScheduler()),
+        "conservative-bf": ConservativeBackfilling,
+        "easy-bf": EasyBackfilling,
+    }[policy]()
+
+
+def run_panel_cell(seed: int, application: str, policy: str) -> Dict[str, object]:
+    """One cell of the panel: one policy on one application profile."""
+
+    jobs = make_application(application)
+    scheduler = make_policy(policy)
+    try:
+        schedule = scheduler.schedule(jobs, MACHINES)
+    except Exception as error:  # a policy may not support a job type
+        return {"policy_name": scheduler.name, "error": str(error)[:40]}
+    schedule.validate(check_release_dates=False)
+    ratios = schedule_ratios(schedule, jobs, machine_count=MACHINES)
+    return {
+        "policy_name": scheduler.name,
+        "makespan": makespan(schedule),
+        "cmax_ratio": ratios.makespan_ratio,
+        "sum_wC_ratio": ratios.weighted_completion_ratio,
+        "mean_stretch": mean_stretch(schedule),
     }
 
 
-def policy_panel():
-    return [
-        ListScheduler("lpt"),
-        ListScheduler("wspt"),
-        SmartShelfScheduler(),
-        MRTScheduler(),
-        BiCriteriaScheduler(),
-        BatchOnlineScheduler(MRTScheduler()),
-        ConservativeBackfilling(),
-        EasyBackfilling(),
-    ]
-
-
 def main() -> None:
-    for application, jobs in applications().items():
-        rows = []
-        for policy in policy_panel():
-            try:
-                if hasattr(policy, "schedule"):
-                    schedule = policy.schedule(jobs, MACHINES)
-            except Exception as error:  # a policy may not support a job type
-                rows.append({"policy": policy.name, "error": str(error)[:40]})
-                continue
-            schedule.validate(check_release_dates=False)
-            ratios = schedule_ratios(schedule, jobs, machine_count=MACHINES)
-            rows.append(
-                {
-                    "policy": policy.name,
-                    "makespan": makespan(schedule),
-                    "cmax_ratio": ratios.makespan_ratio,
-                    "sum_wC_ratio": ratios.weighted_completion_ratio,
-                    "mean_stretch": mean_stretch(schedule),
-                }
-            )
+    result = run_experiment(
+        "policy-comparison",
+        run_panel_cell,
+        {"application": list(APPLICATIONS), "policy": list(POLICY_PANEL)},
+        repetitions=1,
+    )
+    for application in APPLICATIONS:
+        panel = result.filter(application=application).rows
+        rows = [
+            {key: row[key] for key in
+             ("policy_name", "makespan", "cmax_ratio", "sum_wC_ratio", "mean_stretch")
+             if key in row}
+            | ({"error": row["error"]} if "error" in row else {})
+            for row in panel
+        ]
+        n_jobs = len(make_application(application))
         print(ascii_table(rows, title=f"\n=== application: {application} "
-                                      f"({len(jobs)} jobs, {MACHINES} processors) ==="))
-        numeric = [r for r in rows if "makespan" in r]
-        best_cmax = min(numeric, key=lambda r: r["makespan"])["policy"]
-        best_wc = min(numeric, key=lambda r: r["sum_wC_ratio"])["policy"]
-        best_stretch = min(numeric, key=lambda r: r["mean_stretch"])["policy"]
+                                      f"({n_jobs} jobs, {MACHINES} processors) ==="))
+        numeric = [r for r in panel if "makespan" in r]
+        best_cmax = min(numeric, key=lambda r: r["makespan"])["policy_name"]
+        best_wc = min(numeric, key=lambda r: r["sum_wC_ratio"])["policy_name"]
+        best_stretch = min(numeric, key=lambda r: r["mean_stretch"])["policy_name"]
         print(f"  best makespan            : {best_cmax}")
         print(f"  best weighted completion : {best_wc}")
         print(f"  best mean stretch        : {best_stretch}")

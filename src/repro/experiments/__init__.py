@@ -1,7 +1,11 @@
 """Experiment harness: the code that regenerates the paper's figures.
 
 * :mod:`repro.experiments.harness` -- generic experiment runner (parameter
-  sweeps, repetitions over seeds, result tables);
+  sweeps, repetitions over seeds, result tables) built on three separable
+  stages: grid expansion (:mod:`repro.experiments.grid`), parallel cell
+  execution (:mod:`repro.experiments.executors`, selected with the
+  ``REPRO_JOBS`` environment variable) and streamed aggregation, with an
+  optional on-disk cell cache (:mod:`repro.experiments.cache`);
 * :mod:`repro.experiments.figure2` -- the Figure 2 simulation (bi-criteria
   algorithm on a 100-machine cluster, parallel vs non-parallel workloads);
 * :mod:`repro.experiments.ratio_checks` -- empirical verification of the
@@ -11,7 +15,21 @@
   export used by the examples and benchmarks.
 """
 
-from repro.experiments.harness import ExperimentRunner, ExperimentResult, sweep
+from repro.experiments.cache import ResultCache
+from repro.experiments.executors import (
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.experiments.grid import Cell, CellOutcome, expand_grid
+from repro.experiments.harness import (
+    CellExecutionError,
+    ExperimentResult,
+    ExperimentRunner,
+    run_experiment,
+    sweep,
+)
 from repro.experiments.figure2 import (
     Figure2Config,
     Figure2Point,
@@ -27,6 +45,16 @@ from repro.experiments.ratio_checks import (
 from repro.experiments.reporting import ascii_table, ascii_plot, to_csv
 
 __all__ = [
+    "Cell",
+    "CellOutcome",
+    "CellExecutionError",
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "ResultCache",
+    "resolve_executor",
+    "expand_grid",
+    "run_experiment",
     "ExperimentRunner",
     "ExperimentResult",
     "sweep",

@@ -1,0 +1,164 @@
+"""Execution backends for the sweep engine.
+
+An :class:`Executor` maps a cell function over an ordered list of cells and
+yields the outcomes *in submission order*, streaming them as they complete.
+Two backends are provided:
+
+* :class:`SerialExecutor` -- runs cells inline, one at a time;
+* :class:`ProcessPoolExecutor` -- fans cells out to a ``multiprocessing``
+  pool with chunked dispatch (``Pool.imap`` preserves order while letting
+  workers race ahead within their chunks).
+
+Because every cell carries its own deterministic seed, both backends produce
+bit-identical rows in the same order; the pool only changes the wall clock.
+
+The default backend is selected by the ``REPRO_JOBS`` environment variable:
+unset or ``1`` means serial, an integer ``N > 1`` means a pool of ``N``
+workers, and ``0`` or ``auto`` means one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+from repro.experiments.grid import Cell, CellOutcome
+
+#: Environment variable selecting the default executor (see module docstring).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+ExecutorSpec = Union[None, str, int, "Executor"]
+
+
+class Executor:
+    """Maps a cell function over cells, yielding outcomes in order."""
+
+    name = "executor"
+
+    def map(
+        self,
+        fn: Callable[[Cell], CellOutcome],
+        cells: Sequence[Cell],
+    ) -> Iterator[CellOutcome]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run every cell inline, in order (the reference backend)."""
+
+    name = "serial"
+
+    def map(
+        self,
+        fn: Callable[[Cell], CellOutcome],
+        cells: Sequence[Cell],
+    ) -> Iterator[CellOutcome]:
+        return (fn(cell) for cell in cells)
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan cells out to a ``multiprocessing`` pool, preserving order.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes (default: one per CPU).
+    chunk_size:
+        Cells handed to a worker per dispatch.  Larger chunks amortise IPC
+        for cheap cells; smaller chunks balance uneven cells.  The default
+        aims at ~4 chunks per worker.
+    start_method:
+        ``multiprocessing`` start method (``fork`` / ``spawn`` / ...).
+        ``None`` prefers ``fork`` when the platform offers it: forked
+        workers inherit the parent's modules, so cell functions defined in
+        pytest-loaded benchmark modules (which a ``spawn``/``forkserver``
+        child cannot re-import) stay picklable by reference.  On platforms
+        without ``fork`` the default start method is used and cell
+        functions must live in importable modules.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs or cpu_count()
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolExecutor(jobs={self.jobs})"
+
+    def map(
+        self,
+        fn: Callable[[Cell], CellOutcome],
+        cells: Sequence[Cell],
+    ) -> Iterator[CellOutcome]:
+        cells = list(cells)
+        workers = min(self.jobs, len(cells))
+        if workers <= 1:
+            # A pool of one only adds pickling overhead.
+            return SerialExecutor().map(fn, cells)
+        chunk = self.chunk_size or max(1, math.ceil(len(cells) / (workers * 4)))
+        method = self.start_method
+        if method is None and "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        context = multiprocessing.get_context(method)
+
+        def stream() -> Iterator[CellOutcome]:
+            with context.Pool(processes=workers) as pool:
+                for outcome in pool.imap(fn, cells, chunksize=chunk):
+                    yield outcome
+
+        return stream()
+
+
+def cpu_count() -> int:
+    """Usable CPUs (honours affinity masks when the platform exposes them)."""
+
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except (AttributeError, OSError):
+        return max(os.cpu_count() or 1, 1)
+
+
+def resolve_executor(spec: ExecutorSpec = None, *, jobs: Optional[int] = None) -> Executor:
+    """Turn an executor specification into an :class:`Executor` instance.
+
+    ``spec`` may be an executor (returned as-is), ``"serial"``,
+    ``"process"``/``"auto"``, an integer job count, or ``None`` -- in which
+    case the ``REPRO_JOBS`` environment variable decides (defaulting to
+    serial).
+    """
+
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None:
+        spec = os.environ.get(JOBS_ENV_VAR, "").strip() or "serial"
+    if isinstance(spec, str):
+        lowered = spec.lower()
+        if lowered in ("serial", "1"):
+            return SerialExecutor()
+        if lowered in ("process", "auto", "0"):
+            return ProcessPoolExecutor(jobs or cpu_count())
+        try:
+            spec = int(lowered)
+        except ValueError:
+            raise ValueError(
+                f"unknown executor spec {spec!r}; expected 'serial', 'process', "
+                f"'auto' or an integer job count"
+            ) from None
+    if isinstance(spec, int):
+        return SerialExecutor() if spec <= 1 else ProcessPoolExecutor(spec)
+    raise TypeError(f"cannot resolve an executor from {spec!r}")

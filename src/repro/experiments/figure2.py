@@ -29,6 +29,7 @@ must hold -- and that the benchmark and tests verify -- is:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -36,6 +37,7 @@ import numpy as np
 
 from repro.core.policies.bicriteria import BiCriteriaScheduler
 from repro.core.policies.mrt import GreedyMoldableScheduler, MRTScheduler
+from repro.experiments.harness import run_experiment
 from repro.metrics.ratios import RatioReport, schedule_ratios
 from repro.workload.models import figure2_workload
 
@@ -132,19 +134,44 @@ def run_figure2_point(
     )
 
 
-def run_figure2(config: Optional[Figure2Config] = None) -> List[Figure2Point]:
-    """Run the full Figure 2 sweep (both families, all task counts, all seeds)."""
+def _figure2_cell(seed: int, *, n_tasks: int, family: str, config: Figure2Config) -> Dict[str, float]:
+    """One sweep cell (picklable, runs in worker processes)."""
+
+    return run_figure2_point(n_tasks, family, config=config, seed=seed).as_dict()
+
+
+def run_figure2(
+    config: Optional[Figure2Config] = None,
+    *,
+    executor: object = None,
+    cache: object = None,
+) -> List[Figure2Point]:
+    """Run the full Figure 2 sweep (both families, all task counts, all seeds).
+
+    The sweep goes through :func:`repro.experiments.harness.run_experiment`,
+    so it fans out over (family, n_tasks, seed) cells when a parallel
+    executor is selected (``executor=`` or the ``REPRO_JOBS`` environment
+    variable) while producing the same points in the same order as a serial
+    run.
+    """
 
     config = config or Figure2Config()
-    points: List[Figure2Point] = []
-    for family in config.families:
-        for n_tasks in config.task_counts:
-            for repetition in range(config.repetitions):
-                seed = config.base_seed + repetition
-                points.append(
-                    run_figure2_point(n_tasks, family, config=config, seed=seed)
-                )
-    return points
+    result = run_experiment(
+        "figure2",
+        functools.partial(_figure2_cell, config=config),
+        # Sorted parameter names put "family" before "n_tasks", matching the
+        # historical family-outer / task-count-inner enumeration order.
+        {"family": list(config.families), "n_tasks": list(config.task_counts)},
+        repetitions=config.repetitions,
+        base_seed=config.base_seed,
+        executor=executor,  # type: ignore[arg-type]
+        cache=cache,  # type: ignore[arg-type]
+    )
+    fields = (
+        "family", "n_tasks", "seed", "wici_ratio", "cmax_ratio",
+        "wici_value", "wici_bound", "cmax_value", "cmax_bound",
+    )
+    return [Figure2Point(**{name: row[name] for name in fields}) for row in result.rows]
 
 
 def figure2_curves(points: Sequence[Figure2Point]) -> Dict[str, Dict[str, Dict[int, float]]]:

@@ -4,19 +4,55 @@ Every benchmark of the repository is a thin wrapper around this harness: it
 declares a grid of parameters, a function running one configuration with one
 seed and returning a flat ``dict`` of metrics, and the harness takes care of
 running the cross product, collecting the rows and aggregating repetitions.
+
+The sweep is organised in three separable stages:
+
+1. **grid expansion** (:func:`repro.experiments.grid.expand_grid`) turns the
+   declaration into an ordered list of self-contained, seeded cells;
+2. **cell execution** maps a picklable cell function over the cells through
+   an :class:`~repro.experiments.executors.Executor` -- serial, or a
+   ``multiprocessing`` pool selected with ``executor=`` / the ``REPRO_JOBS``
+   environment variable -- streaming outcomes back in submission order, with
+   per-cell timing and error capture;
+3. **aggregation** folds the streamed rows into summaries
+   (:class:`repro.metrics.aggregate.StreamingAggregator`).
+
+Because cells carry deterministic seeds and executors preserve order, the
+rows of a parallel run are identical to a serial run.  An optional on-disk
+cache (:class:`repro.experiments.cache.ResultCache`) skips cells already
+computed by a previous invocation.
 """
 
 from __future__ import annotations
 
-import itertools
+import functools
+import hashlib
+import inspect
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.metrics.aggregate import Summary, aggregate_runs, group_by
+from repro.experiments.cache import ResultCache
+from repro.experiments.executors import Executor, ExecutorSpec, resolve_executor
+from repro.experiments.grid import Cell, CellFunction, CellOutcome, RunFunction, expand_grid
+from repro.metrics.aggregate import StreamingAggregator, Summary, aggregate_runs, group_by
 
 
-RunFunction = Callable[..., Mapping[str, Any]]
+class CellExecutionError(RuntimeError):
+    """A cell failed; carries the failing configuration and worker traceback."""
+
+    def __init__(self, experiment: str, outcome: CellOutcome) -> None:
+        cell = outcome.cell
+        self.experiment = experiment
+        self.params = cell.params_dict
+        self.seed = cell.seed
+        self.error_type = outcome.error_type
+        self.worker_traceback = outcome.error or ""
+        super().__init__(
+            f"experiment {experiment!r}: cell {cell.describe()} failed with "
+            f"{outcome.error_type}\n--- worker traceback ---\n{self.worker_traceback}"
+        )
 
 
 @dataclass
@@ -26,6 +62,11 @@ class ExperimentResult:
     name: str
     rows: List[Dict[str, Any]] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    executor: str = "serial"
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    errors: List[CellOutcome] = field(default_factory=list)
+    cache_hits: int = 0
+    aggregator: Optional[StreamingAggregator] = field(default=None, repr=False)
 
     def filter(self, **conditions: Any) -> "ExperimentResult":
         """Rows matching all the given column=value conditions."""
@@ -43,6 +84,16 @@ class ExperimentResult:
     def aggregate(self, metrics: Optional[Sequence[str]] = None) -> Dict[str, Summary]:
         return aggregate_runs(self.rows, metrics=metrics)
 
+    def summary(self) -> Dict[str, Summary]:
+        """Summaries folded while the rows streamed in (no second pass)."""
+
+        if self.aggregator is not None:
+            return self.aggregator.summaries()
+        aggregator = StreamingAggregator()
+        for row in self.rows:
+            aggregator.update(row)
+        return aggregator.summaries()
+
     def grouped_mean(self, group_key: str, metric: str) -> Dict[Any, float]:
         """Mean of ``metric`` for each value of ``group_key`` (sweep curves)."""
 
@@ -53,28 +104,150 @@ class ExperimentResult:
                 out[value] = sum(values) / len(values)
         return out
 
+    @property
+    def cell_seconds(self) -> List[float]:
+        """Per-cell wall-clock times, in row order."""
+
+        return [outcome.elapsed_seconds for outcome in self.outcomes]
+
     def __len__(self) -> int:
         return len(self.rows)
+
+
+def run_fingerprint(run: RunFunction) -> str:
+    """A short fingerprint of a run function, used to version cache entries.
+
+    Covers the qualified name, the source text when available, and -- for
+    :func:`functools.partial` objects -- the bound arguments, so editing an
+    experiment or changing its configuration invalidates its cached cells.
+    """
+
+    parts: List[str] = []
+    target = run
+    while isinstance(target, functools.partial):
+        parts.append(repr(target.args))
+        parts.append(repr(sorted(target.keywords.items())))
+        target = target.func
+    parts.append(f"{getattr(target, '__module__', '')}.{getattr(target, '__qualname__', repr(target))}")
+    try:
+        parts.append(inspect.getsource(target))
+    except (OSError, TypeError):
+        pass
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def run_experiment(
+    name: str,
+    run: RunFunction,
+    parameters: Optional[Mapping[str, Sequence[Any]]] = None,
+    *,
+    repetitions: int = 3,
+    base_seed: int = 1234,
+    executor: ExecutorSpec = None,
+    cache: Union[None, str, Path, ResultCache] = None,
+    cache_version: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    on_row: Optional[Callable[[Dict[str, Any]], None]] = None,
+    capture_errors: bool = False,
+) -> ExperimentResult:
+    """Run ``run(seed=..., **params)`` over the whole parameter grid.
+
+    Parameters
+    ----------
+    name:
+        Experiment identifier (stored in every row, keys the cache).
+    run:
+        Callable returning a mapping of metric name to value.  Must be
+        picklable (a module-level function or :func:`functools.partial` of
+        one) to use a process-pool executor.
+    parameters:
+        Mapping of parameter name to the sequence of values to sweep.
+    repetitions / base_seed:
+        Seeds are ``base_seed + repetition_index``: reproducible, distinct
+        across repetitions, independent of the executor.
+    executor:
+        ``None`` (use ``REPRO_JOBS``, default serial), ``"serial"``,
+        ``"process"``/``"auto"``, an integer job count, or an
+        :class:`~repro.experiments.executors.Executor` instance.
+    cache:
+        Optional on-disk cell cache (a directory path or a
+        :class:`~repro.experiments.cache.ResultCache`); completed cells are
+        skipped on re-runs.
+    progress:
+        Called with a one-line message as each cell completes (unlike the
+        historical runner there is no before-run notification: under a
+        pool the parent cannot observe a cell start).
+    on_row:
+        Called with each finished row, in order, as results stream in.
+    capture_errors:
+        When false (default) a failing cell raises
+        :class:`CellExecutionError` with the failing configuration attached;
+        when true the failure is recorded in ``result.errors`` and the sweep
+        continues.
+    """
+
+    cells = expand_grid(parameters, repetitions=repetitions, base_seed=base_seed)
+    backend = resolve_executor(executor)
+    store = ResultCache.coerce(cache)
+    version = cache_version if cache_version is not None else (
+        run_fingerprint(run) if store is not None else ""
+    )
+
+    start = time.perf_counter()
+    aggregator = StreamingAggregator()
+    result = ExperimentResult(name=name, executor=backend.name, aggregator=aggregator)
+
+    cached: Dict[int, CellOutcome] = {}
+    pending: List[Cell] = []
+    if store is not None:
+        for cell in cells:
+            hit = store.lookup(name, cell, version)
+            if hit is not None:
+                cached[cell.index] = hit
+            else:
+                pending.append(cell)
+    else:
+        pending = list(cells)
+
+    live = backend.map(CellFunction(run), pending)
+    for cell in cells:
+        outcome = cached.get(cell.index)
+        if outcome is None:
+            outcome = next(live)
+        result.outcomes.append(outcome)
+        if outcome.cached:
+            result.cache_hits += 1
+        if outcome.failed:
+            if not capture_errors:
+                raise CellExecutionError(name, outcome)
+            result.errors.append(outcome)
+            if progress is not None:
+                progress(f"{name}: {cell.describe()} FAILED ({outcome.error_type})")
+            continue
+        row: Dict[str, Any] = {"experiment": name, "seed": cell.seed}
+        row.update(cell.params_dict)
+        row.update(outcome.metrics or {})
+        result.rows.append(row)
+        aggregator.update(row)
+        if store is not None and not outcome.cached:
+            store.store(name, cell, outcome, version)
+        if on_row is not None:
+            on_row(row)
+        if progress is not None:
+            suffix = " [cached]" if outcome.cached else f" [{outcome.elapsed_seconds:.3f}s]"
+            progress(f"{name}: {cell.describe()}{suffix}")
+
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
 
 
 @dataclass
 class ExperimentRunner:
     """Run a function over a parameter grid with repetitions.
 
-    Parameters
-    ----------
-    name:
-        Experiment identifier (stored in every row).
-    run:
-        Callable invoked as ``run(seed=<int>, **params)``; must return a
-        mapping of metric name to value.
-    parameters:
-        Mapping of parameter name to the list of values to sweep.
-    repetitions:
-        Number of seeds per parameter combination.
-    base_seed:
-        Seeds are ``base_seed + repetition_index`` so results are reproducible
-        and distinct across repetitions.
+    Declarative counterpart of :func:`run_experiment` (which it delegates
+    to); kept for backwards compatibility and for callers that build the
+    runner in one place and execute it in another.
     """
 
     name: str
@@ -83,30 +256,23 @@ class ExperimentRunner:
     repetitions: int = 3
     base_seed: int = 1234
 
-    def execute(self, *, progress: Optional[Callable[[str], None]] = None) -> ExperimentResult:
-        if self.repetitions < 1:
-            raise ValueError("repetitions must be >= 1")
-        start = time.perf_counter()
-        result = ExperimentResult(name=self.name)
-        keys = sorted(self.parameters)
-        combos: Iterable[Tuple[Any, ...]]
-        if keys:
-            combos = itertools.product(*(self.parameters[k] for k in keys))
-        else:
-            combos = [()]
-        for combo in combos:
-            params = dict(zip(keys, combo))
-            for repetition in range(self.repetitions):
-                seed = self.base_seed + repetition
-                if progress is not None:
-                    progress(f"{self.name}: {params} seed={seed}")
-                metrics = dict(self.run(seed=seed, **params))
-                row: Dict[str, Any] = {"experiment": self.name, "seed": seed}
-                row.update(params)
-                row.update(metrics)
-                result.rows.append(row)
-        result.elapsed_seconds = time.perf_counter() - start
-        return result
+    def execute(
+        self,
+        *,
+        progress: Optional[Callable[[str], None]] = None,
+        executor: ExecutorSpec = None,
+        cache: Union[None, str, Path, ResultCache] = None,
+    ) -> ExperimentResult:
+        return run_experiment(
+            self.name,
+            self.run,
+            self.parameters,
+            repetitions=self.repetitions,
+            base_seed=self.base_seed,
+            executor=executor,
+            cache=cache,
+            progress=progress,
+        )
 
 
 def sweep(
@@ -115,15 +281,18 @@ def sweep(
     *,
     repetitions: int = 3,
     base_seed: int = 1234,
+    executor: ExecutorSpec = None,
+    cache: Union[None, str, Path, ResultCache] = None,
     **parameters: Sequence[Any],
 ) -> ExperimentResult:
     """Convenience wrapper: ``sweep("exp", fn, n_jobs=[10, 100], policy=["a", "b"])``."""
 
-    runner = ExperimentRunner(
-        name=name,
-        run=run,
-        parameters=parameters,
+    return run_experiment(
+        name,
+        run,
+        parameters,
         repetitions=repetitions,
         base_seed=base_seed,
+        executor=executor,
+        cache=cache,
     )
-    return runner.execute()

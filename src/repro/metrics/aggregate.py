@@ -92,6 +92,62 @@ def aggregate_runs(
     return out
 
 
+class StreamingAggregator:
+    """Fold rows into per-metric summaries one row at a time.
+
+    The parallel experiment harness streams rows back as cells complete;
+    this accumulator ingests them incrementally (``update``) and can produce
+    exact :class:`Summary` objects at any point (``summaries``), so partial
+    results of a long sweep can be inspected before the sweep finishes.
+    Partial aggregators from sharded runs combine with ``merge``.
+
+    As in :func:`aggregate_runs`, the tracked metrics default to the numeric
+    keys of the first row seen.
+    """
+
+    def __init__(self, metrics: Optional[Sequence[str]] = None) -> None:
+        self._metrics: Optional[List[str]] = list(metrics) if metrics is not None else None
+        self._values: Dict[str, List[float]] = {}
+        self.rows_seen = 0
+
+    def update(self, row: Mapping[str, object]) -> None:
+        """Ingest one row."""
+
+        if self._metrics is None:
+            self._metrics = [
+                key
+                for key, value in row.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
+        self.rows_seen += 1
+        for metric in self._metrics:
+            if metric not in row:
+                continue
+            try:
+                value = float(row[metric])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue  # a later row may carry e.g. an error string here
+            self._values.setdefault(metric, []).append(value)
+
+    def merge(self, other: "StreamingAggregator") -> None:
+        """Fold another aggregator (e.g. from a sharded sweep) into this one."""
+
+        self.rows_seen += other.rows_seen
+        if self._metrics is None:
+            self._metrics = list(other._metrics) if other._metrics is not None else None
+        for metric, values in other._values.items():
+            if self._metrics is not None and metric in self._metrics:
+                self._values.setdefault(metric, []).extend(values)
+
+    def summaries(self) -> Dict[str, Summary]:
+        """Exact summaries of everything ingested so far."""
+
+        return {
+            metric: summarize(metric, self._values.get(metric, []))
+            for metric in (self._metrics or [])
+        }
+
+
 def group_by(
     runs: Sequence[Mapping[str, object]], key: str
 ) -> Dict[object, List[Mapping[str, object]]]:

@@ -56,12 +56,19 @@ class SimEvent:
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
+        # Zero-delay resumes keep the kernel deterministic: each waiter gets
+        # its own event at the current time, so the queue's (time, priority,
+        # seq) order resumes waiters FIFO (registration order), interleaved
+        # after anything already scheduled at this timestamp -- and when
+        # several SimEvents trigger at the same instant, their waiters wake
+        # in succeed() order.  The value is bound at schedule time so a later
+        # mutation of the event cannot change what an earlier waiter sees.
         for process in waiters:
-            self._sim.schedule(0.0, lambda p=process: p._resume(self.value))
+            self._sim.schedule(0.0, lambda p=process, v=value: p._resume(v))
 
     def _add_waiter(self, process: "Process") -> None:
         if self.triggered:
-            self._sim.schedule(0.0, lambda p=process: p._resume(self.value))
+            self._sim.schedule(0.0, lambda p=process, v=self.value: p._resume(v))
         else:
             self._waiters.append(process)
 

@@ -1,0 +1,260 @@
+"""Tests of the parallel sweep engine: executors, determinism, cache, errors.
+
+The run functions live at module level so they are picklable by the
+process-pool executor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.executors import (
+    JOBS_ENV_VAR,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.experiments.grid import Cell, cell_key, expand_grid
+from repro.experiments.harness import (
+    CellExecutionError,
+    run_experiment,
+    run_fingerprint,
+)
+
+GRID_4x4 = {"a": [1, 2, 3, 4], "b": [10, 20, 30, 40]}  # x4 reps = 64 cells
+
+
+def seeded_metrics(seed, a, b):
+    """Deterministic floating-point metrics (bit-identical across runs)."""
+
+    rng = np.random.default_rng(seed * 100_003 + a * 1009 + b)
+    return {"value": float(rng.normal()), "score": float(rng.random()) * a + b}
+
+
+def failing_on_three(seed, n):
+    if n == 3:
+        raise ValueError(f"bad cell n={n}")
+    return {"n_squared": n * n}
+
+
+def sleeping_cell(seed, slot):
+    """A cell dominated by waiting (I/O-like): overlaps even on one core."""
+
+    time.sleep(0.02)
+    return {"slot": slot, "seed_used": seed}
+
+
+CALL_LOG = []
+
+
+def counting_cell(seed, x):
+    CALL_LOG.append((seed, x))
+    return {"double": 2 * x}
+
+
+class TestGridExpansion:
+    def test_order_params_and_seeds(self):
+        cells = expand_grid({"b": [5, 1], "a": ["x"]}, repetitions=2, base_seed=100)
+        assert [cell.index for cell in cells] == [0, 1, 2, 3]
+        # Sorted key order, values in given order, repetitions innermost.
+        assert cells[0].params == (("a", "x"), ("b", 5))
+        assert cells[2].params == (("a", "x"), ("b", 1))
+        assert [cell.seed for cell in cells] == [100, 101, 100, 101]
+
+    def test_empty_grid_is_one_combo(self):
+        cells = expand_grid({}, repetitions=3, base_seed=7)
+        assert len(cells) == 3
+        assert all(cell.params == () for cell in cells)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            expand_grid({}, repetitions=0)
+
+    def test_cell_key_distinguishes_cells_and_versions(self):
+        cell_a, cell_b = expand_grid({"n": [1, 2]}, repetitions=1)
+        assert cell_key("e", cell_a) != cell_key("e", cell_b)
+        assert cell_key("e", cell_a) != cell_key("other", cell_a)
+        assert cell_key("e", cell_a, "v1") != cell_key("e", cell_a, "v2")
+        assert cell_key("e", cell_a) == cell_key("e", Cell(0, 0, 1234, (("n", 1),)))
+
+
+class TestExecutorSelection:
+    def test_resolve_specs(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor(1), SerialExecutor)
+        pool = resolve_executor(6)
+        assert isinstance(pool, ProcessPoolExecutor) and pool.jobs == 6
+        assert isinstance(resolve_executor("process"), ProcessPoolExecutor)
+        existing = SerialExecutor()
+        assert resolve_executor(existing) is existing
+        with pytest.raises(ValueError):
+            resolve_executor("carrier-pigeon")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        pool = resolve_executor(None)
+        assert isinstance(pool, ProcessPoolExecutor) and pool.jobs == 3
+        monkeypatch.setenv(JOBS_ENV_VAR, "1")
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+
+class TestParallelIdentity:
+    def test_pool_rows_identical_to_serial_64_cells(self):
+        serial = run_experiment("identity", seeded_metrics, GRID_4x4,
+                                repetitions=4, base_seed=42, executor="serial")
+        pooled = run_experiment("identity", seeded_metrics, GRID_4x4,
+                                repetitions=4, base_seed=42,
+                                executor=ProcessPoolExecutor(4))
+        assert len(serial) == 64
+        # Same rows, same values (bit-identical floats), same order.
+        assert pooled.rows == serial.rows
+        assert pooled.executor == "process"
+        assert serial.executor == "serial"
+
+    def test_chunked_dispatch_preserves_order(self):
+        serial = run_experiment("chunks", seeded_metrics, GRID_4x4,
+                                repetitions=2, executor="serial")
+        chunked = run_experiment("chunks", seeded_metrics, GRID_4x4, repetitions=2,
+                                 executor=ProcessPoolExecutor(2, chunk_size=5))
+        assert chunked.rows == serial.rows
+
+    def test_env_var_end_to_end(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        pooled = run_experiment("env", seeded_metrics, {"a": [1, 2], "b": [3]},
+                                repetitions=2)
+        monkeypatch.setenv(JOBS_ENV_VAR, "1")
+        serial = run_experiment("env", seeded_metrics, {"a": [1, 2], "b": [3]},
+                                repetitions=2)
+        assert pooled.executor == "process"
+        assert pooled.rows == serial.rows
+
+    def test_parallel_sweep_is_faster_on_overlappable_cells(self):
+        """64 wait-bound cells: the pool overlaps them, serial cannot.
+
+        Uses sleep-dominated cells so the speedup shows regardless of the
+        number of physical cores (on >= 2 cores CPU-bound cells scale the
+        same way).
+        """
+
+        grid = {"slot": list(range(16))}  # x4 reps = 64 cells, ~20ms each
+        serial = run_experiment("speed", sleeping_cell, grid,
+                                repetitions=4, executor="serial")
+        pooled = run_experiment("speed", sleeping_cell, grid,
+                                repetitions=4, executor=ProcessPoolExecutor(8))
+        assert pooled.rows == serial.rows
+        assert len(serial) == 64
+        # Serial: >= 64 * 20ms = 1.28s.  Pool of 8: ~8 batches + startup.
+        assert pooled.elapsed_seconds < serial.elapsed_seconds * 0.7
+
+    def test_progress_and_timing_capture(self):
+        messages = []
+        streamed = []
+        result = run_experiment("progress", seeded_metrics, {"a": [1], "b": [2, 3]},
+                                repetitions=2, progress=messages.append,
+                                on_row=streamed.append)
+        assert len(messages) == 4
+        assert streamed == result.rows
+        assert len(result.cell_seconds) == 4
+        assert all(elapsed >= 0.0 for elapsed in result.cell_seconds)
+        # Summaries were folded while the rows streamed (no second pass).
+        streamed_summary = result.summary()
+        assert streamed_summary["value"].count == 4
+        assert streamed_summary["value"] == result.aggregate()["value"]
+
+
+class TestErrorCapture:
+    def test_worker_exception_surfaces_with_failing_config(self):
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_experiment("boom", failing_on_three, {"n": [1, 2, 3, 4]},
+                           repetitions=1, base_seed=77,
+                           executor=ProcessPoolExecutor(2))
+        error = excinfo.value
+        assert error.params == {"n": 3}
+        assert error.seed == 77
+        assert error.error_type == "ValueError"
+        assert "bad cell n=3" in str(error)
+        assert "worker traceback" in str(error)
+
+    def test_serial_exception_surfaces_identically(self):
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_experiment("boom", failing_on_three, {"n": [3]},
+                           repetitions=1, executor="serial")
+        assert excinfo.value.params == {"n": 3}
+
+    def test_capture_errors_records_and_continues(self):
+        result = run_experiment("soft", failing_on_three, {"n": [1, 2, 3, 4]},
+                                repetitions=1, capture_errors=True)
+        assert len(result.rows) == 3
+        assert result.column("n_squared") == [1, 4, 16]
+        assert len(result.errors) == 1
+        failed = result.errors[0]
+        assert failed.cell.params_dict == {"n": 3}
+        assert failed.error_type == "ValueError"
+        assert "ValueError" in failed.error
+
+
+class TestResultCache:
+    def test_rerun_hits_cache_and_skips_execution(self, tmp_path):
+        CALL_LOG.clear()
+        cache = ResultCache(tmp_path)
+        first = run_experiment("cached", counting_cell, {"x": [1, 2, 3]},
+                               repetitions=2, cache=cache, executor="serial")
+        assert len(CALL_LOG) == 6
+        assert cache.stats.stores == 6
+        assert first.cache_hits == 0
+
+        second = run_experiment("cached", counting_cell, {"x": [1, 2, 3]},
+                                repetitions=2, cache=cache, executor="serial")
+        assert len(CALL_LOG) == 6  # nothing re-executed
+        assert second.cache_hits == 6
+        assert second.rows == first.rows
+
+    def test_partial_cache_recomputes_only_missing_cells(self, tmp_path):
+        CALL_LOG.clear()
+        cache = ResultCache(tmp_path)
+        run_experiment("partial", counting_cell, {"x": [1, 2]},
+                       repetitions=1, cache=cache)
+        assert len(CALL_LOG) == 2
+        grown = run_experiment("partial", counting_cell, {"x": [1, 2, 3]},
+                               repetitions=1, cache=cache)
+        assert len(CALL_LOG) == 3  # only x=3 ran
+        assert grown.cache_hits == 2
+        assert grown.column("double") == [2, 4, 6]
+
+    def test_different_function_does_not_reuse_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiment("vers", counting_cell, {"x": [1]}, repetitions=1, cache=cache)
+        other = run_experiment("vers", seeded_metrics, {"a": [1], "b": [1]},
+                               repetitions=1, cache=cache)
+        assert other.cache_hits == 0
+        assert run_fingerprint(counting_cell) != run_fingerprint(seeded_metrics)
+
+    def test_unserialisable_metrics_are_recomputed_not_corrupted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+
+        result = run_experiment("rich", _rich_object_cell, {"x": [1]},
+                                repetitions=1, cache=cache)
+        assert cache.stats.skipped == 1
+        again = run_experiment("rich", _rich_object_cell, {"x": [1]},
+                               repetitions=1, cache=cache)
+        assert again.cache_hits == 0
+        assert isinstance(again.rows[0]["payload"], set)
+        assert result.rows[0]["payload"] == again.rows[0]["payload"]
+
+    def test_clear_empties_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiment("clear", counting_cell, {"x": [5]}, repetitions=1, cache=cache)
+        assert cache.clear() == 1
+        rerun = run_experiment("clear", counting_cell, {"x": [5]},
+                               repetitions=1, cache=cache)
+        assert rerun.cache_hits == 0
+
+
+def _rich_object_cell(seed, x):
+    return {"payload": {("tuple", x)}}  # a set: not JSON-serialisable

@@ -7,7 +7,7 @@ import pytest
 from repro.core.allocation import Schedule
 from repro.core.job import RigidJob
 from repro.core.policies.list_scheduling import ListScheduler
-from repro.metrics.aggregate import aggregate_runs, group_by, summarize
+from repro.metrics.aggregate import StreamingAggregator, aggregate_runs, group_by, summarize
 from repro.metrics.fairness import (
     community_usage,
     fairness_report,
@@ -113,3 +113,52 @@ class TestAggregate:
         groups = group_by(rows, "family")
         assert len(groups["a"]) == 2
         assert len(groups["b"]) == 1
+
+
+class TestStreamingAggregator:
+    def test_streamed_summaries_match_batch_aggregation(self):
+        rows = [{"ratio": 1.0 + 0.1 * i, "jobs": 10 * i, "label": "x"} for i in range(8)]
+        aggregator = StreamingAggregator()
+        for row in rows:
+            aggregator.update(row)
+        assert aggregator.rows_seen == 8
+        batch = aggregate_runs(rows)
+        streamed = aggregator.summaries()
+        assert set(streamed) == set(batch) == {"ratio", "jobs"}
+        for metric in streamed:
+            assert streamed[metric] == batch[metric]
+
+    def test_partial_summaries_available_mid_stream(self):
+        aggregator = StreamingAggregator(metrics=["v"])
+        aggregator.update({"v": 1.0})
+        assert aggregator.summaries()["v"].count == 1
+        aggregator.update({"v": 3.0})
+        summary = aggregator.summaries()["v"]
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_merge_combines_shards(self):
+        rows = [{"v": float(i)} for i in range(10)]
+        left, right = StreamingAggregator(), StreamingAggregator()
+        for row in rows[:4]:
+            left.update(row)
+        for row in rows[4:]:
+            right.update(row)
+        left.merge(right)
+        assert left.rows_seen == 10
+        assert left.summaries()["v"] == aggregate_runs(rows)["v"]
+
+    def test_missing_metric_rows_are_skipped(self):
+        aggregator = StreamingAggregator()
+        aggregator.update({"v": 1.0})
+        aggregator.update({"other": 5.0})
+        assert aggregator.summaries()["v"].count == 1
+
+    def test_non_numeric_values_in_later_rows_are_skipped(self):
+        aggregator = StreamingAggregator()
+        aggregator.update({"v": 1.0})
+        aggregator.update({"v": "n/a"})  # e.g. an error marker row
+        aggregator.update({"v": 3.0})
+        summary = aggregator.summaries()["v"]
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(2.0)

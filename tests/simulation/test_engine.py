@@ -256,3 +256,105 @@ def test_simulator_fires_events_in_nondecreasing_time_order(delays):
     sim.run()
     assert len(fired) == len(delays)
     assert fired == sorted(fired)
+
+
+class TestSimEventResumeOrdering:
+    """Regression tests pinning the zero-delay resume ordering of SimEvent.
+
+    ``SimEvent.succeed`` wakes waiters through zero-delay events, so the
+    ordering contract is inherited from the queue's (time, priority, seq)
+    tie-break: waiters of one event resume FIFO, waiters of several events
+    succeeding at the same timestamp resume in succeed() order, and resumes
+    run after callbacks that were already scheduled at the same timestamp.
+    """
+
+    def test_waiters_resume_in_registration_order(self):
+        sim = Simulator()
+        event = sim.event("gate")
+        order = []
+
+        def waiter(name):
+            value = yield event
+            order.append((name, value))
+
+        for name in ("first", "second", "third"):
+            sim.process(waiter(name), name=name)
+        sim.schedule(1.0, lambda: event.succeed("go"))
+        sim.run()
+        assert order == [("first", "go"), ("second", "go"), ("third", "go")]
+
+    def test_simultaneous_events_resume_in_succeed_order(self):
+        sim = Simulator()
+        event_a = sim.event("a")
+        event_b = sim.event("b")
+        order = []
+
+        def waiter(name, event):
+            yield event
+            order.append(name)
+
+        # Registration interleaves the two events; the wake order must follow
+        # the succeed() order (b first), then registration order within each.
+        sim.process(waiter("a1", event_a), name="a1")
+        sim.process(waiter("b1", event_b), name="b1")
+        sim.process(waiter("a2", event_a), name="a2")
+        sim.process(waiter("b2", event_b), name="b2")
+        # Both succeed at t=1, b strictly before a.
+        sim.schedule(1.0, lambda: event_b.succeed())
+        sim.schedule(1.0, lambda: event_a.succeed())
+        sim.run()
+        assert order == ["b1", "b2", "a1", "a2"]
+
+    def test_resumes_run_after_already_scheduled_same_time_callbacks(self):
+        sim = Simulator()
+        event = sim.event()
+        order = []
+
+        def waiter():
+            yield event
+            order.append("waiter")
+
+        sim.process(waiter(), name="w")
+        sim.schedule(1.0, lambda: event.succeed())
+        # Scheduled before the succeed fires, also at t=1: runs first.
+        sim.schedule(1.0, lambda: order.append("callback"))
+        sim.run()
+        assert order == ["callback", "waiter"]
+        assert sim.now == pytest.approx(1.0)
+
+    def test_value_bound_at_trigger_time_for_late_waiters(self):
+        sim = Simulator()
+        event = sim.event()
+        seen = []
+
+        def late_waiter():
+            yield Timeout(2.0)
+            value = yield event  # event already triggered: immediate resume
+            seen.append(value)
+
+        sim.process(late_waiter(), name="late")
+        sim.schedule(1.0, lambda: event.succeed(42))
+        sim.run()
+        assert seen == [42]
+        assert event.triggered
+
+    def test_resume_order_is_reproducible_across_runs(self):
+        def run_once():
+            sim = Simulator()
+            events = [sim.event(str(i)) for i in range(5)]
+            order = []
+
+            def waiter(name, event):
+                yield event
+                order.append(name)
+
+            for i, event in enumerate(events):
+                for j in range(3):
+                    sim.process(waiter(f"e{i}w{j}", event), name=f"e{i}w{j}")
+            # All five events trigger at the same timestamp.
+            for event in events:
+                sim.schedule(1.0, lambda e=event: e.succeed())
+            sim.run()
+            return order
+
+        assert run_once() == run_once()
