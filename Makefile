@@ -1,18 +1,25 @@
-# Canonical entry points for the test suite, the benchmarks and a lint pass.
+# Canonical entry points for the test suite, the benchmarks, linting and a
+# local mirror of the CI pipeline.
 #
 #   make test                  tier-1 unit suite (tests/)
 #   make bench                 paper-figure benchmarks (benchmarks/)
 #   make bench JOBS=4          ... fanned out to 4 worker processes
 #   make bench CACHE=.repro-cache   ... with the on-disk cell cache
-#   make lint                  byte-compile every source tree
+#   make perf                  repro.bench quick tier -> BENCH_<ts>.json
+#   make perf-compare          quick tier + diff against the committed baseline
+#   make lint                  ruff check (byte-compilation fallback)
+#   make ci                    lint + test + warn-only perf compare (mirrors CI)
+#   make clean                 remove caches and stale bytecode
 
 PYTHON ?= python
 JOBS ?=
 CACHE ?=
+BENCH_THRESHOLD ?= 0.2
+BASELINE ?= benchmarks/baselines/quick.json
 
 BENCH_ENV = $(if $(JOBS),REPRO_JOBS=$(JOBS)) $(if $(CACHE),REPRO_CACHE_DIR=$(CACHE))
 
-.PHONY: test bench lint clean
+.PHONY: test bench perf perf-compare lint ci clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,9 +27,32 @@ test:
 bench:
 	$(BENCH_ENV) $(PYTHON) -m pytest benchmarks -q
 
+perf:
+	PYTHONPATH=src $(PYTHON) -m repro.bench --quick
+
+# Run the quick tier and compare against the committed baseline (warn-only:
+# local timing noise should not fail the build; CI uses the same mode).
+perf-compare:
+	@REPORT=$$(PYTHONPATH=src $(PYTHON) -m repro.bench --quick) && \
+	PYTHONPATH=src $(PYTHON) -m repro.bench compare $(BASELINE) $$REPORT \
+		--threshold $(BENCH_THRESHOLD) --warn-only
+
+# ruff when available (the CI lint job installs it); plain byte-compilation
+# otherwise so the target always catches syntax errors.
 lint:
-	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not found: falling back to byte-compilation only"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
+
+ci:
+	$(MAKE) lint
+	$(MAKE) test
+	$(MAKE) perf-compare
 
 clean:
-	rm -rf .pytest_cache .benchmarks
+	rm -rf .pytest_cache .benchmarks .repro-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +
+	find . -name "*.py[co]" -delete

@@ -21,7 +21,6 @@ weighted completion time for makespan (it merges the early batches).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.bounds import (
     makespan_lower_bound,

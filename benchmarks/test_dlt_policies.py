@@ -17,7 +17,6 @@ The shapes that must hold:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.dlt.bus import bus_equal_split, bus_single_round
 from repro.core.dlt.multiround import multi_round_distribution, optimize_round_count

@@ -14,7 +14,6 @@ raw simulator objects.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.reporting import ascii_table
 from repro.platform.generators import random_light_grid

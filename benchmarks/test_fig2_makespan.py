@@ -8,7 +8,6 @@ boundedness and the decreasing trend.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.figure2 import Figure2Config, figure2_curves, run_figure2
 from repro.experiments.reporting import ascii_plot, ascii_table

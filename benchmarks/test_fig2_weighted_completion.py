@@ -12,7 +12,6 @@ ratio at least as good as the Non Parallel one.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.figure2 import Figure2Config, figure2_curves, run_figure2
 from repro.experiments.reporting import ascii_plot, ascii_table

@@ -10,12 +10,11 @@ JSON-serialisable metrics.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.reporting import ascii_table
 from repro.platform.ciment import CIMENT_CLUSTERS, ciment_grid
 from repro.simulation.grid_sim import CentralizedGridSimulator
-from repro.workload.communities import COMMUNITY_PROFILES, community_workload, grid_workload
+from repro.workload.communities import community_workload, grid_workload
 
 #: Community -> cluster mapping used by the CIMENT experiments (each cluster
 #: is owned by one community, see repro.platform.ciment).

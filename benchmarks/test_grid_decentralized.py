@@ -16,7 +16,6 @@ of migrations decreases as the threshold grows.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.reporting import ascii_table
 from repro.platform.generators import homogeneous_cluster

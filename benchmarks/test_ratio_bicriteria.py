@@ -11,7 +11,6 @@ The job-count grid goes through the parallel sweep harness.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.bounds import (
     makespan_lower_bound,

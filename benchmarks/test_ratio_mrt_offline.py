@@ -10,7 +10,6 @@ grid goes through the parallel sweep harness (see benchmarks/conftest.py).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.bounds import makespan_lower_bound, performance_ratio
 from repro.core.criteria import makespan

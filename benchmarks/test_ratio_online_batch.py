@@ -9,7 +9,6 @@ grid goes through the parallel sweep harness.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.bounds import makespan_lower_bound, performance_ratio
 from repro.core.criteria import makespan

@@ -12,7 +12,6 @@ goes through the parallel sweep harness.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.bounds import (
     performance_ratio,

@@ -17,7 +17,6 @@ the weighted completion time.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.bounds import (
     makespan_lower_bound,

@@ -26,7 +26,7 @@ from repro.experiments.reporting import ascii_table
 from repro.platform.ciment import ciment_grid
 from repro.simulation.decentralized import DecentralizedGridSimulator
 from repro.simulation.grid_sim import CentralizedGridSimulator
-from repro.workload.communities import COMMUNITY_PROFILES, community_workload, grid_workload
+from repro.workload.communities import community_workload, grid_workload
 
 #: Each CIMENT cluster is owned by one community (see repro.platform.ciment).
 COMMUNITY_CLUSTER = {

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from repro.core.dlt import (
     DLTPlatform,
-    bus_single_round,
     multi_round_distribution,
     optimize_round_count,
     star_single_round,

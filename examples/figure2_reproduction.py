@@ -12,7 +12,6 @@ Run with:  python examples/figure2_reproduction.py [--quick]
 from __future__ import annotations
 
 import argparse
-import sys
 from pathlib import Path
 
 from repro.experiments.figure2 import Figure2Config, figure2_curves, run_figure2

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.criteria import makespan, mean_stretch, weighted_completion_time
+from repro.core.criteria import makespan, mean_stretch
 from repro.core.job import Job
 from repro.core.policies import (
     BatchOnlineScheduler,

@@ -1,0 +1,131 @@
+"""Command-line interface of the performance-tracking subsystem.
+
+Run the benchmark suite and write a ``BENCH_<timestamp>.json`` report::
+
+    python -m repro.bench --quick                 # CI smoke tier
+    python -m repro.bench --full --repeats 5      # real measurement
+    python -m repro.bench --case kernel.churn     # one case only
+    python -m repro.bench --list                  # show registered cases
+
+Compare two reports (exits 1 on a >threshold regression or a result-digest
+change, unless ``--warn-only``)::
+
+    python -m repro.bench compare BASELINE.json NEW.json --threshold 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.cases import REGISTRY, get_cases
+from repro.bench.compare import DEFAULT_THRESHOLD, compare_reports
+from repro.bench.runner import load_report, run_benchmarks, write_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run or compare the repro performance benchmarks.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser("run", help="run the benchmark suite (default)")
+    _add_run_arguments(run)
+    _add_run_arguments(parser)  # "python -m repro.bench --quick" with no subcommand
+
+    cmp_parser = sub.add_parser("compare", help="diff two BENCH_*.json reports")
+    cmp_parser.add_argument("baseline", type=Path, help="baseline BENCH_*.json")
+    cmp_parser.add_argument("new", type=Path, help="new BENCH_*.json")
+    cmp_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative wall-time regression tolerance (default 0.20 = 20%%)",
+    )
+    cmp_parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI smoke mode)",
+    )
+    cmp_parser.add_argument(
+        "--no-digest-check",
+        action="store_true",
+        help="do not fail on result-digest mismatches",
+    )
+    return parser
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    tier = parser.add_mutually_exclusive_group()
+    tier.add_argument(
+        "--quick", action="store_true", help="small CI-sized parameters (default)"
+    )
+    tier.add_argument(
+        "--full", action="store_true", help="full-sized measurement parameters"
+    )
+    parser.add_argument(
+        "--case",
+        action="append",
+        dest="cases",
+        metavar="NAME",
+        help="run only this case (repeatable)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timed repetitions")
+    parser.add_argument("--warmup", type=int, default=1, help="untimed warmup runs")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="output file or directory (default benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered cases and exit"
+    )
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.list:
+        for case in REGISTRY.values():
+            tiers = ", ".join(sorted(case.params))
+            print(f"{case.name:18s} [{tiers}]  {case.description}")
+        return 0
+    tier = "full" if args.full else "quick"
+    cases = get_cases(args.cases)
+    report = run_benchmarks(
+        cases,
+        tier=tier,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    path = write_report(report, args.output)
+    print(path)
+    return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    comparison = compare_reports(
+        load_report(args.baseline),
+        load_report(args.new),
+        threshold=args.threshold,
+        check_digests=not args.no_digest_check,
+    )
+    print(comparison.summary())
+    if comparison.ok or args.warn_only:
+        return 0
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "compare":
+        return _compare(args)
+    return _run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,303 @@
+"""Benchmark case registry.
+
+Each :class:`BenchCase` wraps one representative scenario of the
+reproduction behind a uniform interface: a callable that runs the scenario
+for a given parameter *tier* (``quick`` for CI smoke runs, ``full`` for
+real measurements) and returns a :class:`CaseOutcome` with
+
+* ``events`` / ``cells`` counters (whichever are meaningful for the case),
+  from which the runner derives events/sec and cells/sec rates, and
+* a ``payload`` -- a deterministic, repr-exact summary of the simulation
+  *results* that the runner hashes into a digest.  Two bench runs whose
+  digests match produced bit-identical simulation outputs, so a kernel
+  optimisation can be validated (same digests) and measured (higher
+  events/sec) from the same pair of ``BENCH_*.json`` files.
+
+The registered cases cover the four workload classes named in the paper
+reproduction: pure kernel event churn, the Figure-2 bi-criteria cluster
+sweep, an on-line cluster simulation, the CIMENT centralized grid of
+section 5.2, and a DLT multi-round distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+TIERS = ("quick", "full")
+
+
+@dataclass
+class CaseOutcome:
+    """What one execution of a bench case produced."""
+
+    #: Discrete-event count processed during the run (None when the case is
+    #: not event-driven, e.g. the Figure-2 schedule construction).
+    events: Optional[int] = None
+    #: Sweep-cell (or sub-problem) count (None when not a sweep).
+    cells: Optional[int] = None
+    #: Deterministic result summary; hashed by the runner into the digest
+    #: that proves bit-identical simulation outputs across kernel changes.
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """A named, tiered benchmark scenario."""
+
+    name: str
+    description: str
+    run: Callable[..., CaseOutcome]
+    #: Per-tier keyword arguments passed to ``run``.
+    params: Mapping[str, Dict[str, Any]]
+
+    def run_tier(self, tier: str) -> CaseOutcome:
+        if tier not in self.params:
+            raise KeyError(f"case {self.name!r} has no {tier!r} tier")
+        return self.run(**self.params[tier])
+
+
+REGISTRY: Dict[str, BenchCase] = {}
+
+
+def register(case: BenchCase) -> BenchCase:
+    if case.name in REGISTRY:
+        raise ValueError(f"duplicate bench case {case.name!r}")
+    for tier in case.params:
+        if tier not in TIERS:
+            raise ValueError(f"case {case.name!r} declares unknown tier {tier!r}")
+    REGISTRY[case.name] = case
+    return case
+
+
+def get_cases(names: Optional[List[str]] = None) -> List[BenchCase]:
+    """Resolve case names (all registered cases when ``names`` is None)."""
+
+    if names is None:
+        return list(REGISTRY.values())
+    cases = []
+    for name in names:
+        if name not in REGISTRY:
+            raise KeyError(
+                f"unknown bench case {name!r}; known: {sorted(REGISTRY)}"
+            )
+        cases.append(REGISTRY[name])
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# kernel.churn -- pure event-queue churn, the kernel microbenchmark
+# ---------------------------------------------------------------------------
+
+
+def _run_kernel_churn(n_events: int, chains: int = 64) -> CaseOutcome:
+    """Self-rescheduling timer chains hammering the event queue.
+
+    ``chains`` concurrent callbacks each reschedule themselves with seeded
+    pseudo-random delays quantised to 0.25 time units, so many events tie on
+    the same timestamp and the (time, priority, seq) tie-break, cancellation
+    and same-time dispatch paths are all exercised.  Every chain also
+    schedules-and-cancels a decoy event each step.
+    """
+
+    from repro.simulation.engine import Simulator
+
+    sim = Simulator()
+    rng = random.Random(20040426)
+    delays = [round(rng.random() * 16.0) * 0.25 + 0.25 for _ in range(1024)]
+    per_chain = n_events // chains
+    checksum: List[float] = []
+    fired = [0]
+
+    def make_chain(index: int) -> Callable[[], None]:
+        remaining = [per_chain]
+
+        def tick() -> None:
+            fired[0] += 1
+            if fired[0] % 97 == 0:
+                checksum.append(sim.now)
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                slot = (index * 31 + remaining[0]) % 1024
+                decoy = sim.schedule(delays[(slot + 7) % 1024], _never)
+                sim.cancel(decoy)
+                sim.schedule(delays[slot], tick, priority=index % 3)
+
+        return tick
+
+    def _never() -> None:  # cancelled decoys must not fire
+        raise AssertionError("cancelled event fired")
+
+    for index in range(chains):
+        sim.schedule(delays[index % 1024], make_chain(index), priority=index % 3)
+    sim.run()
+    return CaseOutcome(
+        events=sim.processed_events,
+        payload={
+            "now": repr(sim.now),
+            "fired": fired[0],
+            "checksum": [repr(v) for v in checksum],
+        },
+    )
+
+
+register(
+    BenchCase(
+        name="kernel.churn",
+        description="pure event-queue churn (self-rescheduling timer chains)",
+        run=_run_kernel_churn,
+        params={"quick": {"n_events": 60_000}, "full": {"n_events": 400_000}},
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# cluster.figure2 -- the Figure-2 bi-criteria sweep through the harness
+# ---------------------------------------------------------------------------
+
+
+def _run_figure2_sweep(task_counts: Tuple[int, ...], repetitions: int) -> CaseOutcome:
+    from repro.experiments.figure2 import Figure2Config, run_figure2
+
+    config = Figure2Config(task_counts=task_counts, repetitions=repetitions)
+    # Pin the serial executor: a REPRO_JOBS setting in the environment would
+    # otherwise fan the sweep out and make timings incomparable to baselines.
+    points = run_figure2(config, executor="serial")
+    payload = [
+        (p.family, p.n_tasks, p.seed, repr(p.wici_ratio), repr(p.cmax_ratio))
+        for p in points
+    ]
+    return CaseOutcome(cells=len(points), payload=payload)
+
+
+register(
+    BenchCase(
+        name="cluster.figure2",
+        description="Figure-2 bi-criteria sweep (both families) via the harness",
+        run=_run_figure2_sweep,
+        params={
+            "quick": {"task_counts": (50, 100), "repetitions": 1},
+            "full": {"task_counts": (50, 100, 200, 400), "repetitions": 3},
+        },
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# cluster.online -- event-driven single-cluster simulation
+# ---------------------------------------------------------------------------
+
+
+def _run_cluster_online(n_jobs: int, machine_count: int = 64) -> CaseOutcome:
+    from repro.simulation.cluster_sim import ClusterSimulator
+    from repro.workload.communities import community_workload
+
+    jobs = community_workload(
+        "computer-science", n_jobs, machine_count, random_state=7
+    )
+    result = ClusterSimulator(machine_count, policy="backfill").run(jobs)
+    payload = {
+        "makespan": repr(result.criteria.makespan),
+        "trace": [
+            (repr(e.time), e.kind, e.job, e.processors) for e in result.trace
+        ],
+    }
+    return CaseOutcome(events=len(result.trace), payload=payload)
+
+
+register(
+    BenchCase(
+        name="cluster.online",
+        description="on-line cluster simulation (backfill queue policy)",
+        run=_run_cluster_online,
+        params={"quick": {"n_jobs": 300}, "full": {"n_jobs": 2000}},
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# grid.ciment -- the centralized CIMENT light grid of section 5.2
+# ---------------------------------------------------------------------------
+
+
+def _run_ciment_grid(jobs_per_community: int) -> CaseOutcome:
+    from repro.platform.ciment import ciment_grid
+    from repro.simulation.grid_sim import CentralizedGridSimulator
+    from repro.workload.communities import community_workload, grid_workload
+
+    grid = ciment_grid()
+    local = {}
+    bags = []
+    for index, cluster in enumerate(sorted(grid, key=lambda c: c.name)):
+        local[cluster.name] = community_workload(
+            cluster.community,
+            jobs_per_community,
+            cluster.processor_count,
+            random_state=100 + index,
+        )
+        bags.extend(grid_workload(cluster.community, random_state=200 + index))
+    result = CentralizedGridSimulator(grid, local_policy="backfill").run(local, bags)
+    payload = {
+        "horizon": repr(result.horizon),
+        "kills": result.kills,
+        "launches": result.launches,
+        "runs_completed": sorted(result.runs_completed.items()),
+        "trace": [
+            (repr(e.time), e.kind, e.job, e.cluster, e.processors, e.info)
+            for e in result.trace
+        ],
+    }
+    return CaseOutcome(events=len(result.trace), payload=payload)
+
+
+register(
+    BenchCase(
+        name="grid.ciment",
+        description="centralized CIMENT grid (best-effort fill, kills, resubmits)",
+        run=_run_ciment_grid,
+        params={"quick": {"jobs_per_community": 12}, "full": {"jobs_per_community": 40}},
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# dlt.multiround -- divisible-load multi-round distribution
+# ---------------------------------------------------------------------------
+
+
+def _run_dlt_multiround(total_load: float, n_workers: int, max_rounds: int) -> CaseOutcome:
+    from repro.core.dlt.multiround import optimize_round_count
+    from repro.core.dlt.platform import DLTPlatform, DLTWorker
+
+    workers = [
+        DLTWorker(
+            name=f"w{i:03d}",
+            compute_time=1.0 + 0.07 * (i % 5),
+            comm_time=0.01 + 0.003 * (i % 7),
+            latency=0.05 * (i % 3),
+        )
+        for i in range(n_workers)
+    ]
+    platform = DLTPlatform(workers)
+    best = optimize_round_count(total_load, platform, max_rounds=max_rounds)
+    payload = {
+        "rounds": best.rounds,
+        "makespan": repr(best.makespan),
+        "round_loads": [repr(v) for v in best.round_loads],
+        "idle_time": repr(best.idle_time),
+    }
+    return CaseOutcome(cells=max_rounds, payload=payload)
+
+
+register(
+    BenchCase(
+        name="dlt.multiround",
+        description="DLT multi-round distribution, optimized round count",
+        run=_run_dlt_multiround,
+        params={
+            "quick": {"total_load": 500.0, "n_workers": 32, "max_rounds": 12},
+            "full": {"total_load": 5000.0, "n_workers": 128, "max_rounds": 16},
+        },
+    )
+)

@@ -1,0 +1,181 @@
+"""Comparator for two ``BENCH_*.json`` reports.
+
+``compare_reports`` diffs a baseline report against a new one, case by
+case, and flags
+
+* **regressions** -- wall-time slowdowns larger than the threshold
+  (default 20%), and
+* **digest changes** -- the simulation produced different results, which a
+  pure performance change must never do.
+
+The CLI wrapper (``python -m repro.bench compare OLD NEW``) exits nonzero
+when any regression (or digest change) is found, unless ``--warn-only`` is
+passed -- the mode the CI smoke-bench job uses, where shared-runner timing
+noise would make a hard gate flaky.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass
+class CaseDelta:
+    """Comparison of one case between a baseline and a new report."""
+
+    case: str
+    baseline_wall: Optional[float]
+    new_wall: Optional[float]
+    #: Relative wall-time change, (new - old) / old; positive = slower.
+    rel_change: Optional[float]
+    baseline_events_per_sec: Optional[float]
+    new_events_per_sec: Optional[float]
+    digest_match: Optional[bool]
+    status: str  # "ok" | "regression" | "digest-change" | "tier-mismatch" | "missing"
+
+    def describe(self) -> str:
+        if self.status == "missing":
+            side = "baseline" if self.baseline_wall is None else "new report"
+            return f"{self.case}: only present in one report (missing from {side})"
+        if self.status == "tier-mismatch":
+            return (
+                f"{self.case}: reports ran different tiers -- wall times and "
+                "digests are not comparable  [TIER MISMATCH]"
+            )
+        assert self.baseline_wall is not None and self.new_wall is not None
+        assert self.rel_change is not None
+        direction = "slower" if self.rel_change >= 0 else "faster"
+        line = (
+            f"{self.case}: {self.baseline_wall * 1e3:.1f} ms -> "
+            f"{self.new_wall * 1e3:.1f} ms ({abs(self.rel_change) * 100:.1f}% {direction})"
+        )
+        if self.baseline_events_per_sec and self.new_events_per_sec:
+            speedup = self.new_events_per_sec / self.baseline_events_per_sec
+            line += (
+                f", {self.baseline_events_per_sec:,.0f} -> "
+                f"{self.new_events_per_sec:,.0f} events/s ({speedup:.2f}x)"
+            )
+        if self.digest_match is False:
+            line += "  [RESULTS CHANGED: digest mismatch]"
+        elif self.status == "regression":
+            line += "  [REGRESSION]"
+        return line
+
+
+@dataclass
+class Comparison:
+    """Full report-to-report comparison."""
+
+    deltas: List[CaseDelta]
+    threshold: float
+
+    @property
+    def regressions(self) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def digest_changes(self) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.status == "digest-change"]
+
+    @property
+    def tier_mismatches(self) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.status == "tier-mismatch"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.digest_changes and not self.tier_mismatches
+
+    def summary(self) -> str:
+        lines = [d.describe() for d in self.deltas]
+        if self.ok:
+            verdict = (
+                "OK: no regression above "
+                f"{self.threshold * 100:.0f}% and no result change"
+            )
+        else:
+            verdict = (
+                f"FAIL: {len(self.regressions)} regression(s), "
+                f"{len(self.digest_changes)} result change(s), "
+                f"{len(self.tier_mismatches)} tier mismatch(es) "
+                f"(threshold {self.threshold * 100:.0f}%)"
+            )
+        return "\n".join(lines + [verdict])
+
+
+def _index_cases(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {entry["case"]: entry for entry in report.get("results", [])}
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    new: Dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    check_digests: bool = True,
+) -> Comparison:
+    """Diff two bench reports; see the module docstring for semantics."""
+
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    base_cases = _index_cases(baseline)
+    new_cases = _index_cases(new)
+    deltas: List[CaseDelta] = []
+    for name in sorted(set(base_cases) | set(new_cases)):
+        old = base_cases.get(name)
+        cur = new_cases.get(name)
+        if old is None or cur is None:
+            deltas.append(
+                CaseDelta(
+                    case=name,
+                    baseline_wall=old["wall_seconds"] if old else None,
+                    new_wall=cur["wall_seconds"] if cur else None,
+                    rel_change=None,
+                    baseline_events_per_sec=None,
+                    new_events_per_sec=None,
+                    digest_match=None,
+                    status="missing",
+                )
+            )
+            continue
+        old_wall = float(old["wall_seconds"])
+        new_wall = float(cur["wall_seconds"])
+        rel = (new_wall - old_wall) / old_wall if old_wall > 0 else 0.0
+        if old.get("tier") != cur.get("tier"):
+            # Different parameter tiers: neither the wall times nor the
+            # digests are comparable -- fail loudly instead of judging noise.
+            deltas.append(
+                CaseDelta(
+                    case=name,
+                    baseline_wall=old_wall,
+                    new_wall=new_wall,
+                    rel_change=None,
+                    baseline_events_per_sec=old.get("events_per_sec"),
+                    new_events_per_sec=cur.get("events_per_sec"),
+                    digest_match=None,
+                    status="tier-mismatch",
+                )
+            )
+            continue
+        digest_match = old.get("digest") == cur.get("digest")
+        if check_digests and digest_match is False:
+            status = "digest-change"
+        elif rel > threshold:
+            status = "regression"
+        else:
+            status = "ok"
+        deltas.append(
+            CaseDelta(
+                case=name,
+                baseline_wall=old_wall,
+                new_wall=new_wall,
+                rel_change=rel,
+                baseline_events_per_sec=old.get("events_per_sec"),
+                new_events_per_sec=cur.get("events_per_sec"),
+                digest_match=digest_match,
+                status=status,
+            )
+        )
+    return Comparison(deltas=deltas, threshold=threshold)

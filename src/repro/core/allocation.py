@@ -13,9 +13,8 @@ the job model), which the test-suite and the simulators use extensively.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.job import Job, MoldableJob, RigidJob
 

@@ -29,7 +29,7 @@ in the paper.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.core.job import Job, MoldableJob, ParametricSweep, RigidJob, DivisibleJob
 

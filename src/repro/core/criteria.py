@@ -23,12 +23,10 @@ experiment harness stores for each simulation run.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.core.allocation import Schedule
-from repro.core.job import Job
 
 
 # ---------------------------------------------------------------------------

@@ -21,9 +21,9 @@ Equating ``T_i = T_{i+1}`` gives the recursion
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
-from repro.core.dlt.platform import DLTPlatform, DLTWorker
+from repro.core.dlt.platform import DLTPlatform
 
 
 @dataclass(frozen=True)

@@ -25,11 +25,10 @@ multi-round crossover as latencies grow.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.dlt.platform import DLTPlatform, DLTWorker
+from repro.core.dlt.platform import DLTPlatform
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ experiments can treat each cluster as one "big worker".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.platform.cluster import Cluster
 from repro.platform.grid import LightGrid

@@ -20,7 +20,7 @@ throughput is simply the sum of the compute rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict
 
 from repro.core.dlt.platform import DLTPlatform, DLTWorker
 

@@ -15,7 +15,6 @@ forms on both homogeneous and heterogeneous platforms.
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 

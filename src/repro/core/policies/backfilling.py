@@ -23,8 +23,7 @@ submitted jobs").  Moldable jobs are frozen to rigid ones by a
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.allocation import Schedule, pack_contiguously
 from repro.core.job import Job, validate_jobs

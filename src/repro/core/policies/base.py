@@ -25,13 +25,11 @@ used by several policies.
 from __future__ import annotations
 
 import abc
-import heapq
 import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from repro.core.allocation import Schedule, ScheduleError, pack_contiguously
-from repro.core.job import Job, MoldableJob, RigidJob, validate_jobs
+from repro.core.allocation import Schedule
+from repro.core.job import Job, MoldableJob, RigidJob
 
 
 class SchedulerError(RuntimeError):

@@ -19,8 +19,7 @@ schedule reaches its release date.
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.allocation import Schedule
 from repro.core.job import Job, validate_jobs

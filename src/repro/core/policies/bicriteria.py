@@ -31,9 +31,8 @@ Implementation notes
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.allocation import Schedule
 from repro.core.bounds import min_runtime, min_work
@@ -43,7 +42,6 @@ from repro.core.policies.base import (
     ReleaseDateScheduler,
     SchedulerError,
 )
-from repro.core.policies.mrt import MRTScheduler
 
 
 @dataclass

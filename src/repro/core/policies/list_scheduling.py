@@ -13,7 +13,7 @@ on a single processor).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.core.allocation import Schedule
 from repro.core.job import Job, validate_jobs

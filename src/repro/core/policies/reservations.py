@@ -17,10 +17,9 @@ rigid/moldable mix is supported through the usual allocation step.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.allocation import Reservation, Schedule, ScheduleError
+from repro.core.allocation import Reservation, Schedule
 from repro.core.job import Job, validate_jobs
 from repro.core.policies.backfilling import AvailabilityProfile
 from repro.core.policies.base import (

@@ -20,7 +20,6 @@ instances.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.allocation import Schedule
@@ -34,7 +33,6 @@ from repro.core.policies.base import (
     list_schedule_rigid,
     sort_jobs,
 )
-from repro.core.policies.bicriteria import BiCriteriaScheduler
 from repro.core.policies.mrt import MRTScheduler
 
 STRATEGIES = ("separate", "a_priori", "first_fit_batch")

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.allocation import Schedule
-from repro.core.job import Job, MoldableJob, RigidJob, validate_jobs
+from repro.core.job import Job, validate_jobs
 from repro.core.policies.base import (
     MoldableAllocator,
     OfflineScheduler,

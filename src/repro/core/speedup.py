@@ -26,9 +26,8 @@ into the explicit runtime table expected by
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Protocol, Sequence
+from typing import List, Protocol
 
 
 class SpeedupModel(Protocol):

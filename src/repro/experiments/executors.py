@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
-from typing import Callable, Iterator, List, Optional, Sequence, Union
+from typing import Callable, Iterator, Optional, Sequence, Union
 
 from repro.experiments.grid import Cell, CellOutcome
 

@@ -30,13 +30,13 @@ must hold -- and that the benchmark and tests verify -- is:
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.policies.bicriteria import BiCriteriaScheduler
-from repro.core.policies.mrt import GreedyMoldableScheduler, MRTScheduler
+from repro.core.policies.mrt import MRTScheduler
 from repro.experiments.harness import run_experiment
 from repro.metrics.ratios import RatioReport, schedule_ratios
 from repro.workload.models import figure2_workload

@@ -21,7 +21,7 @@ import itertools
 import json
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 RunFunction = Callable[..., Mapping[str, Any]]

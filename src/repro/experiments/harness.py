@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.experiments.cache import ResultCache
-from repro.experiments.executors import Executor, ExecutorSpec, resolve_executor
+from repro.experiments.executors import ExecutorSpec, resolve_executor
 from repro.experiments.grid import Cell, CellFunction, CellOutcome, RunFunction, expand_grid
 from repro.metrics.aggregate import StreamingAggregator, Summary, aggregate_runs, group_by
 

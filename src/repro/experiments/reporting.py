@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import io
 import math
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 
 def _format_cell(value: Any, precision: int) -> str:

@@ -18,10 +18,9 @@ Two families of metrics are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.core.allocation import Schedule
-from repro.core.job import Job
 
 
 def community_usage(schedule: Schedule) -> Dict[str, Dict[str, float]]:

@@ -23,7 +23,6 @@ from repro.core.bounds import (
 )
 from repro.core.criteria import (
     makespan,
-    max_stretch,
     mean_stretch,
     sum_completion_times,
     weighted_completion_time,

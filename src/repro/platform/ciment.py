@@ -21,7 +21,7 @@ clusters the slowest.  Each node is a bi-processor (2 cores).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.platform.cluster import Cluster, Interconnect
 from repro.platform.grid import GridLink, LightGrid

@@ -15,7 +15,7 @@ protocol) live in :mod:`repro.simulation.grid_sim` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.platform.cluster import Cluster
 

@@ -11,7 +11,7 @@ links can also be considered by uniform or unrelated processors").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

@@ -14,8 +14,8 @@ simulated and constructed schedules can be compared on the same metrics.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.allocation import Schedule
 from repro.core.criteria import CriteriaReport
@@ -162,6 +162,7 @@ class ClusterSimulator:
         *,
         policy: Union[str, QueuePolicy] = "fifo",
         allocator: Optional[MoldableAllocator] = None,
+        trace_labels: bool = False,
     ) -> None:
         if isinstance(platform, Cluster):
             self.machine_count = platform.processor_count
@@ -180,11 +181,14 @@ class ClusterSimulator:
                 ) from None
             policy = policy_cls(allocator)
         self.policy = policy
+        #: Build per-event label strings (debugging aid; off on the fast path).
+        self.trace_labels = trace_labels
 
     # -- main entry point -------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> SimulationResult:
         jobs = list(jobs)
-        sim = Simulator()
+        sim = Simulator(trace_labels=self.trace_labels)
+        labels = self.trace_labels
         pool = ProcessorPool(self.machine_count)
         trace = Trace()
         queue: List[Job] = []
@@ -216,7 +220,8 @@ class ClusterSimulator:
                                  cluster=self.cluster_name, processors=processors)
                     try_start()
 
-                sim.schedule(runtime, complete, label=f"complete {job.name}")
+                sim.schedule(runtime, complete,
+                             label=f"complete {job.name}" if labels else "")
 
         def submit(job: Job) -> None:
             trace.record(sim.now, "submit", job.name, cluster=self.cluster_name)
@@ -225,7 +230,7 @@ class ClusterSimulator:
 
         for job in sorted(jobs, key=lambda j: (j.release_date, j.name)):
             sim.schedule_at(job.release_date, lambda job=job: submit(job),
-                            label=f"submit {job.name}")
+                            label=f"submit {job.name}" if labels else "")
         sim.run()
 
         if queue:

@@ -29,9 +29,8 @@ isolated clusters and against the centralized best-effort scheme:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.allocation import Schedule
 from repro.core.criteria import CriteriaReport
@@ -79,6 +78,7 @@ class DecentralizedGridSimulator:
         imbalance_threshold: float = 2.0,
         exchange_enabled: bool = True,
         data_volume_per_work_unit: float = 0.1,
+        trace_labels: bool = False,
     ) -> None:
         if imbalance_threshold < 0:
             raise ValueError("imbalance_threshold must be >= 0")
@@ -96,6 +96,8 @@ class DecentralizedGridSimulator:
         self.imbalance_threshold = imbalance_threshold
         self.exchange_enabled = exchange_enabled
         self.data_volume_per_work_unit = data_volume_per_work_unit
+        #: Build per-event label strings (debugging aid; off on the fast path).
+        self.trace_labels = trace_labels
 
     # -- main entry point --------------------------------------------------------
     def run(self, submissions: Mapping[str, Sequence[Job]]) -> DecentralizedResult:
@@ -105,7 +107,8 @@ class DecentralizedGridSimulator:
         if unknown:
             raise ValueError(f"submissions reference unknown clusters: {unknown}")
 
-        sim = Simulator()
+        sim = Simulator(trace_labels=self.trace_labels)
+        labels = self.trace_labels
         trace = Trace()
         pools: Dict[str, ProcessorPool] = {}
         queues: Dict[str, List[Job]] = {}
@@ -162,7 +165,8 @@ class DecentralizedGridSimulator:
                     try_start(cluster_name)
                     maybe_exchange(cluster_name)
 
-                sim.schedule(runtime, complete, label=f"complete {job.name}")
+                sim.schedule(runtime, complete,
+                             label=f"complete {job.name}" if labels else "")
 
         def maybe_exchange(cluster_name: str) -> None:
             nonlocal migrations
@@ -206,7 +210,8 @@ class DecentralizedGridSimulator:
                                  info="migrated")
                     try_start(target)
 
-                sim.schedule(delay, arrive, label=f"migrate {job.name}")
+                sim.schedule(delay, arrive,
+                             label=f"migrate {job.name}" if labels else "")
 
         def submit(cluster_name: str, job: Job) -> None:
             release_of[job.name] = sim.now
@@ -220,7 +225,7 @@ class DecentralizedGridSimulator:
                 sim.schedule_at(
                     job.release_date,
                     lambda cluster_name=cluster_name, job=job: submit(cluster_name, job),
-                    label=f"submit {job.name}",
+                    label=f"submit {job.name}" if labels else "",
                 )
         sim.run()
 

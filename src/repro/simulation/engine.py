@@ -14,13 +14,20 @@ The kernel is deterministic: simultaneous events run in scheduling order
 (see :mod:`repro.simulation.events`), and there is no hidden source of
 randomness -- all randomness lives in the workload generators, which take
 explicit seeds.
+
+Fast path: the run loop works directly on the queue's tuple heap (no
+per-event ``peek``/``pop`` method round-trips) and dispatches every event
+tied at the current timestamp in one batch, re-checking only the stop /
+max-events guards between callbacks.  Event labels are allocated lazily:
+unless ``trace_labels`` is enabled on the simulator, scheduling call sites
+skip building the per-event description strings entirely.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, List, Optional, Union
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
 
 from repro.simulation.events import Event, EventQueue
 
@@ -42,6 +49,8 @@ class SimEvent:
     ``succeed(value)`` wakes every waiting process and stores ``value`` which
     becomes the result of the ``yield``.
     """
+
+    __slots__ = ("_sim", "label", "triggered", "value", "_waiters")
 
     def __init__(self, sim: "Simulator", label: str = "") -> None:
         self._sim = sim
@@ -76,6 +85,8 @@ class SimEvent:
 class Process:
     """A generator-based simulation process."""
 
+    __slots__ = ("_sim", "_generator", "name", "finished", "result", "completion_event")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         self._sim = sim
         self._generator = generator
@@ -85,7 +96,9 @@ class Process:
         self.completion_event = SimEvent(sim, label=f"{self.name}.done")
 
     def _start(self) -> None:
-        self._sim.schedule(0.0, lambda: self._resume(None), label=f"start {self.name}")
+        sim = self._sim
+        label = f"start {self.name}" if sim.trace_labels else ""
+        sim.schedule(0.0, lambda: self._resume(None), label=label)
 
     def _resume(self, value: Any) -> None:
         if self.finished:
@@ -101,8 +114,9 @@ class Process:
 
     def _dispatch(self, yielded: Any) -> None:
         if isinstance(yielded, Timeout):
-            self._sim.schedule(yielded.delay, lambda: self._resume(None),
-                               label=f"wake {self.name}")
+            sim = self._sim
+            label = f"wake {self.name}" if sim.trace_labels else ""
+            sim.schedule(yielded.delay, lambda: self._resume(None), label=label)
         elif isinstance(yielded, SimEvent):
             yielded._add_waiter(self)
         elif isinstance(yielded, Process):
@@ -114,14 +128,29 @@ class Process:
 
 
 class Simulator:
-    """Discrete-event simulation kernel: clock + event queue + process runner."""
+    """Discrete-event simulation kernel: clock + event queue + process runner.
 
-    def __init__(self) -> None:
+    ``trace_labels`` opts into per-event description strings (useful when
+    debugging a simulation); it is off by default because building one
+    f-string per scheduled event measurably slows the hot path down.
+    """
+
+    __slots__ = (
+        "_queue",
+        "_now",
+        "_running",
+        "_stop_requested",
+        "processed_events",
+        "trace_labels",
+    )
+
+    def __init__(self, *, trace_labels: bool = False) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
         self._stop_requested = False
         self.processed_events = 0
+        self.trace_labels = trace_labels
 
     # -- clock -------------------------------------------------------------
     @property
@@ -188,27 +217,46 @@ class Simulator:
             raise RuntimeError("simulator is already running (re-entrant run())")
         self._running = True
         self._stop_requested = False
-        count = 0
+        queue = self._queue
+        heap = queue._heap
+        pop = heapq.heappop
+        limit = None if until is None else until + 1e-12
+        # ``remaining`` mirrors the historical semantics: at least one event
+        # is dispatched before a (possibly zero) max_events budget is checked.
+        remaining = max_events
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                assert next_time is not None
-                if until is not None and next_time > until + 1e-12:
-                    self._now = until
-                    break
-                event = self._queue.pop()
-                self._now = event.time
-                assert event.callback is not None
-                event.callback()
-                self.processed_events += 1
-                count += 1
-                if self._stop_requested:
-                    break
-                if max_events is not None and count >= max_events:
-                    break
-            else:
-                if until is not None:
-                    self._now = max(self._now, until)
+            while heap:
+                head = heap[0]
+                if head[3].cancelled:
+                    pop(heap)
+                    continue
+                now = head[0]
+                if limit is not None and now > limit:
+                    self._now = until  # type: ignore[assignment]
+                    return self._now
+                self._now = now
+                # Batched same-time dispatch: every live event tied at ``now``
+                # is inside the horizon checked above, so the inner loop pays
+                # only the pop + cancelled test per event.  Events scheduled
+                # by a callback at the current time join the batch in (time,
+                # priority, seq) order; cancellations made mid-batch are
+                # honoured because each event is re-checked when popped.
+                while heap and heap[0][0] == now:
+                    event = pop(heap)[3]
+                    if event.cancelled:
+                        continue
+                    queue._live -= 1
+                    event.callback()  # type: ignore[misc]
+                    self.processed_events += 1
+                    if self._stop_requested:
+                        return self._now
+                    if remaining is not None:
+                        remaining -= 1
+                        if remaining <= 0:
+                            return self._now
+            # Queue fully drained: advance the clock to the horizon.
+            if until is not None:
+                self._now = max(self._now, until)
         finally:
             self._running = False
         return self._now

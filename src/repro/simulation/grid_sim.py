@@ -29,9 +29,8 @@ The simulation implements exactly this protocol:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.allocation import Schedule
 from repro.core.criteria import CriteriaReport
@@ -139,6 +138,7 @@ class CentralizedGridSimulator:
         local_policy: Union[str, QueuePolicy] = "fifo",
         allocator: Optional[MoldableAllocator] = None,
         best_effort_enabled: bool = True,
+        trace_labels: bool = False,
     ) -> None:
         self.grid = grid
         if isinstance(local_policy, str):
@@ -152,6 +152,8 @@ class CentralizedGridSimulator:
         else:
             self._policy_factory = lambda: local_policy
         self.best_effort_enabled = best_effort_enabled
+        #: Build per-event label strings (debugging aid; off on the fast path).
+        self.trace_labels = trace_labels
 
     # -- main entry point ---------------------------------------------------------
     def run(
@@ -174,7 +176,8 @@ class CentralizedGridSimulator:
         if unknown:
             raise ValueError(f"local jobs reference unknown clusters: {unknown}")
 
-        sim = Simulator()
+        sim = Simulator(trace_labels=self.trace_labels)
+        labels = self.trace_labels
         trace = Trace()
         server = GridServer(grid_bags if self.best_effort_enabled else [])
 
@@ -216,7 +219,7 @@ class CentralizedGridSimulator:
                         0.0,
                         lambda: [fill_best_effort(c.name) for c in self.grid],
                         priority=2,
-                        label="refill after kill",
+                        label="refill after kill" if labels else "",
                     )
 
                 processors = pool.try_acquire(
@@ -241,7 +244,8 @@ class CentralizedGridSimulator:
                     server.complete(run, sim.now)
                     fill_best_effort(cluster_name)
 
-                sim.schedule(duration, complete, label=f"complete {run.name}")
+                sim.schedule(duration, complete,
+                             label=f"complete {run.name}" if labels else "")
 
         def try_start_local(cluster_name: str) -> None:
             pool = pools[cluster_name]
@@ -274,7 +278,8 @@ class CentralizedGridSimulator:
                                  cluster=cluster_name, info="local")
                     try_start_local(cluster_name)
 
-                sim.schedule(runtime, complete, label=f"complete {job.name}")
+                sim.schedule(runtime, complete,
+                             label=f"complete {job.name}" if labels else "")
             fill_best_effort(cluster_name)
 
         def submit_local(cluster_name: str, job: Job) -> None:
@@ -288,12 +293,12 @@ class CentralizedGridSimulator:
                 sim.schedule_at(
                     job.release_date,
                     lambda cluster_name=cluster_name, job=job: submit_local(cluster_name, job),
-                    label=f"submit {job.name}",
+                    label=f"submit {job.name}" if labels else "",
                 )
         # Kick off best-effort filling at time 0 on every cluster.
         for cluster in self.grid:
             sim.schedule(0.0, lambda name=cluster.name: fill_best_effort(name),
-                         priority=1, label=f"fill {cluster.name}")
+                         priority=1, label=f"fill {cluster.name}" if labels else "")
 
         sim.run()
         horizon = sim.now

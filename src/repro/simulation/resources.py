@@ -11,7 +11,7 @@ currently in use by a best-effort job, the latter will be killed").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.allocation import Reservation
@@ -31,12 +31,22 @@ class AllocationRequest:
             raise ValueError("nbproc must be >= 1")
 
 
-@dataclass
 class _Lease:
-    name: str
-    processors: Tuple[int, ...]
-    preemptible: bool
-    on_preempt: Optional[Callable[[Tuple[int, ...]], None]] = None
+    """One active allocation; a plain ``__slots__`` record (hot path)."""
+
+    __slots__ = ("name", "processors", "preemptible", "on_preempt")
+
+    def __init__(
+        self,
+        name: str,
+        processors: Tuple[int, ...],
+        preemptible: bool,
+        on_preempt: Optional[Callable[[Tuple[int, ...]], None]] = None,
+    ) -> None:
+        self.name = name
+        self.processors = processors
+        self.preemptible = preemptible
+        self.on_preempt = on_preempt
 
 
 class ProcessorPool:
@@ -55,9 +65,14 @@ class ProcessorPool:
     def free_processors(self, now: float = 0.0) -> List[int]:
         """Processor indices currently free and not blocked by a reservation."""
 
+        busy = self._busy
+        if not self.reservations:
+            # Fast path: without reservations a processor is free iff it is
+            # not busy; skip the per-processor reservation scan entirely.
+            return [p for p in range(self.machine_count) if p not in busy]
         free = []
         for p in range(self.machine_count):
-            if p in self._busy:
+            if p in busy:
                 continue
             if any(r.blocks(p, now, now + 1e-12) for r in self.reservations):
                 continue
@@ -65,6 +80,8 @@ class ProcessorPool:
         return free
 
     def free_count(self, now: float = 0.0) -> int:
+        if not self.reservations:
+            return self.machine_count - len(self._busy)
         return len(self.free_processors(now))
 
     def preemptible_processors(self) -> List[int]:
@@ -119,7 +136,9 @@ class ProcessorPool:
         if len(free) < nbproc and allow_preemption and not preemptible:
             # Kill best-effort leases until enough processors are free.
             missing = nbproc - len(free)
-            victims: List[_Lease] = [l for l in self._leases.values() if l.preemptible]
+            victims: List[_Lease] = [
+                lease for lease in self._leases.values() if lease.preemptible
+            ]
             reclaimed: List[_Lease] = []
             freed = 0
             for lease in victims:

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 EVENT_KINDS = (
     "submit",
@@ -26,27 +25,61 @@ EVENT_KINDS = (
     "reject",
 )
 
+#: Internal set for O(1) kind validation on the per-event hot path.
+_EVENT_KIND_SET = frozenset(EVENT_KINDS)
 
-@dataclass(frozen=True)
+
 class TraceEvent:
-    """One timestamped event of a simulation."""
+    """One timestamped event of a simulation.
 
-    time: float
-    kind: str
-    job: str
-    cluster: Optional[str] = None
-    processors: Tuple[int, ...] = ()
-    info: str = ""
+    A plain ``__slots__`` record: traces grow by thousands of events per
+    simulation, so construction cost matters.  Treat instances as immutable.
+    """
 
-    def __post_init__(self) -> None:
-        if self.kind not in EVENT_KINDS:
-            raise ValueError(f"unknown trace event kind {self.kind!r}")
-        if self.time < 0:
+    __slots__ = ("time", "kind", "job", "cluster", "processors", "info")
+
+    def __init__(
+        self,
+        time: float,
+        kind: str,
+        job: str,
+        cluster: Optional[str] = None,
+        processors: Tuple[int, ...] = (),
+        info: str = "",
+    ) -> None:
+        if kind not in _EVENT_KIND_SET:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        if time < 0:
             raise ValueError("trace event with negative time")
+        self.time = time
+        self.kind = kind
+        self.job = job
+        self.cluster = cluster
+        self.processors = processors
+        self.info = info
+
+    def _key(self) -> Tuple:
+        return (self.time, self.kind, self.job, self.cluster, self.processors, self.info)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(time={self.time!r}, kind={self.kind!r}, job={self.job!r}, "
+            f"cluster={self.cluster!r}, processors={self.processors!r}, info={self.info!r})"
+        )
 
 
 class Trace:
     """Append-only list of simulation events with query helpers."""
+
+    __slots__ = ("_events",)
 
     def __init__(self) -> None:
         self._events: List[TraceEvent] = []

@@ -14,7 +14,6 @@ generators below assign release dates to an existing list of jobs (returning
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import List, Optional, Sequence, Union
 
 import numpy as np

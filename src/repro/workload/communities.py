@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
-from repro.core.job import Job, MoldableJob, ParametricSweep, RigidJob
+from repro.core.job import Job, MoldableJob, ParametricSweep
 from repro.core.speedup import AmdahlSpeedup, make_runtime_table
 from repro.workload.arrivals import poisson_arrivals
 from repro.workload.parametric import generate_parametric_bags

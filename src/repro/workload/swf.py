@@ -24,8 +24,7 @@ generated workloads for inspection with external tools.
 
 from __future__ import annotations
 
-import io
-from typing import Iterable, List, Optional, Sequence, TextIO, Union
+from typing import List, Optional, Sequence, TextIO, Union
 
 from repro.core.job import Job, MoldableJob, RigidJob
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.bounds import divisible_makespan_lower_bound
-from repro.core.dlt.bus import BusDistribution, bus_equal_split, bus_single_round
+from repro.core.dlt.bus import bus_equal_split, bus_single_round
 from repro.core.dlt.platform import DLTPlatform, DLTWorker
 
 

@@ -2,13 +2,8 @@
 
 import pytest
 
-from repro.core.dlt.bus import bus_single_round
-from repro.core.dlt.multiround import (
-    MultiRoundResult,
-    multi_round_distribution,
-    optimize_round_count,
-)
-from repro.core.dlt.platform import DLTPlatform, DLTWorker
+from repro.core.dlt.multiround import multi_round_distribution, optimize_round_count
+from repro.core.dlt.platform import DLTPlatform
 
 
 class TestMultiRound:

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.criteria import makespan
 from repro.core.job import RigidJob
 from repro.core.policies.backfilling import (
     AvailabilityProfile,

@@ -1,6 +1,5 @@
 """Unit tests of the shared policy helpers (allocators, list-scheduling kernel)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """Unit tests of the list-scheduling policies."""
 
-import pytest
 
 from repro.core.criteria import makespan, weighted_completion_time
 from repro.core.job import RigidJob

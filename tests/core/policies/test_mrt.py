@@ -9,7 +9,7 @@ from repro.core.criteria import makespan
 from repro.core.job import MoldableJob, RigidJob
 from repro.core.policies.mrt import GreedyMoldableScheduler, MRTScheduler, _as_moldable
 from repro.core.policies.base import SchedulerError
-from repro.core.speedup import AmdahlSpeedup, LinearSpeedup, make_runtime_table
+from repro.core.speedup import LinearSpeedup, make_runtime_table
 from repro.workload.models import generate_mixed_jobs, generate_moldable_jobs
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.bounds import makespan_lower_bound
-from repro.core.criteria import makespan, weighted_completion_time
+from repro.core.criteria import makespan
 from repro.core.job import MoldableJob, RigidJob
 from repro.core.policies.rigid_moldable_mix import STRATEGIES, MixedScheduler
 from repro.workload.models import generate_mixed_jobs

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import bounds
-from repro.core.allocation import Schedule
 from repro.core.criteria import makespan, sum_completion_times, weighted_completion_time
 from repro.core.job import DivisibleJob, MoldableJob, ParametricSweep, RigidJob
 from repro.core.policies.list_scheduling import ListScheduler

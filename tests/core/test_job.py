@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.job import (
     DivisibleJob,
-    Job,
     JobKind,
     MalleableJob,
     MoldableJob,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.platform.ciment import CIMENT_CLUSTERS, ciment_grid, ciment_processor_counts
+from repro.platform.ciment import ciment_grid, ciment_processor_counts
 from repro.platform.cluster import Cluster, Interconnect
 from repro.platform.generators import (
     heterogeneous_cluster,

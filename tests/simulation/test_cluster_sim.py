@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.job import MoldableJob, RigidJob
+from repro.core.job import RigidJob
 from repro.core.policies.backfilling import ConservativeBackfilling
 from repro.simulation.cluster_sim import (
     QUEUE_POLICIES,

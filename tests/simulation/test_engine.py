@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core.allocation import Reservation
 from repro.simulation.engine import Simulator, Timeout
-from repro.simulation.events import Event, EventQueue
+from repro.simulation.events import EventQueue
 from repro.simulation.resources import ProcessorPool
 from repro.simulation.tracing import Trace, TraceEvent
 

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.job import MoldableJob, ParametricSweep, RigidJob
+from repro.core.job import ParametricSweep, RigidJob
 from repro.platform.ciment import ciment_grid
-from repro.platform.generators import homogeneous_cluster, random_light_grid
+from repro.platform.generators import homogeneous_cluster
 from repro.platform.grid import LightGrid
 from repro.simulation.grid_sim import CentralizedGridSimulator, GridServer
 from repro.workload.communities import community_workload

@@ -12,7 +12,6 @@ from repro.core.bounds import makespan_lower_bound
 from repro.core.criteria import CriteriaReport, makespan, weighted_completion_time
 from repro.core.dlt import (
     DLTPlatform,
-    bus_single_round,
     multi_round_distribution,
     star_single_round,
     steady_state_throughput,

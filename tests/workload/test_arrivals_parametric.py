@@ -2,10 +2,9 @@
 
 import io
 
-import numpy as np
 import pytest
 
-from repro.core.job import MoldableJob, ParametricSweep, RigidJob
+from repro.core.job import MoldableJob, ParametricSweep
 from repro.workload.arrivals import (
     bursty_arrivals,
     offline_arrivals,
