@@ -7,8 +7,11 @@
 #   make bench CACHE=.repro-cache   ... with the on-disk cell cache
 #   make perf                  repro.bench quick tier -> BENCH_<ts>.json
 #   make perf-compare          quick tier + diff against the committed baseline
+#   make scenarios             list the registered scenarios
+#   make scenario-smoke        smoke-run every registered scenario (CI job)
 #   make lint                  ruff check (byte-compilation fallback)
-#   make ci                    lint + test + warn-only perf compare (mirrors CI)
+#   make ci                    lint + test + scenario smoke + warn-only perf
+#                              compare (mirrors CI)
 #   make clean                 remove caches and stale bytecode
 
 PYTHON ?= python
@@ -19,7 +22,7 @@ BASELINE ?= benchmarks/baselines/quick.json
 
 BENCH_ENV = $(if $(JOBS),REPRO_JOBS=$(JOBS)) $(if $(CACHE),REPRO_CACHE_DIR=$(CACHE))
 
-.PHONY: test bench perf perf-compare lint ci clean
+.PHONY: test bench perf perf-compare scenarios scenario-smoke lint ci clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +40,14 @@ perf-compare:
 	PYTHONPATH=src $(PYTHON) -m repro.bench compare $(BASELINE) $$REPORT \
 		--threshold $(BENCH_THRESHOLD) --warn-only
 
+scenarios:
+	PYTHONPATH=src $(PYTHON) -m repro.scenarios list
+
+# Smoke-run every registered scenario at tiny sizes, exactly like the CI
+# scenario-smoke job (an unregistered or broken scenario fails here).
+scenario-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.scenarios run --all --smoke
+
 # ruff when available (the CI lint job installs it); plain byte-compilation
 # otherwise so the target always catches syntax errors.
 lint:
@@ -50,6 +61,7 @@ lint:
 ci:
 	$(MAKE) lint
 	$(MAKE) test
+	$(MAKE) scenario-smoke
 	$(MAKE) perf-compare
 
 clean:

@@ -29,6 +29,7 @@ if str(SRC) not in sys.path:
 from repro.experiments.cache import ResultCache          # noqa: E402
 from repro.experiments.executors import resolve_executor  # noqa: E402
 from repro.experiments.harness import run_experiment      # noqa: E402
+from repro.scenarios import run_scenario                  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -75,6 +76,23 @@ def run_sweep(run_once, bench_executor, bench_cache):
             executor=bench_executor,
             cache=bench_cache,
             **kwargs,
+        )
+
+    return _run
+
+
+@pytest.fixture
+def run_scenario_sweep(run_once, bench_executor, bench_cache):
+    """Run a registered (or derived) :class:`ScenarioSpec` through the harness.
+
+    ``run_scenario_sweep(spec, **kwargs)`` forwards to
+    :func:`repro.scenarios.run_scenario` with the session executor and
+    cache, timed by pytest-benchmark like every other sweep.
+    """
+
+    def _run(spec, **kwargs):
+        return run_once(
+            run_scenario, spec, executor=bench_executor, cache=bench_cache, **kwargs
         )
 
     return _run

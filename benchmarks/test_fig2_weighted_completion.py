@@ -8,28 +8,35 @@ Shape assertions (absolute values depend on the unknown workload of the
 authors): ratios are bounded by a small constant, they do not grow with the
 number of tasks, and for large task counts the Parallel workload achieves a
 ratio at least as good as the Non Parallel one.
+
+The sweep is declared through the scenario registry (the registered
+``fig2.bicriteria`` spec with the benchmark's task counts and seed); the
+composer produces cells bit-identical to the historical hand-wired
+``run_figure2`` call.
 """
 
 from __future__ import annotations
 
 
-from repro.experiments.figure2 import Figure2Config, figure2_curves, run_figure2
+from repro.experiments.figure2 import figure2_curves, points_from_rows
 from repro.experiments.reporting import ascii_plot, ascii_table
+from repro.scenarios import get
 
 TASK_COUNTS = (50, 100, 200, 400, 700, 1000)
 
-CONFIG = Figure2Config(
-    machine_count=100,
-    task_counts=TASK_COUNTS,
+SPEC = get("fig2.bicriteria").evolve(
     repetitions=2,
-    base_seed=2004,
-    fast_inner=True,
+    seed=2004,
+    sweep={
+        "workload.family": ["non_parallel", "parallel"],
+        "workload.n_tasks": list(TASK_COUNTS),
+    },
 )
 
 
-def test_figure2_weighted_completion_ratio(run_once, bench_executor, bench_cache, report):
-    points = run_once(run_figure2, CONFIG, executor=bench_executor, cache=bench_cache)
-    curves = figure2_curves(points)["wici"]
+def test_figure2_weighted_completion_ratio(run_scenario_sweep, report):
+    result = run_scenario_sweep(SPEC)
+    curves = figure2_curves(points_from_rows(result.rows))["wici"]
 
     rows = [
         {"n_tasks": n, "non_parallel": curves["non_parallel"][n], "parallel": curves["parallel"][n]}

@@ -3,21 +3,25 @@
 Builds the exact platform of Figure 3 (104 bi-Itanium2/Myrinet, 48 bi-Xeon
 /GigE, 40 + 24 bi-Athlon/Eth100), generates the per-community workloads of
 section 5.2 and runs the centralized best-effort organisation on it.  The
-benchmark reports the platform inventory and the per-cluster outcome; the
-simulation runs as one cell of the parallel sweep harness with flat,
-JSON-serialisable metrics.
+benchmark reports the platform inventory and the per-cluster outcome.
+
+The whole experiment is declared by the registered
+``fig3.ciment.centralized`` scenario (platform kind ``ciment``, workload
+kind ``ciment-communities``): the benchmark only asserts the shape of the
+resulting rows.
 """
 
 from __future__ import annotations
 
 
 from repro.experiments.reporting import ascii_table
-from repro.platform.ciment import CIMENT_CLUSTERS, ciment_grid
-from repro.simulation.grid_sim import CentralizedGridSimulator
-from repro.workload.communities import community_workload, grid_workload
+from repro.platform.ciment import CIMENT_CLUSTERS
+from repro.scenarios import get
 
-#: Community -> cluster mapping used by the CIMENT experiments (each cluster
-#: is owned by one community, see repro.platform.ciment).
+SPEC = get("fig3.ciment.centralized")
+
+#: Community -> cluster mapping of the CIMENT experiments (each cluster is
+#: owned by one community, see repro.platform.ciment).
 COMMUNITY_CLUSTER = {
     "computer-science": "icluster-itanium",
     "numerical-physics": "xeon-cluster",
@@ -26,52 +30,8 @@ COMMUNITY_CLUSTER = {
 }
 
 
-def run_ciment_cell(seed):
-    """Simulate the CIMENT grid and flatten the outcome to metrics."""
-
-    grid = ciment_grid()
-    local = {}
-    bags = []
-    for index, (community, cluster_name) in enumerate(sorted(COMMUNITY_CLUSTER.items())):
-        cluster = grid.cluster(cluster_name)
-        local[cluster_name] = community_workload(
-            community, 12, cluster.processor_count, random_state=10 + index
-        )
-        bags.extend(grid_workload(community, random_state=50 + index))
-    simulator = CentralizedGridSimulator(grid, local_policy="backfill")
-    result = simulator.run(local, bags)
-    return {
-        "node_count": grid.node_count,
-        "processor_count": grid.processor_count,
-        "cluster_names": sorted(c.name for c in grid),
-        "outcome": [
-            {
-                "cluster": cluster.name,
-                "community": cluster.community,
-                "local_jobs": result.local_criteria[cluster.name].n_jobs,
-                "local_makespan_h": result.local_criteria[cluster.name].makespan,
-                "utilization": result.utilization[cluster.name],
-            }
-            for cluster in grid
-        ],
-        # Ownership invariant, checked in-simulation: every local job on a
-        # community's cluster belongs to that community.
-        "owners_ok": {
-            cluster.name: all(
-                entry.job.owner == cluster.community
-                for entry in result.local_schedules[cluster.name]
-            )
-            for cluster in grid
-        },
-        "total_runs_completed": result.total_runs_completed,
-        "expected_runs": sum(bag.n_runs for bag in bags),
-        "kills": result.kills,
-        "launches": result.launches,
-    }
-
-
-def test_figure3_ciment_platform_and_simulation(run_sweep, report):
-    result = run_sweep("fig3-ciment", run_ciment_cell)
+def test_figure3_ciment_platform_and_simulation(run_scenario_sweep, report):
+    result = run_scenario_sweep(SPEC)
     row = result.rows[0]
 
     inventory = [

@@ -9,71 +9,61 @@ ratio."
 
 The benchmark quantifies that increase on synthetic mixed workloads with
 varying rigid fractions, for both criteria.  The (fraction, strategy) grid
-goes through the parallel sweep harness.  Shape assertions: every strategy
-stays within a small constant of the lower bounds, and the first-fit-batch
-strategy (the one the paper leans towards) is never the worst of the three on
-the weighted completion time.
+is declared by the registered ``mix.rigid-moldable`` scenario: the composer
+builds the same mixed workload for every strategy of a given (fraction,
+seed) cell, so the strategies compete on identical instances.  Shape
+assertions: every strategy stays within a small constant of the lower
+bounds, and the first-fit-batch strategy (the one the paper leans towards)
+is never far behind the best of the three on the weighted completion time.
 """
 
 from __future__ import annotations
 
 
-from repro.core.bounds import (
-    makespan_lower_bound,
-    performance_ratio,
-    weighted_completion_lower_bound,
-)
-from repro.core.criteria import makespan, weighted_completion_time
-from repro.core.policies.rigid_moldable_mix import STRATEGIES, MixedScheduler
 from repro.experiments.reporting import ascii_table
-from repro.workload.models import WorkloadConfig, generate_mixed_jobs
+from repro.scenarios import get
 
-MACHINES = 32
 RIGID_FRACTIONS = (0.2, 0.5, 0.8)
-N_JOBS = 60
+STRATEGIES = ("separate", "a_priori", "first_fit_batch")
+
+SPEC = get("mix.rigid-moldable").evolve(
+    sweep={
+        "workload.rigid_fraction": list(RIGID_FRACTIONS),
+        "policy.strategy": list(STRATEGIES),
+    },
+)
 
 
-def run_mix_cell(seed, rigid_fraction, strategy):
-    """One sweep cell: one strategy on one mixed workload."""
-
-    jobs = generate_mixed_jobs(
-        N_JOBS, MACHINES, rigid_fraction=rigid_fraction,
-        config=WorkloadConfig(weight_scheme="work"),
-        random_state=int(rigid_fraction * 100),
-    )
-    cmax_bound = makespan_lower_bound(jobs, MACHINES)
-    wc_bound = weighted_completion_lower_bound(jobs, MACHINES)
-    schedule = MixedScheduler(strategy).schedule(jobs, MACHINES)
-    schedule.validate()
-    return {
-        "cmax_ratio": performance_ratio(makespan(schedule), cmax_bound),
-        "wc_ratio": performance_ratio(weighted_completion_time(schedule), wc_bound),
-    }
-
-
-def test_rigid_moldable_mix_strategies(run_sweep, report):
-    result = run_sweep("mix-rigid", run_mix_cell,
-                       {"rigid_fraction": RIGID_FRACTIONS, "strategy": STRATEGIES})
+def test_rigid_moldable_mix_strategies(run_scenario_sweep, report):
+    result = run_scenario_sweep(SPEC)
     rows = result.rows
     report("MIX-RIGID: strategies for a mix of rigid and moldable jobs (section 5.1)",
            ascii_table(rows))
 
     for row in rows:
         # "Increased performance ratio", but still bounded by small constants.
-        assert row["cmax_ratio"] <= 5.0
-        assert row["wc_ratio"] <= 8.0
+        assert row["makespan_ratio"] <= 5.0
+        assert row["weighted_completion_ratio"] <= 8.0
 
     # The first-fit-batch integration stays within 50% of the best strategy on
     # the weighted completion time for every rigid fraction.
     for fraction in RIGID_FRACTIONS:
-        group = {r["strategy"]: r for r in rows if r["rigid_fraction"] == fraction}
-        best_wc = min(r["wc_ratio"] for r in group.values())
-        assert group["first_fit_batch"]["wc_ratio"] <= 1.5 * best_wc + 1e-9
+        group = {
+            r["policy.strategy"]: r
+            for r in rows
+            if r["workload.rigid_fraction"] == fraction
+        }
+        best_wc = min(r["weighted_completion_ratio"] for r in group.values())
+        assert group["first_fit_batch"]["weighted_completion_ratio"] <= 1.5 * best_wc + 1e-9
 
     # The more rigid the workload, the less the strategies differ (with few
     # moldable jobs there is little left to decide).
     def spread(fraction):
-        values = [r["wc_ratio"] for r in rows if r["rigid_fraction"] == fraction]
+        values = [
+            r["weighted_completion_ratio"]
+            for r in rows
+            if r["workload.rigid_fraction"] == fraction
+        ]
         return max(values) - min(values)
 
     assert spread(RIGID_FRACTIONS[-1]) <= spread(RIGID_FRACTIONS[0]) + 1e-9

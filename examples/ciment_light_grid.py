@@ -11,11 +11,10 @@ Grenoble light grid:
 * **decentralized** -- every job is submitted locally and the clusters
   exchange queued work to balance the load.
 
-This example builds the exact Figure-3 platform (104 bi-Itanium2, 48 bi-Xeon,
-40 + 24 bi-Athlon nodes), generates one workload per community following the
-qualitative description of the paper (long sequential physics jobs, short CS
-debug jobs, ...), runs both organisations and prints utilisation, grid
-throughput, kill counts and fairness.
+Both organisations are registered scenarios (``fig3.ciment.centralized``
+and ``grid.decentralized.exchange``); this example runs them on the exact
+Figure-3 platform with one workload per community, then prints utilisation,
+grid throughput, kill counts and fairness from the result rows.
 
 Run with:  python examples/ciment_light_grid.py
 """
@@ -24,17 +23,10 @@ from __future__ import annotations
 
 from repro.experiments.reporting import ascii_table
 from repro.platform.ciment import ciment_grid
-from repro.simulation.decentralized import DecentralizedGridSimulator
-from repro.simulation.grid_sim import CentralizedGridSimulator
-from repro.workload.communities import community_workload, grid_workload
+from repro.scenarios import get, run_scenario
 
-#: Each CIMENT cluster is owned by one community (see repro.platform.ciment).
-COMMUNITY_CLUSTER = {
-    "computer-science": "icluster-itanium",
-    "numerical-physics": "xeon-cluster",
-    "astrophysics": "athlon-cluster-a",
-    "medical-research": "athlon-cluster-b",
-}
+#: Local jobs generated per community (the paper's qualitative profiles).
+JOBS_PER_COMMUNITY = 15
 
 
 def main() -> None:
@@ -42,53 +34,36 @@ def main() -> None:
     print(grid.summary())
     print()
 
-    # Per-community local workloads and multi-parametric grid bags.
-    local = {}
-    bags = []
-    for index, (community, cluster_name) in enumerate(sorted(COMMUNITY_CLUSTER.items())):
-        cluster = grid.cluster(cluster_name)
-        local[cluster_name] = community_workload(
-            community, 15, cluster.processor_count, random_state=10 + index
-        )
-        bags.extend(grid_workload(community, random_state=40 + index))
-    total_runs = sum(b.n_runs for b in bags)
-    print(f"Local jobs: {sum(len(j) for j in local.values())} across "
-          f"{len(local)} clusters; grid bags: {len(bags)} ({total_runs} runs)\n")
-
     # ---------------------------------------------------------------- centralized
-    centralized = CentralizedGridSimulator(grid, local_policy="backfill").run(local, bags)
-    rows = [
-        {
-            "cluster": cluster.name,
-            "community": cluster.community,
-            "local_makespan_h": centralized.local_criteria[cluster.name].makespan,
-            "utilization": centralized.utilization[cluster.name],
-        }
-        for cluster in grid
-    ]
-    print(ascii_table(rows, title="Centralized organisation (best-effort grid jobs)"))
-    print(f"  best-effort runs completed : {centralized.total_runs_completed} / {total_runs}")
-    print(f"  best-effort kills          : {centralized.kills} "
+    centralized = run_scenario(
+        get("fig3.ciment.centralized"),
+        overrides={"workload.jobs_per_community": JOBS_PER_COMMUNITY},
+    ).rows[0]
+    print(ascii_table(centralized["outcome"],
+                      title="Centralized organisation (best-effort grid jobs)"))
+    print(f"  best-effort runs completed : {centralized['total_runs_completed']}"
+          f" / {centralized['expected_runs']}")
+    print(f"  best-effort kills          : {centralized['kills']} "
           f"(each killed run is resubmitted by the central server)")
-    print(f"  grid throughput            : {centralized.grid_throughput():.1f} runs / hour\n")
+    print(f"  grid throughput            : {centralized['throughput']:.1f} runs / hour\n")
 
     # -------------------------------------------------------------- decentralized
-    decentralized = DecentralizedGridSimulator(
-        grid, imbalance_threshold=2.0, local_policy="backfill"
-    ).run(local)
+    decentralized = run_scenario(
+        get("grid.decentralized.exchange"),
+        overrides={"workload.jobs_per_community": JOBS_PER_COMMUNITY},
+        sweep={"policy.exchange_enabled": [True]},
+    ).rows[0]
     rows = [
         {
             "cluster": cluster.name,
-            "jobs_executed": len(decentralized.schedules[cluster.name]),
-            "makespan_h": decentralized.criteria[cluster.name].makespan,
+            "makespan_h": decentralized[f"local_makespan.{cluster.name}"],
         }
         for cluster in grid
     ]
     print(ascii_table(rows, title="Decentralized organisation (load exchange, local jobs only)"))
-    print(f"  migrations               : {decentralized.migrations}")
-    print(f"  mean flow time (hours)   : {decentralized.mean_flow:.2f}")
-    print(f"  fairness on work (Jain)  : {decentralized.fairness.fairness_on_work:.3f}")
-    print(f"  most penalised community : {decentralized.fairness.worst_community}")
+    print(f"  migrations               : {decentralized['migrations']}")
+    print(f"  mean flow time (hours)   : {decentralized['mean_flow']:.2f}")
+    print(f"  fairness on work (Jain)  : {decentralized['fairness_on_work']:.3f}")
     print()
     print("Centralized keeps local users completely undisturbed (best-effort jobs")
     print("are killed on demand); decentralized balances the load of overloaded")

@@ -6,6 +6,10 @@ families ("Non Parallel" and "Parallel"), prints the two ratio curves as text
 tables and ASCII plots, and writes the raw points to ``figure2_points.csv``
 for external plotting.
 
+The experiment itself is declared by the registered ``fig2.bicriteria``
+scenario (see ``python -m repro.scenarios describe fig2.bicriteria``); this
+script only picks the sweep size and renders the curves.
+
 Run with:  python examples/figure2_reproduction.py [--quick]
 """
 
@@ -14,8 +18,9 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.experiments.figure2 import Figure2Config, figure2_curves, run_figure2
+from repro.experiments.figure2 import figure2_curves, points_from_rows
 from repro.experiments.reporting import ascii_plot, ascii_table, to_csv
+from repro.scenarios import get, run_scenario
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -26,16 +31,19 @@ def main(argv: list[str] | None = None) -> None:
                         help="CSV file for the raw simulation points")
     args = parser.parse_args(argv)
 
+    spec = get("fig2.bicriteria")
     if args.quick:
-        config = Figure2Config(task_counts=(50, 200, 600), repetitions=1)
-    else:
-        config = Figure2Config(task_counts=(50, 100, 200, 400, 600, 800, 1000),
-                               repetitions=3)
+        spec = spec.evolve(repetitions=1, sweep={
+            "workload.family": ["non_parallel", "parallel"],
+            "workload.n_tasks": [50, 200, 600],
+        })
+    task_counts = spec.sweep["workload.n_tasks"]
+    families = spec.sweep["workload.family"]
 
-    print(f"Simulating {len(config.task_counts)} task counts x "
-          f"{len(config.families)} families x {config.repetitions} seeds "
-          f"on a {config.machine_count}-machine cluster...")
-    points = run_figure2(config)
+    print(f"Simulating {len(task_counts)} task counts x {len(families)} "
+          f"families x {spec.repetitions} seeds (scenario {spec.name!r})...")
+    result = run_scenario(spec)
+    points = points_from_rows(result.rows)
     curves = figure2_curves(points)
 
     for criterion, label in (("wici", "sum w_i C_i ratio (Figure 2, top)"),
@@ -46,7 +54,7 @@ def main(argv: list[str] | None = None) -> None:
                 "non_parallel": curves[criterion]["non_parallel"][n],
                 "parallel": curves[criterion]["parallel"][n],
             }
-            for n in config.task_counts
+            for n in task_counts
         ]
         print()
         print(ascii_table(rows, title=label))

@@ -14,134 +14,95 @@ paper:
 * bags of small independent runs         -> divisible-load style policies
   (see examples/divisible_load.py and the grid examples).
 
-The (application, policy) panel runs through the parallel experiment
-harness: every combination is one cell, so ``REPRO_JOBS=4`` fans the panel
-out to four worker processes with identical results.
+Each application profile is a declarative :class:`ScenarioSpec` built right
+here (specs do not have to be registered to run), and the policy panel is a
+sweep axis over ``policy.kind``: the composer hands every (application,
+policy) cell to the parallel experiment harness, so ``REPRO_JOBS=4`` fans
+the panel out to four worker processes with identical results.
 
 Run with:  python examples/policy_comparison.py
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict
 
-from repro.core.criteria import makespan, mean_stretch
-from repro.core.job import Job
-from repro.core.policies import (
-    BatchOnlineScheduler,
-    BiCriteriaScheduler,
-    ConservativeBackfilling,
-    EasyBackfilling,
-    ListScheduler,
-    MRTScheduler,
-    SmartShelfScheduler,
-)
-from repro.experiments.harness import run_experiment
 from repro.experiments.reporting import ascii_table
-from repro.metrics.ratios import schedule_ratios
-from repro.workload.arrivals import poisson_arrivals
-from repro.workload.models import (
-    WorkloadConfig,
-    generate_moldable_jobs,
-    generate_rigid_jobs,
-)
+from repro.scenarios import ComponentSpec, ScenarioSpec, run_scenario
 
 MACHINES = 64
 
-APPLICATIONS = ("moldable-batch", "rigid-weighted", "online-stream")
-
-POLICY_PANEL = (
+POLICY_PANEL = [
     "lpt",
     "wspt",
     "smart-shelves",
     "mrt",
     "bicriteria",
-    "batch(mrt)",
+    "batch-mrt",
     "conservative-bf",
     "easy-bf",
-)
+]
 
-
-def make_application(application: str) -> List[Job]:
-    """One of three application profiles inspired by the CIMENT communities."""
-
-    if application == "moldable-batch":
-        # Off-line moldable batch (e.g. a campaign of numerical simulations).
-        return generate_moldable_jobs(
-            60, MACHINES, config=WorkloadConfig(weight_scheme="work"), random_state=1
-        )
-    if application == "rigid-weighted":
-        # Rigid production jobs with priorities (weighted completion time matters).
-        return generate_rigid_jobs(
-            80, MACHINES, config=WorkloadConfig(weight_scheme="random"), random_state=2
-        )
-    if application == "online-stream":
-        # On-line stream of interactive / debug jobs (stretch matters).
-        return poisson_arrivals(
-            generate_moldable_jobs(
-                60, MACHINES, config=WorkloadConfig(runtime_range=(0.5, 10.0)), random_state=3
-            ),
-            rate=2.0,
-            random_state=3,
-        )
-    raise ValueError(f"unknown application {application!r}")
-
-
-def make_policy(policy: str):
-    return {
-        "lpt": lambda: ListScheduler("lpt"),
-        "wspt": lambda: ListScheduler("wspt"),
-        "smart-shelves": SmartShelfScheduler,
-        "mrt": MRTScheduler,
-        "bicriteria": BiCriteriaScheduler,
-        "batch(mrt)": lambda: BatchOnlineScheduler(MRTScheduler()),
-        "conservative-bf": ConservativeBackfilling,
-        "easy-bf": EasyBackfilling,
-    }[policy]()
-
-
-def run_panel_cell(seed: int, application: str, policy: str) -> Dict[str, object]:
-    """One cell of the panel: one policy on one application profile."""
-
-    jobs = make_application(application)
-    scheduler = make_policy(policy)
-    try:
-        schedule = scheduler.schedule(jobs, MACHINES)
-    except Exception as error:  # a policy may not support a job type
-        return {"policy_name": scheduler.name, "error": str(error)[:40]}
-    schedule.validate(check_release_dates=False)
-    ratios = schedule_ratios(schedule, jobs, machine_count=MACHINES)
-    return {
-        "policy_name": scheduler.name,
-        "makespan": makespan(schedule),
-        "cmax_ratio": ratios.makespan_ratio,
-        "sum_wC_ratio": ratios.weighted_completion_ratio,
-        "mean_stretch": mean_stretch(schedule),
-    }
+#: Three application profiles inspired by the CIMENT communities, as specs.
+APPLICATIONS: Dict[str, ScenarioSpec] = {
+    # Off-line moldable batch (e.g. a campaign of numerical simulations).
+    "moldable-batch": ScenarioSpec(
+        name="panel.moldable-batch",
+        model="offline",
+        platform=ComponentSpec("count", {"machine_count": MACHINES}),
+        workload=ComponentSpec("moldable", {"n_jobs": 60, "weight_scheme": "work"}),
+        policy=ComponentSpec("lpt", {"capture_errors": True}),
+        metrics=("policy_name", "makespan", "makespan_ratio",
+                 "weighted_completion_ratio", "mean_stretch"),
+        repetitions=1,
+        seed=1,
+        sweep={"policy.kind": POLICY_PANEL},
+    ),
+    # Rigid production jobs with priorities (weighted completion time matters).
+    "rigid-weighted": ScenarioSpec(
+        name="panel.rigid-weighted",
+        model="offline",
+        platform=ComponentSpec("count", {"machine_count": MACHINES}),
+        workload=ComponentSpec("rigid", {"n_jobs": 80, "weight_scheme": "random"}),
+        policy=ComponentSpec("lpt", {"capture_errors": True}),
+        metrics=("policy_name", "makespan", "makespan_ratio",
+                 "weighted_completion_ratio", "mean_stretch"),
+        repetitions=1,
+        seed=2,
+        sweep={"policy.kind": POLICY_PANEL},
+    ),
+    # On-line stream of interactive / debug jobs (stretch matters).
+    "online-stream": ScenarioSpec(
+        name="panel.online-stream",
+        model="offline",
+        platform=ComponentSpec("count", {"machine_count": MACHINES}),
+        workload=ComponentSpec("moldable", {"n_jobs": 60, "runtime_range": [0.5, 10.0]}),
+        arrival=ComponentSpec("poisson", {"rate": 2.0}),
+        policy=ComponentSpec("lpt", {"capture_errors": True}),
+        metrics=("policy_name", "makespan", "makespan_ratio",
+                 "weighted_completion_ratio", "mean_stretch"),
+        repetitions=1,
+        seed=3,
+        sweep={"policy.kind": POLICY_PANEL},
+    ),
+}
 
 
 def main() -> None:
-    result = run_experiment(
-        "policy-comparison",
-        run_panel_cell,
-        {"application": list(APPLICATIONS), "policy": list(POLICY_PANEL)},
-        repetitions=1,
-    )
-    for application in APPLICATIONS:
-        panel = result.filter(application=application).rows
-        rows = [
-            {key: row[key] for key in
-             ("policy_name", "makespan", "cmax_ratio", "sum_wC_ratio", "mean_stretch")
-             if key in row}
-            | ({"error": row["error"]} if "error" in row else {})
-            for row in panel
-        ]
-        n_jobs = len(make_application(application))
+    for application, spec in APPLICATIONS.items():
+        result = run_scenario(spec)
+        rows: list[Dict[str, Any]] = []
+        for row in result.rows:
+            keep = {k: row[k] for k in spec.metrics if k in row}
+            if "error" in row:
+                keep["error"] = row["error"]
+            rows.append(keep)
+        n_jobs = spec.workload.params["n_jobs"]
         print(ascii_table(rows, title=f"\n=== application: {application} "
                                       f"({n_jobs} jobs, {MACHINES} processors) ==="))
-        numeric = [r for r in panel if "makespan" in r]
+        numeric = [r for r in rows if "makespan" in r]
         best_cmax = min(numeric, key=lambda r: r["makespan"])["policy_name"]
-        best_wc = min(numeric, key=lambda r: r["sum_wC_ratio"])["policy_name"]
+        best_wc = min(numeric, key=lambda r: r["weighted_completion_ratio"])["policy_name"]
         best_stretch = min(numeric, key=lambda r: r["mean_stretch"])["policy_name"]
         print(f"  best makespan            : {best_cmax}")
         print(f"  best weighted completion : {best_wc}")

@@ -84,9 +84,19 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--list", action="store_true", help="list registered cases and exit"
     )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="also register every scenario of repro.scenarios as a "
+        "'scenario.<name>' case (smoke tier = quick, full sweep = full)",
+    )
 
 
 def _run(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        from repro.scenarios.bench import register_scenario_benchmarks
+
+        register_scenario_benchmarks()
     if args.list:
         for case in REGISTRY.values():
             tiers = ", ".join(sorted(case.params))

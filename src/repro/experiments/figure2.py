@@ -167,11 +167,20 @@ def run_figure2(
         executor=executor,  # type: ignore[arg-type]
         cache=cache,  # type: ignore[arg-type]
     )
-    fields = (
-        "family", "n_tasks", "seed", "wici_ratio", "cmax_ratio",
-        "wici_value", "wici_bound", "cmax_value", "cmax_bound",
-    )
-    return [Figure2Point(**{name: row[name] for name in fields}) for row in result.rows]
+    return points_from_rows(result.rows)
+
+
+#: Row keys carrying one :class:`Figure2Point` (the harness / scenario rows).
+POINT_FIELDS: Tuple[str, ...] = (
+    "family", "n_tasks", "seed", "wici_ratio", "cmax_ratio",
+    "wici_value", "wici_bound", "cmax_value", "cmax_bound",
+)
+
+
+def points_from_rows(rows: Sequence[Dict[str, float]]) -> List[Figure2Point]:
+    """Rebuild :class:`Figure2Point` objects from harness / scenario rows."""
+
+    return [Figure2Point(**{name: row[name] for name in POINT_FIELDS}) for row in rows]
 
 
 def figure2_curves(points: Sequence[Figure2Point]) -> Dict[str, Dict[str, Dict[int, float]]]:

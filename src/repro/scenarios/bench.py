@@ -1,0 +1,62 @@
+"""Bridge between the scenario registry and the ``repro.bench`` runner.
+
+Every registered scenario can be benchmarked for free: its smoke tier maps
+to the bench ``quick`` tier and its full sweep to the ``full`` tier, with
+the result rows as the digest payload -- so the perf-tracking pipeline
+(median timing, ``BENCH_*.json`` reports, the regression comparator) covers
+scenarios exactly like the hand-written kernel cases.
+
+Scenario cases are not registered on import (the default ``python -m
+repro.bench`` run stays the small curated suite); call
+:func:`register_scenario_benchmarks` -- or pass ``--scenarios`` to the bench
+CLI -- to add them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bench.cases import REGISTRY as BENCH_REGISTRY
+from repro.bench.cases import BenchCase, CaseOutcome
+from repro.bench.cases import register as bench_register
+from repro.scenarios import registry
+from repro.scenarios.composer import run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+#: Bench-case name prefix for scenario-derived cases.
+PREFIX = "scenario."
+
+
+def _run_scenario_case(name: str, smoke: bool) -> CaseOutcome:
+    spec = registry.get(name)
+    # Pin the serial executor: REPRO_JOBS would fan the sweep out and make
+    # timings incomparable across machines (digests stay identical anyway).
+    result = run_scenario(spec, smoke=smoke, executor="serial")
+    return CaseOutcome(cells=len(result.rows), payload=result.rows)
+
+
+def scenario_bench_case(spec: ScenarioSpec) -> BenchCase:
+    """A :class:`BenchCase` wrapping one registered scenario."""
+
+    return BenchCase(
+        name=f"{PREFIX}{spec.name}",
+        description=f"scenario: {spec.description or spec.name}",
+        run=_run_scenario_case,
+        params={
+            "quick": {"name": spec.name, "smoke": True},
+            "full": {"name": spec.name, "smoke": False},
+        },
+    )
+
+
+def register_scenario_benchmarks(names: Optional[List[str]] = None) -> List[BenchCase]:
+    """Register bench cases for the given scenarios (default: all); idempotent."""
+
+    cases = []
+    for spec in registry.resolve(names):
+        case_name = f"{PREFIX}{spec.name}"
+        if case_name in BENCH_REGISTRY:
+            cases.append(BENCH_REGISTRY[case_name])
+            continue
+        cases.append(bench_register(scenario_bench_case(spec)))
+    return cases

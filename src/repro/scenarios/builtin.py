@@ -1,0 +1,441 @@
+"""Built-in scenario families.
+
+Importing this module (which ``repro.scenarios`` does automatically)
+populates the registry with the paper's own experiments plus a dozen
+scenario families that go beyond the figures: heterogeneous grids, bursty
+and diurnal arrival streams, community-correlated submissions, rigid +
+moldable mixes under backfilling, SWF trace replay, node churn, and DLT
+scaling.  Every entry is pure data -- a :class:`ScenarioSpec` -- so new
+families are added by writing a builder here (or registering a TOML file at
+runtime), never by writing a new bespoke benchmark script.
+
+Each spec carries a ``smoke`` block: the tiny-size variant the CI
+``scenario-smoke`` job and the determinism tests run, so a scenario that
+cannot execute end-to-end fails the build.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import scenario
+from repro.scenarios.spec import ComponentSpec, ScenarioSpec
+
+# ---------------------------------------------------------------------------
+# The paper's experiments, as specs
+# ---------------------------------------------------------------------------
+
+
+@scenario
+def fig2_bicriteria() -> ScenarioSpec:
+    """Figure 2: bi-criteria doubling batches on a 100-machine cluster."""
+
+    return ScenarioSpec(
+        name="fig2.bicriteria",
+        model="figure2",
+        description="Figure 2 bi-criteria sweep: WiCi and Cmax ratios vs task count",
+        tags=("paper", "cluster", "offline"),
+        platform=ComponentSpec("count", {"machine_count": 100}),
+        workload=ComponentSpec("figure2", {"family": "parallel", "runtime_range": [1.0, 50.0]}),
+        policy=ComponentSpec("bicriteria", {"fast_inner": True}),
+        repetitions=3,
+        seed=2004,
+        sweep={
+            "workload.family": ["non_parallel", "parallel"],
+            "workload.n_tasks": [50, 100, 200, 400, 600, 800, 1000],
+        },
+        smoke={
+            "repetitions": 1,
+            "sweep": {
+                "workload.family": ["non_parallel", "parallel"],
+                "workload.n_tasks": [40],
+            },
+        },
+    )
+
+
+@scenario
+def fig3_ciment_centralized() -> ScenarioSpec:
+    """Figure 3 / section 5.2: best-effort central server on the CIMENT grid."""
+
+    return ScenarioSpec(
+        name="fig3.ciment.centralized",
+        model="grid-centralized",
+        description="CIMENT light grid, centralized best-effort organisation",
+        tags=("paper", "grid"),
+        platform=ComponentSpec("ciment"),
+        workload=ComponentSpec(
+            "ciment-communities",
+            {"jobs_per_community": 12, "local_seed_base": 10, "grid_seed_base": 50},
+        ),
+        policy=ComponentSpec("best-effort", {"local_policy": "backfill"}),
+        repetitions=1,
+        seed=1234,
+        smoke={"workload.jobs_per_community": 3},
+    )
+
+
+@scenario
+def mix_rigid_moldable() -> ScenarioSpec:
+    """Section 5.1: the three strategies for mixing rigid and moldable jobs."""
+
+    return ScenarioSpec(
+        name="mix.rigid-moldable",
+        model="offline",
+        description="rigid+moldable mixes under the three section-5.1 strategies",
+        tags=("paper", "offline", "mix"),
+        platform=ComponentSpec("count", {"machine_count": 32}),
+        workload=ComponentSpec("mixed", {"n_jobs": 60, "weight_scheme": "work"}),
+        policy=ComponentSpec("mixed"),
+        metrics=("makespan_ratio", "weighted_completion_ratio", "policy_name"),
+        repetitions=1,
+        seed=1234,
+        sweep={
+            "workload.rigid_fraction": [0.2, 0.5, 0.8],
+            "policy.strategy": ["separate", "a_priori", "first_fit_batch"],
+        },
+        smoke={
+            "workload.n_jobs": 18,
+            "sweep": {
+                "workload.rigid_fraction": [0.5],
+                "policy.strategy": ["separate", "a_priori", "first_fit_batch"],
+            },
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-line cluster scenarios beyond the figures
+# ---------------------------------------------------------------------------
+
+
+@scenario
+def cluster_policy_panel() -> ScenarioSpec:
+    """Which queue policy for which stream: FCFS vs backfilling vs SJF."""
+
+    return ScenarioSpec(
+        name="cluster.policy-panel",
+        model="cluster-online",
+        description="queue-policy panel on a Poisson stream of moldable jobs",
+        tags=("cluster", "online", "policy"),
+        platform=ComponentSpec("count", {"machine_count": 64}),
+        workload=ComponentSpec("moldable", {"n_jobs": 80, "runtime_range": [0.5, 10.0]}),
+        arrival=ComponentSpec("poisson", {"rate": 2.0}),
+        metrics=(
+            "makespan", "mean_stretch", "utilization",
+            "makespan_ratio", "mean_stretch_ratio", "policy_name",
+        ),
+        repetitions=3,
+        seed=1234,
+        sweep={"policy.kind": ["fifo", "backfill", "smallest-first"]},
+        smoke={
+            "workload.n_jobs": 25,
+            "sweep": {"policy.kind": ["fifo", "backfill"]},
+        },
+    )
+
+
+@scenario
+def cluster_bursty_campaigns() -> ScenarioSpec:
+    """Campaign submissions: whole parameter sweeps arriving as bursts."""
+
+    return ScenarioSpec(
+        name="cluster.bursty-campaigns",
+        model="cluster-online",
+        description="bursty campaign arrivals under backfilling, sweeping burst size",
+        tags=("cluster", "online", "arrivals"),
+        platform=ComponentSpec("count", {"machine_count": 64}),
+        workload=ComponentSpec("moldable", {"n_jobs": 90, "runtime_range": [0.5, 12.0]}),
+        arrival=ComponentSpec("bursty", {"burst_gap": 20.0}),
+        policy=ComponentSpec("backfill"),
+        metrics=("makespan", "mean_stretch", "max_stretch", "utilization"),
+        repetitions=3,
+        seed=1234,
+        sweep={"arrival.burst_size": [5, 15, 30]},
+        smoke={
+            "workload.n_jobs": 24,
+            "sweep": {"arrival.burst_size": [6]},
+        },
+    )
+
+
+@scenario
+def cluster_diurnal_load() -> ScenarioSpec:
+    """Interactive users: day/night arrival cycles of increasing peakedness."""
+
+    return ScenarioSpec(
+        name="cluster.diurnal-load",
+        model="cluster-online",
+        description="diurnal (day/night) arrival cycles, sweeping peak-to-trough ratio",
+        tags=("cluster", "online", "arrivals"),
+        platform=ComponentSpec("count", {"machine_count": 64}),
+        workload=ComponentSpec("moldable", {"n_jobs": 100, "runtime_range": [0.2, 8.0]}),
+        arrival=ComponentSpec("diurnal", {"mean_interarrival": 0.5, "period": 24.0}),
+        policy=ComponentSpec("backfill"),
+        metrics=("makespan", "mean_stretch", "max_stretch", "utilization"),
+        repetitions=3,
+        seed=1234,
+        sweep={"arrival.peak_to_trough": [1.0, 4.0, 16.0]},
+        smoke={
+            "workload.n_jobs": 20,
+            "sweep": {"arrival.peak_to_trough": [4.0]},
+        },
+    )
+
+
+@scenario
+def cluster_community_streams() -> ScenarioSpec:
+    """Community-correlated submissions: each CIMENT community's local stream."""
+
+    return ScenarioSpec(
+        name="cluster.community-streams",
+        model="cluster-online",
+        description="per-community workload profiles on a shared 128-processor cluster",
+        tags=("cluster", "online", "communities"),
+        platform=ComponentSpec("count", {"machine_count": 128}),
+        workload=ComponentSpec("community", {"n_jobs": 40}),
+        policy=ComponentSpec("backfill"),
+        metrics=("makespan", "mean_stretch", "utilization", "throughput"),
+        repetitions=3,
+        seed=1234,
+        sweep={
+            "workload.community": [
+                "astrophysics", "computer-science",
+                "medical-research", "numerical-physics",
+            ],
+        },
+        smoke={
+            "workload.n_jobs": 10,
+            "sweep": {"workload.community": ["computer-science", "numerical-physics"]},
+        },
+    )
+
+
+@scenario
+def cluster_load_ramp() -> ScenarioSpec:
+    """Saturation behaviour: arrival rate targeting 50%..110% utilization."""
+
+    return ScenarioSpec(
+        name="cluster.load-ramp",
+        model="cluster-online",
+        description="Poisson stream scaled to a target load factor, up to overload",
+        tags=("cluster", "online", "arrivals"),
+        platform=ComponentSpec("count", {"machine_count": 64}),
+        workload=ComponentSpec("moldable", {"n_jobs": 80, "runtime_range": [0.5, 10.0]}),
+        arrival=ComponentSpec("scaled-load"),
+        policy=ComponentSpec("backfill"),
+        metrics=("makespan", "mean_stretch", "max_stretch", "utilization"),
+        repetitions=3,
+        seed=1234,
+        sweep={"arrival.target_utilization": [0.5, 0.7, 0.9, 1.1]},
+        smoke={
+            "workload.n_jobs": 20,
+            "sweep": {"arrival.target_utilization": [0.7]},
+        },
+    )
+
+
+@scenario
+def cluster_rigid_backfill_mix() -> ScenarioSpec:
+    """Rigid + moldable mixes arriving on-line under aggressive backfilling."""
+
+    return ScenarioSpec(
+        name="cluster.rigid-backfill-mix",
+        model="cluster-online",
+        description="on-line rigid+moldable mix under backfilling, sweeping rigid fraction",
+        tags=("cluster", "online", "mix"),
+        platform=ComponentSpec("count", {"machine_count": 64}),
+        workload=ComponentSpec("mixed", {"n_jobs": 70, "weight_scheme": "work"}),
+        arrival=ComponentSpec("poisson", {"rate": 1.5}),
+        policy=ComponentSpec("backfill"),
+        metrics=("makespan", "weighted_completion", "mean_stretch", "utilization"),
+        repetitions=3,
+        seed=1234,
+        sweep={"workload.rigid_fraction": [0.2, 0.5, 0.8]},
+        smoke={
+            "workload.n_jobs": 20,
+            "sweep": {"workload.rigid_fraction": [0.5]},
+        },
+    )
+
+
+@scenario
+def swf_replay() -> ScenarioSpec:
+    """SWF trace replay: export a seeded workload to SWF, parse it back, simulate."""
+
+    return ScenarioSpec(
+        name="swf.replay",
+        model="cluster-online",
+        description="Standard Workload Format round-trip replayed through the simulator",
+        tags=("cluster", "online", "swf"),
+        platform=ComponentSpec("count", {"machine_count": 64}),
+        workload=ComponentSpec("swf-roundtrip", {"n_jobs": 60, "rate": 1.2}),
+        metrics=("makespan", "mean_stretch", "utilization", "n_jobs"),
+        repetitions=3,
+        seed=1234,
+        sweep={"policy.kind": ["fifo", "backfill"]},
+        smoke={
+            "workload.n_jobs": 15,
+            "sweep": {"policy.kind": ["backfill"]},
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Grid scenarios
+# ---------------------------------------------------------------------------
+
+
+@scenario
+def grid_decentralized_exchange() -> ScenarioSpec:
+    """Decentralized CIMENT: does load exchange pay off, and at what threshold?"""
+
+    return ScenarioSpec(
+        name="grid.decentralized.exchange",
+        model="grid-decentralized",
+        description="CIMENT grid with decentralized work exchange on/off, threshold sweep",
+        tags=("grid", "decentralized"),
+        platform=ComponentSpec("ciment"),
+        workload=ComponentSpec(
+            "ciment-communities", {"jobs_per_community": 10, "grid_bags": False},
+        ),
+        policy=ComponentSpec("exchange", {"local_policy": "backfill"}),
+        # No metrics filter: keep the per-cluster local_makespan.* columns.
+        repetitions=1,
+        seed=1234,
+        sweep={
+            "policy.exchange_enabled": [False, True],
+            "policy.imbalance_threshold": [1.5, 3.0],
+        },
+        smoke={
+            "workload.jobs_per_community": 3,
+            "sweep": {"policy.exchange_enabled": [False, True]},
+        },
+    )
+
+
+@scenario
+def grid_hetero_mix() -> ScenarioSpec:
+    """Between-cluster heterogeneity: narrow to wide speed spreads."""
+
+    return ScenarioSpec(
+        name="grid.hetero-mix",
+        model="grid-decentralized",
+        description="random light grids of increasing between-cluster heterogeneity",
+        tags=("grid", "decentralized", "heterogeneous"),
+        platform=ComponentSpec(
+            "random-grid", {"n_clusters": 3, "nodes_range": [16, 48]},
+        ),
+        workload=ComponentSpec("grid-random", {"jobs_per_cluster": 18, "rate": 1.0}),
+        policy=ComponentSpec("exchange", {"local_policy": "backfill"}),
+        metrics=("makespan", "mean_flow", "migrations", "fairness_on_work"),
+        repetitions=2,
+        seed=1234,
+        sweep={
+            "platform.speed_range": [[0.9, 1.1], [0.5, 1.5], [0.25, 2.0]],
+        },
+        smoke={
+            "workload.jobs_per_cluster": 6,
+            "sweep": {"platform.speed_range": [[0.5, 1.5]]},
+        },
+    )
+
+
+@scenario
+def grid_node_churn() -> ScenarioSpec:
+    """Node churn: processor outages preempting the best-effort grid stream."""
+
+    return ScenarioSpec(
+        name="grid.node-churn",
+        model="grid-centralized",
+        description="random grid under node churn: outages kill best-effort runs",
+        tags=("grid", "churn"),
+        platform=ComponentSpec(
+            "random-grid", {"n_clusters": 3, "nodes_range": [16, 32]},
+        ),
+        workload=ComponentSpec(
+            "grid-random",
+            {
+                "jobs_per_cluster": 12,
+                "rate": 0.8,
+                "n_bags": 3,
+                "runs_range": [60, 120],
+                "churn": {"n_outages": 6, "procs": 4, "mean_repair": 2.0},
+            },
+        ),
+        policy=ComponentSpec("best-effort", {"local_policy": "backfill"}),
+        metrics=(
+            "kills", "launches", "total_runs_completed", "expected_runs",
+            "throughput", "horizon",
+        ),
+        repetitions=2,
+        seed=1234,
+        sweep={
+            "workload.churn": [
+                {"n_outages": 0},
+                {"n_outages": 6, "procs": 4, "mean_repair": 2.0},
+                {"n_outages": 16, "procs": 6, "mean_repair": 4.0},
+            ],
+        },
+        smoke={
+            "workload.jobs_per_cluster": 4,
+            "workload.n_bags": 1,
+            "workload.runs_range": [20, 40],
+            "sweep": {
+                "workload.churn": [
+                    {"n_outages": 0},
+                    {"n_outages": 4, "procs": 4, "mean_repair": 2.0},
+                ],
+            },
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Off-line panel + divisible load
+# ---------------------------------------------------------------------------
+
+
+@scenario
+def cluster_offline_panel() -> ScenarioSpec:
+    """Off-line scheduler shoot-out on a weighted moldable batch."""
+
+    return ScenarioSpec(
+        name="cluster.offline-panel",
+        model="offline",
+        description="off-line policies (WSPT, shelves, MRT, bi-criteria) on one batch",
+        tags=("cluster", "offline", "policy"),
+        platform=ComponentSpec("count", {"machine_count": 64}),
+        workload=ComponentSpec("moldable", {"n_jobs": 60, "weight_scheme": "work"}),
+        metrics=(
+            "makespan_ratio", "weighted_completion_ratio",
+            "mean_stretch", "policy_name",
+        ),
+        repetitions=2,
+        seed=1234,
+        sweep={"policy.kind": ["wspt", "smart-shelves", "mrt", "bicriteria"]},
+        smoke={
+            "workload.n_jobs": 15,
+            "sweep": {"policy.kind": ["wspt", "bicriteria"]},
+        },
+    )
+
+
+@scenario
+def dlt_multiround_scaling() -> ScenarioSpec:
+    """Divisible load: optimal round counts as the worker pool grows."""
+
+    return ScenarioSpec(
+        name="dlt.multiround-scaling",
+        model="dlt",
+        description="DLT multi-round distribution, sweeping the worker count",
+        tags=("dlt",),
+        platform=ComponentSpec("dlt-star", {"n_workers": 32}),
+        workload=ComponentSpec("dlt-load", {"total_load": 500.0}),
+        policy=ComponentSpec("multiround", {"max_rounds": 12}),
+        repetitions=1,
+        seed=1234,
+        sweep={"platform.n_workers": [16, 32, 64, 128]},
+        smoke={
+            "policy.max_rounds": 6,
+            "sweep": {"platform.n_workers": [8, 16]},
+        },
+    )

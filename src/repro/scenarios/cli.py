@@ -1,0 +1,259 @@
+"""Command-line interface of the scenario registry.
+
+::
+
+    python -m repro.scenarios list                     # registered scenarios
+    python -m repro.scenarios list --tag grid          # filter by tag
+    python -m repro.scenarios describe fig2.bicriteria # spec as TOML
+    python -m repro.scenarios run cluster.policy-panel # one scenario
+    python -m repro.scenarios run --all --smoke        # CI smoke tier
+    python -m repro.scenarios sweep cluster.load-ramp --smoke --csv out.csv
+    python -m repro.scenarios sweep swf.replay --axis policy.kind=fifo,backfill
+
+Exit codes: 0 on success, 1 when any scenario fails to run, 2 on usage
+errors (unknown scenario names, bad axis syntax).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.scenarios import registry
+from repro.scenarios.composer import rows_digest, run_scenario, summarize
+from repro.scenarios.spec import ScenarioSpec, SpecError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="List, describe and run the registered simulation scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lst = sub.add_parser("list", help="list registered scenarios")
+    lst.add_argument("--tag", default=None, help="only scenarios carrying this tag")
+    lst.add_argument("--names-only", action="store_true", help="one name per line")
+
+    describe = sub.add_parser("describe", help="print one scenario spec")
+    describe.add_argument("name")
+    describe.add_argument(
+        "--format", choices=("toml", "json"), default="toml", dest="fmt",
+        help="output format (default: toml)",
+    )
+
+    run = sub.add_parser("run", help="run scenarios and print a summary")
+    run.add_argument("names", nargs="*", help="scenario names (or use --all)")
+    run.add_argument("--all", action="store_true", help="run every registered scenario")
+    run.add_argument("--tag", default=None, help="with --all: only this tag")
+    run.add_argument("--smoke", action="store_true", help="tiny smoke-tier sizes")
+    run.add_argument("--jobs", default=None, help="executor spec (e.g. 4, serial, auto)")
+    run.add_argument(
+        "--output", type=Path, default=None,
+        help="write a JSON summary (per-scenario rows/digest/elapsed) to this file",
+    )
+    run.add_argument(
+        "--spec", type=Path, action="append", default=[], dest="spec_files",
+        metavar="FILE.toml", help="also run a scenario spec loaded from a TOML file",
+    )
+
+    swp = sub.add_parser("sweep", help="run one scenario sweep and print the rows")
+    swp.add_argument("name")
+    swp.add_argument("--smoke", action="store_true", help="start from the smoke tier")
+    swp.add_argument(
+        "--axis", action="append", default=[], metavar="PATH=V1,V2,...",
+        help="override a sweep axis (repeatable), e.g. policy.kind=fifo,backfill",
+    )
+    swp.add_argument("--repetitions", type=int, default=None)
+    swp.add_argument("--jobs", default=None, help="executor spec (e.g. 4, serial, auto)")
+    swp.add_argument("--csv", type=Path, default=None, help="write the rows as CSV")
+    swp.add_argument(
+        "--group-by", default=None, metavar="COLUMN",
+        help="also print per-group means of every numeric metric",
+    )
+    return parser
+
+
+def _executor(spec: Optional[str]) -> Any:
+    if spec is None:
+        return None
+    try:
+        return int(spec)
+    except ValueError:
+        return spec
+
+
+def _parse_axis_value(token: str) -> Any:
+    lowered = token.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for converter in (int, float):
+        try:
+            return converter(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_axes(pairs: List[str]) -> Dict[str, List[Any]]:
+    axes: Dict[str, List[Any]] = {}
+    for pair in pairs:
+        path, sep, values = pair.partition("=")
+        if not sep or not path or not values:
+            raise SpecError(f"bad --axis {pair!r}: expected PATH=V1,V2,...")
+        axes[path] = [_parse_axis_value(v) for v in values.split(",")]
+    return axes
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = registry.all_specs(args.tag)
+    if args.names_only:
+        for spec in specs:
+            print(spec.name)
+        return 0
+    if not specs:
+        print("no scenarios registered" + (f" with tag {args.tag!r}" if args.tag else ""))
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        cells = 1
+        for values in spec.sweep.values():
+            cells *= len(values)
+        cells *= spec.repetitions
+        print(f"{spec.name:<{width}}  [{spec.model}] ({cells} cells)  {spec.description}"
+              + (f"  <{tags}>" if tags else ""))
+    print(f"\n{len(specs)} scenario(s) registered")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    try:
+        spec = registry.get(args.name)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(spec.to_toml(), end="")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.all:
+        specs = registry.all_specs(args.tag)
+    elif args.names:
+        try:
+            specs = registry.resolve(args.names)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+    elif not args.spec_files:
+        print("nothing to run: give scenario names, --spec files or --all",
+              file=sys.stderr)
+        return 2
+    else:
+        specs = []
+    for path in args.spec_files:
+        try:
+            specs.append(ScenarioSpec.from_toml(path.read_text()))
+        except (OSError, SpecError) as error:
+            print(f"cannot load spec {path}: {error}", file=sys.stderr)
+            return 2
+    if not specs:
+        print("no scenarios matched", file=sys.stderr)
+        return 2
+
+    tier = "smoke" if args.smoke else "full"
+    summaries: List[Dict[str, Any]] = []
+    failures = 0
+    for spec in specs:
+        try:
+            result = run_scenario(spec, smoke=args.smoke, executor=_executor(args.jobs))
+        except Exception as error:  # a broken scenario must fail the build, visibly
+            failures += 1
+            message = f"{type(error).__name__}: {error}"
+            print(f"FAIL {spec.name}: {message.splitlines()[0][:160]}")
+            summaries.append({"name": spec.name, "tier": tier, "ok": False, "error": message})
+            continue
+        outcome = summarize(spec, result)
+        print(
+            f"ok   {outcome.name}: {outcome.rows} rows in "
+            f"{outcome.elapsed_seconds:.2f}s [{outcome.executor}] "
+            f"digest {outcome.digest[:12]}"
+        )
+        summaries.append({"tier": tier, "ok": True, **outcome.to_dict()})
+    print(f"\n{len(specs) - failures}/{len(specs)} scenario(s) passed ({tier} tier)")
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(
+            {"schema": "repro.scenarios/1", "tier": tier, "scenarios": summaries},
+            indent=2, sort_keys=True,
+        ) + "\n")
+        print(f"summary written to {args.output}")
+    return 1 if failures else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import ascii_table, to_csv
+
+    try:
+        spec = registry.get(args.name)
+        axes = _parse_axes(args.axis)
+    except (KeyError, SpecError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    sweep = dict(spec.smoke_spec().sweep if args.smoke else spec.sweep)
+    sweep.update(axes)
+    try:
+        result = run_scenario(
+            spec,
+            smoke=args.smoke,
+            sweep=sweep,
+            repetitions=args.repetitions,
+            executor=_executor(args.jobs),
+        )
+    except Exception as error:
+        print(f"FAIL {spec.name}: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
+    print(ascii_table(result.rows, title=f"{spec.name} ({len(result.rows)} rows)"))
+    if args.group_by:
+        # Group on repr: sweep-axis values may be unhashable (lists, dicts).
+        groups: Dict[str, List[Dict[str, Any]]] = {}
+        for row in result.rows:
+            groups.setdefault(repr(row.get(args.group_by)), []).append(row)
+        grouped_rows = []
+        for value, rows in sorted(groups.items()):
+            row = {args.group_by: value}
+            for key in rows[0]:
+                values = [r[key] for r in rows if isinstance(r.get(key), (int, float))
+                          and not isinstance(r.get(key), bool)]
+                if values and key != args.group_by:
+                    row[key] = sum(values) / len(values)
+            grouped_rows.append(row)
+        print(ascii_table(grouped_rows, title=f"means by {args.group_by}"))
+    print(f"digest {rows_digest(result.rows)[:12]}, elapsed {result.elapsed_seconds:.2f}s")
+    if args.csv is not None:
+        args.csv.parent.mkdir(parents=True, exist_ok=True)
+        args.csv.write_text(to_csv(result.rows))
+        print(f"rows written to {args.csv}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "describe":
+        return _cmd_describe(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2

@@ -26,10 +26,16 @@ from repro.workload.models import (
     generate_mixed_jobs,
     figure2_workload,
 )
-from repro.workload.arrivals import poisson_arrivals, bursty_arrivals, offline_arrivals
+from repro.workload.arrivals import (
+    poisson_arrivals,
+    bursty_arrivals,
+    diurnal_arrivals,
+    offline_arrivals,
+    scaled_load_arrivals,
+)
 from repro.workload.parametric import generate_parametric_bags
 from repro.workload.communities import COMMUNITY_PROFILES, community_workload, grid_workload
-from repro.workload.swf import jobs_to_swf, swf_to_jobs
+from repro.workload.swf import SWFHeader, jobs_to_swf, parse_swf_header, swf_to_jobs
 
 __all__ = [
     "WorkloadConfig",
@@ -39,11 +45,15 @@ __all__ = [
     "figure2_workload",
     "poisson_arrivals",
     "bursty_arrivals",
+    "diurnal_arrivals",
     "offline_arrivals",
+    "scaled_load_arrivals",
     "generate_parametric_bags",
     "COMMUNITY_PROFILES",
     "community_workload",
     "grid_workload",
+    "SWFHeader",
     "jobs_to_swf",
+    "parse_swf_header",
     "swf_to_jobs",
 ]

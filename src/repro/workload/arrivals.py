@@ -8,12 +8,15 @@ generators below assign release dates to an existing list of jobs (returning
 * :func:`poisson_arrivals` -- exponential inter-arrival times, the standard
   model for independent users submitting to a cluster;
 * :func:`bursty_arrivals` -- arrivals grouped in bursts, modelling campaign
-  submissions (a user submitting a whole parameter sweep at once).
+  submissions (a user submitting a whole parameter sweep at once);
+* :func:`diurnal_arrivals` -- a non-homogeneous Poisson process whose rate
+  follows a day/night cycle, modelling interactive users.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -97,6 +100,52 @@ def bursty_arrivals(
         burst_index = i // burst_size
         jitter = float(rng.uniform(0.0, 1e-6))
         out.append(_with_release(job, burst_index * burst_gap + jitter))
+    return out
+
+
+def diurnal_arrivals(
+    jobs: Sequence[Job],
+    *,
+    mean_interarrival: float,
+    period: float = 24.0,
+    peak_to_trough: float = 4.0,
+    phase: float = 0.0,
+    random_state: RandomState = None,
+) -> List[Job]:
+    """Non-homogeneous Poisson arrivals following a day/night cycle.
+
+    The instantaneous rate oscillates sinusoidally around the average rate
+    ``1 / mean_interarrival`` with period ``period`` (hours, matching the
+    community workloads); ``peak_to_trough`` sets the ratio between the
+    busiest and the quietest instant.  Sampling uses the standard thinning
+    construction: candidate arrivals are drawn from a homogeneous process at
+    the peak rate and accepted with probability ``rate(t) / peak_rate``,
+    which is exact and stays deterministic for a fixed seed.
+    """
+
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be > 0")
+    if period <= 0:
+        raise ValueError("period must be > 0")
+    if peak_to_trough < 1:
+        raise ValueError("peak_to_trough must be >= 1 (peak rate >= trough rate)")
+    rng = _rng(random_state)
+    mean_rate = 1.0 / mean_interarrival
+    # rate(t) = mean_rate * (1 + a sin(...)) with (1+a)/(1-a) = peak_to_trough.
+    amplitude = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    peak_rate = mean_rate * (1.0 + amplitude)
+    ordered = sorted(jobs, key=lambda j: j.name)
+    out: List[Job] = []
+    t = 0.0
+    for job in ordered:
+        while True:
+            t += float(rng.exponential(1.0 / peak_rate))
+            rate = mean_rate * (
+                1.0 + amplitude * math.sin(2.0 * math.pi * (t / period) + phase)
+            )
+            if rng.random() * peak_rate <= rate:
+                break
+        out.append(_with_release(job, t))
     return out
 
 

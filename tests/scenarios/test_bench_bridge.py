@@ -1,0 +1,44 @@
+"""The scenario -> repro.bench bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cases import REGISTRY as BENCH_REGISTRY
+from repro.bench.runner import time_case
+from repro.scenarios import get, run_scenario, rows_digest
+from repro.scenarios.bench import PREFIX, register_scenario_benchmarks
+
+
+@pytest.fixture
+def scenario_case():
+    name = "mix.rigid-moldable"
+    (case,) = register_scenario_benchmarks([name])
+    yield name, case
+    BENCH_REGISTRY.pop(f"{PREFIX}{name}", None)
+
+
+def test_registration_is_idempotent(scenario_case):
+    name, case = scenario_case
+    (again,) = register_scenario_benchmarks([name])
+    assert again is case
+    assert f"{PREFIX}{name}" in BENCH_REGISTRY
+
+
+def test_quick_tier_is_the_smoke_sweep_with_matching_digest(scenario_case):
+    name, case = scenario_case
+    result = time_case(case, "quick", repeats=1, warmup=0)
+    smoke = run_scenario(get(name), smoke=True)
+    assert result.cells == len(smoke.rows)
+    # The bench payload is the scenario's row list: identical rows, so the
+    # bench digest tracks the same determinism the scenario digest does.
+    rerun = time_case(case, "quick", repeats=1, warmup=0)
+    assert result.digest == rerun.digest
+    assert rows_digest(smoke.rows) == rows_digest(run_scenario(get(name), smoke=True).rows)
+
+
+def test_full_tier_uses_the_full_sweep(scenario_case):
+    name, case = scenario_case
+    outcome = case.run_tier("full")
+    full = run_scenario(get(name))
+    assert outcome.cells == len(full.rows)

@@ -1,0 +1,114 @@
+"""CLI: list/describe/run/sweep behaviour and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.scenarios import get, names
+from repro.scenarios.cli import main
+from repro.scenarios.spec import ScenarioSpec
+
+
+class TestList:
+    def test_list_exits_zero_and_shows_every_scenario(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in names():
+            assert name in out
+        assert f"{len(names())} scenario(s) registered" in out
+
+    def test_names_only_output(self, capsys):
+        assert main(["list", "--names-only"]) == 0
+        assert capsys.readouterr().out.split() == names()
+
+    def test_tag_filter(self, capsys):
+        assert main(["list", "--tag", "grid", "--names-only"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert listed == names("grid") and listed
+
+
+class TestDescribe:
+    def test_toml_output_round_trips(self, capsys):
+        name = names()[0]
+        assert main(["describe", name]) == 0
+        text = capsys.readouterr().out
+        assert ScenarioSpec.from_toml(text).to_dict() == get(name).to_dict()
+
+    def test_json_output(self, capsys):
+        name = names()[0]
+        assert main(["describe", name, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["name"] == name
+
+    def test_unknown_name_exits_two(self, capsys):
+        assert main(["describe", "no.such.scenario"]) == 2
+
+
+class TestRun:
+    def test_single_scenario_smoke_exits_zero(self, capsys, tmp_path):
+        summary = tmp_path / "summary.json"
+        code = main(["run", "mix.rigid-moldable", "--smoke",
+                     "--output", str(summary)])
+        assert code == 0
+        report = json.loads(summary.read_text())
+        assert report["tier"] == "smoke"
+        (entry,) = report["scenarios"]
+        assert entry["ok"] and entry["name"] == "mix.rigid-moldable"
+        assert entry["rows"] > 0 and len(entry["digest"]) == 64
+        assert "1/1 scenario(s) passed" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["run", "no.such.scenario"]) == 2
+
+    def test_no_selection_exits_two(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_spec_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "mini.toml"
+        spec_file.write_text(
+            get("mix.rigid-moldable")
+            .evolve(name="test.cli-toml")
+            .smoke_spec()
+            .to_toml()
+        )
+        assert main(["run", "--spec", str(spec_file)]) == 0
+        assert "test.cli-toml" in capsys.readouterr().out
+
+    def test_unreadable_spec_file_exits_two(self, capsys, tmp_path):
+        assert main(["run", "--spec", str(tmp_path / "missing.toml")]) == 2
+
+    def test_broken_scenario_exits_one(self, capsys, tmp_path):
+        spec_file = tmp_path / "broken.toml"
+        broken = get("mix.rigid-moldable").evolve(
+            name="test.cli-broken", metrics=("no_such_metric",),
+        )
+        spec_file.write_text(broken.to_toml())
+        summary = tmp_path / "summary.json"
+        assert main(["run", "--smoke", "--spec", str(spec_file),
+                     "--output", str(summary)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL test.cli-broken" in out
+        (entry,) = json.loads(summary.read_text())["scenarios"]
+        assert entry["ok"] is False and "no_such_metric" in entry["error"]
+
+
+class TestSweep:
+    def test_sweep_with_axis_override_and_csv(self, capsys, tmp_path):
+        csv = tmp_path / "rows.csv"
+        code = main([
+            "sweep", "mix.rigid-moldable", "--smoke",
+            "--axis", "policy.strategy=separate,first_fit_batch",
+            "--repetitions", "1",
+            "--csv", str(csv),
+            "--group-by", "policy.strategy",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "digest" in out and "means by policy.strategy" in out
+        header = csv.read_text().splitlines()[0]
+        assert "makespan_ratio" in header
+
+    def test_bad_axis_exits_two(self, capsys):
+        assert main(["sweep", "mix.rigid-moldable", "--axis", "nonsense"]) == 2
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["sweep", "no.such.scenario"]) == 2

@@ -1,0 +1,129 @@
+"""Composer behaviour: hand-wired equivalence, overrides, metrics, churn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.criteria import CriteriaReport
+from repro.core.policies.rigid_moldable_mix import MixedScheduler
+from repro.experiments.harness import CellExecutionError, run_experiment
+from repro.metrics.ratios import schedule_ratios
+from repro.scenarios import run_scenario, rows_digest
+from repro.scenarios.composer import inject_node_churn
+from repro.scenarios.spec import ComponentSpec, ScenarioSpec
+from repro.workload.models import WorkloadConfig, generate_mixed_jobs
+
+MACHINES = 16
+
+MIX_SPEC = ScenarioSpec(
+    name="test.mix-equivalence",
+    model="offline",
+    platform=ComponentSpec("count", {"machine_count": MACHINES}),
+    workload=ComponentSpec("mixed", {"n_jobs": 12, "weight_scheme": "work"}),
+    policy=ComponentSpec("mixed"),
+    metrics=("makespan_ratio", "weighted_completion_ratio", "policy_name"),
+    repetitions=2,
+    seed=321,
+    sweep={"policy.strategy": ["separate", "first_fit_batch"]},
+)
+
+
+def hand_wired_mix_cell(seed, **axis):
+    """The exact computation the composer performs, written by hand."""
+
+    rng = np.random.default_rng(seed)
+    jobs = generate_mixed_jobs(
+        12, MACHINES,
+        rigid_fraction=0.3,
+        config=WorkloadConfig(weight_scheme="work"),
+        random_state=rng,
+    )
+    scheduler = MixedScheduler(axis["policy.strategy"])
+    schedule = scheduler.schedule(jobs, MACHINES)
+    schedule.validate(check_release_dates=False)
+    metrics = dict(CriteriaReport.from_schedule(schedule).as_dict())
+    metrics.update(schedule_ratios(schedule, jobs, machine_count=MACHINES).as_dict())
+    return {
+        "makespan_ratio": metrics["makespan_ratio"],
+        "weighted_completion_ratio": metrics["weighted_completion_ratio"],
+        "policy_name": scheduler.name,
+    }
+
+
+class TestHandWiredEquivalence:
+    def test_spec_sweep_is_bit_identical_to_hand_wired_run_experiment(self):
+        via_spec = run_scenario(MIX_SPEC)
+        hand_wired = run_experiment(
+            MIX_SPEC.name,
+            hand_wired_mix_cell,
+            MIX_SPEC.sweep,
+            repetitions=MIX_SPEC.repetitions,
+            base_seed=MIX_SPEC.seed,
+        )
+        assert via_spec.rows == hand_wired.rows  # bit-identical, float for float
+        assert rows_digest(via_spec.rows) == rows_digest(hand_wired.rows)
+
+
+class TestRunScenario:
+    def test_sweep_produces_one_row_per_cell(self):
+        result = run_scenario(MIX_SPEC)
+        assert len(result.rows) == 2 * 2  # 2 strategies x 2 repetitions
+        assert {row["policy.strategy"] for row in result.rows} == {
+            "separate", "first_fit_batch",
+        }
+
+    def test_metrics_filter_keeps_exactly_the_requested_columns(self):
+        result = run_scenario(MIX_SPEC)
+        expected = {"experiment", "seed", "policy.strategy",
+                    "makespan_ratio", "weighted_completion_ratio", "policy_name"}
+        assert set(result.rows[0]) == expected
+
+    def test_unknown_metric_fails_the_cell(self):
+        bad = MIX_SPEC.evolve(name="test.bad-metric", metrics=("not_a_metric",))
+        with pytest.raises(CellExecutionError, match="not_a_metric"):
+            run_scenario(bad)
+
+    def test_overrides_change_the_effective_spec(self):
+        result = run_scenario(
+            MIX_SPEC,
+            overrides={"workload.n_jobs": 6},
+            sweep={"policy.strategy": ["separate"]},
+            repetitions=1,
+        )
+        assert len(result.rows) == 1
+
+    def test_repeated_runs_are_deterministic(self):
+        assert rows_digest(run_scenario(MIX_SPEC).rows) == rows_digest(
+            run_scenario(MIX_SPEC).rows
+        )
+
+    def test_unknown_workload_kind_surfaces_clearly(self):
+        bad = MIX_SPEC.evolve(name="test.bad-kind").with_overrides(
+            {"workload.kind": "tea-leaves"}
+        )
+        with pytest.raises(CellExecutionError, match="tea-leaves"):
+            run_scenario(bad)
+
+
+class TestNodeChurn:
+    def test_outage_jobs_are_appended_deterministically(self):
+        from repro.workload.arrivals import poisson_arrivals
+        from repro.workload.models import generate_rigid_jobs
+
+        jobs = poisson_arrivals(
+            generate_rigid_jobs(10, 8, random_state=0), rate=1.0, random_state=0
+        )
+        churn = {"n_outages": 4, "procs": 3, "mean_repair": 2.0}
+        a = inject_node_churn(jobs, 8, churn, np.random.default_rng(5))
+        b = inject_node_churn(jobs, 8, churn, np.random.default_rng(5))
+        outages = [j for j in a if j.owner == "churn"]
+        assert len(a) == len(jobs) + 4 and len(outages) == 4
+        assert [(j.release_date, j.duration) for j in a] == [
+            (j.release_date, j.duration) for j in b
+        ]
+        assert all(j.nbproc == 3 for j in outages)
+
+    def test_zero_outages_is_a_no_op(self):
+        jobs = []
+        assert inject_node_churn(jobs, 8, {"n_outages": 0}, np.random.default_rng(1)) == []

@@ -1,0 +1,91 @@
+"""Registry behaviour: collisions, lookup errors, decorator, tags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioCollisionError,
+    all_specs,
+    get,
+    names,
+    register,
+    resolve,
+    scenario,
+    unregister,
+)
+from repro.scenarios.spec import ComponentSpec, ScenarioSpec
+
+
+def make_spec(name: str = "test.registry-entry", **kwargs) -> ScenarioSpec:
+    defaults = dict(
+        name=name,
+        model="offline",
+        platform=ComponentSpec("count", {"machine_count": 8}),
+        workload=ComponentSpec("moldable", {"n_jobs": 4}),
+        policy=ComponentSpec("wspt"),
+        repetitions=1,
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+@pytest.fixture
+def temp_scenario():
+    created = []
+
+    def _register(spec: ScenarioSpec) -> ScenarioSpec:
+        register(spec)
+        created.append(spec.name)
+        return spec
+
+    yield _register
+    for name in created:
+        unregister(name)
+
+
+class TestRegistry:
+    def test_register_and_get(self, temp_scenario):
+        spec = temp_scenario(make_spec())
+        assert get(spec.name) is spec
+        assert spec.name in names()
+
+    def test_collision_raises(self, temp_scenario):
+        temp_scenario(make_spec())
+        with pytest.raises(ScenarioCollisionError, match="already registered"):
+            register(make_spec())
+
+    def test_register_validates(self):
+        with pytest.raises(Exception):
+            register(make_spec(name="NOT VALID"))
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="registered:"):
+            get("test.does-not-exist")
+
+    def test_resolve_none_returns_all(self):
+        assert [s.name for s in resolve(None)] == names()
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(KeyError):
+            resolve(["test.does-not-exist"])
+
+    def test_tag_filtering(self, temp_scenario):
+        temp_scenario(make_spec("test.tagged", tags=("unicorn",)))
+        assert names("unicorn") == ["test.tagged"]
+        assert [s.name for s in all_specs("unicorn")] == ["test.tagged"]
+
+    def test_decorator_registers_and_returns_builder(self):
+        @scenario
+        def _builder() -> ScenarioSpec:
+            return make_spec("test.decorated")
+
+        try:
+            assert get("test.decorated").name == "test.decorated"
+            assert _builder().name == "test.decorated"  # builder still callable
+        finally:
+            unregister("test.decorated")
+
+    def test_builtin_registry_is_populated(self):
+        # The acceptance bar of the scenario layer: >= 10 registered families.
+        assert len(names()) >= 10

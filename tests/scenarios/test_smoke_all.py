@@ -1,0 +1,41 @@
+"""Every registered scenario must smoke-run, deterministically.
+
+This is the in-repo twin of the CI ``scenario-smoke`` job: a scenario that
+registers but cannot execute its smoke tier end-to-end -- or that produces
+different rows for the same seed -- fails here, before it ever reaches CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import all_specs, get, names, run_scenario, rows_digest
+
+
+def test_at_least_ten_scenarios_registered():
+    assert len(names()) >= 10
+
+
+def test_every_scenario_declares_a_smoke_tier():
+    for spec in all_specs():
+        smoke = spec.smoke_spec()
+        cells = smoke.repetitions
+        for values in smoke.sweep.values():
+            cells *= len(values)
+        # Smoke tiers must stay tiny: they run on every CI push.
+        assert 1 <= cells <= 8, (
+            f"{spec.name}: smoke tier expands to {cells} cells; keep it <= 8"
+        )
+
+
+@pytest.mark.parametrize("name", names())
+def test_scenario_smoke_runs_deterministically(name):
+    spec = get(name)
+    first = run_scenario(spec, smoke=True)
+    second = run_scenario(spec, smoke=True)
+    assert len(first.rows) > 0, f"{name}: smoke tier produced no rows"
+    assert not first.errors
+    digest_a, digest_b = rows_digest(first.rows), rows_digest(second.rows)
+    assert digest_a == digest_b, (
+        f"{name}: same seed produced different rows ({digest_a[:12]} vs {digest_b[:12]})"
+    )

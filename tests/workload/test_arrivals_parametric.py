@@ -7,6 +7,7 @@ import pytest
 from repro.core.job import MoldableJob, ParametricSweep
 from repro.workload.arrivals import (
     bursty_arrivals,
+    diurnal_arrivals,
     offline_arrivals,
     poisson_arrivals,
     scaled_load_arrivals,
@@ -168,11 +169,65 @@ class TestSWF:
         text = "1 0.0 0 5.0 2\n"
         assert len(swf_to_jobs(io.StringIO(text))) == 1
 
-    def test_malformed_line_rejected(self):
+    def test_malformed_line_rejected_in_strict_mode(self):
         with pytest.raises(ValueError):
-            swf_to_jobs("1 2 3\n")
+            swf_to_jobs("1 2 3\n", strict=True)
+
+    def test_malformed_line_skipped_by_default(self):
+        # Truncated traces are common in the archive; the tolerant default
+        # keeps the parsable jobs instead of raising.
+        assert swf_to_jobs("1 2 3\n2 0.0 0 3.0 2\n") == swf_to_jobs("2 0.0 0 3.0 2\n")
 
     def test_unsupported_job_type_rejected(self):
         bag = ParametricSweep(name="s", n_runs=3, run_time=1.0)
         with pytest.raises(TypeError):
             jobs_to_swf([bag])
+
+
+class TestDiurnalArrivals:
+    def test_reproducible_for_a_fixed_seed(self):
+        jobs = generate_rigid_jobs(30, 8, random_state=4)
+        a = diurnal_arrivals(jobs, mean_interarrival=0.5, random_state=7)
+        b = diurnal_arrivals(jobs, mean_interarrival=0.5, random_state=7)
+        assert [j.release_date for j in a] == [j.release_date for j in b]
+
+    def test_release_dates_increase_in_name_order(self):
+        jobs = generate_rigid_jobs(25, 8, random_state=5)
+        released = diurnal_arrivals(jobs, mean_interarrival=1.0, random_state=3)
+        dates = [j.release_date for j in released]
+        assert dates == sorted(dates)
+        assert all(d >= 0 for d in dates)
+
+    def test_arrivals_concentrate_around_the_peak(self):
+        import math
+
+        jobs = generate_rigid_jobs(400, 8, random_state=6)
+        released = diurnal_arrivals(
+            jobs, mean_interarrival=0.25, period=24.0, peak_to_trough=9.0,
+            random_state=11,
+        )
+        # rate(t) ~ 1 + a*sin(2 pi t / 24): the sin>0 half-day is the peak.
+        peak = sum(1 for j in released if math.sin(2 * math.pi * j.release_date / 24.0) > 0)
+        assert peak > 0.6 * len(released)
+
+    def test_flat_cycle_matches_poisson_style_spread(self):
+        jobs = generate_rigid_jobs(50, 8, random_state=7)
+        released = diurnal_arrivals(
+            jobs, mean_interarrival=1.0, peak_to_trough=1.0, random_state=13
+        )
+        assert len(released) == 50
+
+    def test_parameter_validation(self):
+        jobs = generate_rigid_jobs(3, 4, random_state=8)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(jobs, mean_interarrival=0.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(jobs, mean_interarrival=1.0, period=-1.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(jobs, mean_interarrival=1.0, peak_to_trough=0.5)
+
+    def test_original_jobs_untouched(self):
+        jobs = generate_rigid_jobs(5, 4, random_state=9)
+        released = diurnal_arrivals(jobs, mean_interarrival=1.0, random_state=1)
+        assert released[0] is not jobs[0]
+        assert all(j.release_date == 0.0 for j in jobs)

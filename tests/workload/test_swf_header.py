@@ -1,0 +1,71 @@
+"""SWF header tolerance: truncated / missing / extra comment fields.
+
+Regression coverage for the archive-trace fix: a trace whose comment header
+is truncated (fields missing their value, lines that lost their ';' marker,
+non-standard fields) must parse without raising, both through
+:func:`parse_swf_header` and through :func:`swf_to_jobs`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workload.swf import jobs_to_swf, parse_swf_header, swf_to_jobs
+
+FIXTURE = Path(__file__).parent / "data" / "truncated_header.swf"
+
+
+class TestTruncatedHeaderFixture:
+    def test_jobs_parse_without_raising(self):
+        jobs = swf_to_jobs(FIXTURE.read_text())
+        # Job 3 is truncated (3 fields) and the stray 'MaxNodes: 108' line
+        # lost its comment marker; both are skipped, the two good jobs stay.
+        assert [j.name for j in jobs] == ["job-1", "job-2"]
+        assert jobs[0].nbproc == 2 and jobs[0].weight == pytest.approx(1.5)
+        assert jobs[0].owner == "user1"
+        assert jobs[1].duration == pytest.approx(3.0)
+
+    def test_strict_mode_still_raises_on_the_truncated_lines(self):
+        with pytest.raises(ValueError):
+            swf_to_jobs(FIXTURE.read_text(), strict=True)
+
+    def test_header_fields_parse_tolerantly(self):
+        header = parse_swf_header(FIXTURE.read_text())
+        assert header.version == pytest.approx(2.2)
+        assert header.computer == "CIMENT icluster"
+        assert header.max_jobs == 3
+        assert header.unix_start_time == 1043622000
+        # 'MaxProcs' lost its value entirely: stays None, counted malformed.
+        assert header.max_procs is None
+        assert header.malformed_lines >= 1
+        # Extra (non-spec) fields are kept, not rejected.
+        assert header.extra["CustomField"] == "not in the SWF spec"
+        # Known free-text fields are tolerated even when truncated.
+        assert header.get("Acknowledge") == "truncated mid-sente"
+
+    def test_file_like_input(self):
+        with open(FIXTURE) as handle:
+            assert parse_swf_header(handle).max_jobs == 3
+
+    def test_missing_header_is_fine(self):
+        header = parse_swf_header("1 0.0 0 5.0 2\n")
+        assert header.fields == {} and header.malformed_lines == 0
+
+
+class TestHeaderRoundTrip:
+    def test_export_comment_survives_header_parse(self):
+        from repro.core.job import RigidJob
+
+        jobs = [RigidJob(name="a", nbproc=2, duration=4.0)]
+        text = jobs_to_swf(jobs, comment="Computer: test-rig\nMaxJobs: 1")
+        header = parse_swf_header(text)
+        assert header.computer == "test-rig"
+        assert header.max_jobs == 1
+        assert len(swf_to_jobs(text)) == 1
+
+    def test_non_numeric_value_for_numeric_field_is_malformed_not_fatal(self):
+        header = parse_swf_header("; MaxJobs: lots\n")
+        assert header.max_jobs is None
+        assert header.malformed_lines == 1
