@@ -9,6 +9,8 @@
 #   make perf-compare          quick tier + diff against the committed baseline
 #   make scenarios             list the registered scenarios
 #   make scenario-smoke        smoke-run every registered scenario (CI job)
+#   make distributed-smoke     same smoke tier through the socket scheduler
+#                              with 2 local workers (mirrors the CI job)
 #   make lint                  ruff check (byte-compilation fallback)
 #   make ci                    lint + test + scenario smoke + warn-only perf
 #                              compare (mirrors CI)
@@ -22,7 +24,10 @@ BASELINE ?= benchmarks/baselines/quick.json
 
 BENCH_ENV = $(if $(JOBS),REPRO_JOBS=$(JOBS)) $(if $(CACHE),REPRO_CACHE_DIR=$(CACHE))
 
-.PHONY: test bench perf perf-compare scenarios scenario-smoke lint ci clean
+.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke lint ci clean
+
+# Port the distributed smoke tier binds its campaign schedulers on.
+DIST_PORT ?= 7641
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +52,18 @@ scenarios:
 # scenario-smoke job (an unregistered or broken scenario fails here).
 scenario-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.scenarios run --all --smoke
+
+# The same smoke tier scheduled over the socket-based distributed runtime:
+# two long-lived local workers serve every campaign in turn (they retry
+# until each per-scenario scheduler binds, and self-reap via --max-idle
+# once the run is over). Mirrors the CI distributed-smoke job; digests
+# must match a plain `make scenario-smoke`.
+distributed-smoke:
+	@PYTHONPATH=src $(PYTHON) -m repro.distributed worker tcp://127.0.0.1:$(DIST_PORT) --max-idle 10 & \
+	PYTHONPATH=src $(PYTHON) -m repro.distributed worker tcp://127.0.0.1:$(DIST_PORT) --max-idle 10 & \
+	PYTHONPATH=src $(PYTHON) -m repro.scenarios run --all --smoke \
+		--executor tcp://127.0.0.1:$(DIST_PORT); \
+	STATUS=$$?; wait; exit $$STATUS
 
 # ruff when available (the CI lint job installs it); plain byte-compilation
 # otherwise so the target always catches syntax errors.

@@ -3,8 +3,9 @@
 
 Runs the bi-criteria simulation on a 100-machine cluster for the two workload
 families ("Non Parallel" and "Parallel"), prints the two ratio curves as text
-tables and ASCII plots, and writes the raw points to ``figure2_points.csv``
-for external plotting.
+tables and ASCII plots, and writes the raw points to
+``examples/out/figure2_points.csv`` for external plotting (generated outputs
+stay out of the repository root, which is git-ignored for CSVs).
 
 The experiment itself is declared by the registered ``fig2.bicriteria``
 scenario (see ``python -m repro.scenarios describe fig2.bicriteria``); this
@@ -27,8 +28,10 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweep (for a fast demo)")
-    parser.add_argument("--output", default="figure2_points.csv",
-                        help="CSV file for the raw simulation points")
+    default_output = Path(__file__).resolve().parent / "out" / "figure2_points.csv"
+    parser.add_argument("--output", default=str(default_output),
+                        help="CSV file for the raw simulation points "
+                             "(default: examples/out/figure2_points.csv)")
     args = parser.parse_args(argv)
 
     spec = get("fig2.bicriteria")
@@ -65,6 +68,7 @@ def main(argv: list[str] | None = None) -> None:
         ))
 
     output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(to_csv([p.as_dict() for p in points]))
     print(f"Raw points written to {output} ({len(points)} rows).")
 

@@ -1,0 +1,56 @@
+"""Distributed campaign runner: scheduler/worker runtime over TCP sockets.
+
+The single-host sweep engine (``REPRO_JOBS=N`` process pools) tops out at
+one machine; this package is the execution layer that outgrows it.  A
+central :class:`~repro.distributed.scheduler.Scheduler` owns the cell queue
+of one *campaign* (a sweep routed through the harness) and speaks a
+length-prefixed JSON-over-TCP protocol
+(:mod:`repro.distributed.protocol`) to any number of
+:class:`~repro.distributed.worker.Worker` processes -- on the same host or
+across a cluster -- which register, heartbeat, pull cells and stream
+outcomes back.  Fault tolerance is retry-based (dead workers' in-flight
+cells are requeued under a bounded budget) and campaigns are resumable
+through an append-only JSONL journal
+(:class:`~repro.distributed.campaign.CampaignJournal`).
+
+The public entry points:
+
+* :class:`~repro.distributed.executor.DistributedExecutor` plugs the
+  runtime into the ordinary ``Executor`` interface, so any sweep, scenario
+  or bench case runs distributed unchanged and bit-identically (selected by
+  ``REPRO_JOBS=tcp://host:port``, ``executor="distributed"``, or
+  explicitly);
+* ``python -m repro.distributed`` drives it from the command line
+  (``scheduler`` / ``worker`` / ``run`` -- see :mod:`repro.distributed.cli`).
+"""
+
+from repro.distributed.campaign import CampaignJournal
+from repro.distributed.executor import (
+    DistributedExecutor,
+    executor_from_address,
+    local_mini_cluster,
+)
+from repro.distributed.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    format_address,
+    parse_address,
+)
+from repro.distributed.scheduler import CampaignStalled, Scheduler, SchedulerStats
+from repro.distributed.worker import Worker, run_worker
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignStalled",
+    "ConnectionClosed",
+    "DistributedExecutor",
+    "ProtocolError",
+    "Scheduler",
+    "SchedulerStats",
+    "Worker",
+    "executor_from_address",
+    "format_address",
+    "local_mini_cluster",
+    "parse_address",
+    "run_worker",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.distributed`` -- see :mod:`repro.distributed.cli`."""
+
+import sys
+
+from repro.distributed.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""``DistributedExecutor``: the socket runtime behind the ``Executor`` interface.
+
+This is the piece that lets every existing sweep, scenario and bench case
+run distributed *unchanged*: :func:`repro.experiments.harness.run_experiment`
+hands the executor an ordered cell list and a picklable cell function, and
+gets outcomes streamed back in submission order -- exactly the contract the
+serial and process-pool backends satisfy, so distributed rows are
+bit-identical to :class:`~repro.experiments.executors.SerialExecutor` rows.
+
+Selection (see :func:`repro.experiments.executors.resolve_executor`):
+
+* ``REPRO_JOBS=tcp://host:port`` / ``executor="tcp://host:port"`` -- bind
+  the scheduler at that address and wait for externally started workers
+  (``python -m repro.distributed worker tcp://host:port``);
+* ``executor="distributed"`` -- bind an ephemeral loopback port and
+  self-spawn a local mini-cluster of one worker per CPU.
+
+Each ``map`` call runs one campaign: start a
+:class:`~repro.distributed.scheduler.Scheduler`, optionally fork local
+worker processes (a babysitter thread respawns any that die, so a SIGKILLed
+worker costs a retry, not the sweep), stream the ordered outcomes, then
+tear everything down.  With ``journal=`` (or ``REPRO_JOURNAL=``) pointing
+at a JSONL file, completed cells are journaled as they finish and a
+restarted campaign re-executes only the incomplete ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+from repro.distributed import protocol
+from repro.distributed.campaign import CampaignJournal
+from repro.distributed.scheduler import Scheduler
+from repro.distributed.worker import run_worker
+from repro.experiments.executors import Executor, cpu_count
+from repro.experiments.grid import Cell, CellOutcome
+
+#: Environment variable naming the campaign journal file (JSONL).
+JOURNAL_ENV_VAR = "REPRO_JOURNAL"
+
+#: Spawned local workers that die are replaced, but never more than this
+#: many times per original slot -- a crash-looping cell function must hit
+#: the per-cell retry budget, not fork-bomb the host.
+MAX_RESPAWNS_PER_WORKER = 8
+
+
+class DistributedExecutor(Executor):
+    """Run cells on socket-connected workers behind a campaign scheduler.
+
+    Parameters
+    ----------
+    address:
+        ``tcp://host:port`` the per-campaign scheduler binds; the default
+        picks an ephemeral loopback port (self-contained mini-cluster).
+    workers:
+        Local worker processes to self-spawn per campaign.  ``0`` spawns
+        none and relies on external workers connecting to ``address``.
+    journal:
+        Campaign journal path or :class:`CampaignJournal`; defaults to the
+        ``REPRO_JOURNAL`` environment variable (unset = no journal).
+    heartbeat_interval / heartbeat_timeout / max_retries:
+        Forwarded to the :class:`Scheduler` (see its docstring).
+    stall_timeout:
+        Abort the campaign when no worker has been connected for this long
+        (``None`` waits forever -- sensible only for interactive use).
+    start_method:
+        ``multiprocessing`` start method for self-spawned workers.  ``None``
+        prefers ``fork`` where available, keeping cell functions defined in
+        non-importable modules (pytest test files) picklable by reference.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        address: str = "tcp://127.0.0.1:0",
+        *,
+        workers: int = 0,
+        journal: Union[None, str, CampaignJournal] = None,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 10.0,
+        max_retries: int = 3,
+        stall_timeout: Optional[float] = 120.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        protocol.parse_address(address)  # fail early, with the friendly message
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.address = address
+        self.workers = workers
+        if journal is None:
+            journal = os.environ.get(JOURNAL_ENV_VAR, "").strip() or None
+        self.journal = CampaignJournal.coerce(journal)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_retries = max_retries
+        self.stall_timeout = stall_timeout
+        self.start_method = start_method
+        #: The live scheduler / spawned worker processes of the campaign
+        #: currently streaming through :meth:`map` (exposed for tests and
+        #: fault-injection: killing ``processes[i]`` exercises the retry
+        #: path of a real worker loss).
+        self.scheduler: Optional[Scheduler] = None
+        self.processes: List[multiprocessing.process.BaseProcess] = []
+
+    def __repr__(self) -> str:
+        return f"DistributedExecutor(address={self.address!r}, workers={self.workers})"
+
+    def map(
+        self,
+        fn: Callable[[Cell], CellOutcome],
+        cells: Sequence[Cell],
+    ) -> Iterator[CellOutcome]:
+        cells = list(cells)
+
+        def stream() -> Iterator[CellOutcome]:
+            if not cells:
+                return
+            scheduler = Scheduler(
+                self.address,
+                heartbeat_interval=self.heartbeat_interval,
+                heartbeat_timeout=self.heartbeat_timeout,
+                max_retries=self.max_retries,
+                journal=self.journal,
+                stall_timeout=self.stall_timeout,
+            )
+            scheduler.start()
+            self.scheduler = scheduler
+            stop = threading.Event()
+            babysitter: Optional[threading.Thread] = None
+            try:
+                if self.workers:
+                    context = self._context()
+                    count = min(self.workers, len(cells))
+                    self.processes = [
+                        self._spawn(context, scheduler.address) for _ in range(count)
+                    ]
+                    babysitter = threading.Thread(
+                        target=self._respawn_loop,
+                        args=(context, scheduler.address, stop),
+                        name="repro-distributed-babysitter",
+                        daemon=True,
+                    )
+                    babysitter.start()
+                yield from scheduler.run_campaign(fn, cells)
+            finally:
+                stop.set()
+                if babysitter is not None:
+                    babysitter.join(timeout=2.0)
+                scheduler.close()
+                for process in self.processes:
+                    process.terminate()
+                for process in self.processes:
+                    process.join(timeout=2.0)
+                self.processes = []
+                self.scheduler = None
+
+        return stream()
+
+    # -- local mini-cluster -------------------------------------------------
+
+    def _context(self) -> multiprocessing.context.BaseContext:
+        method = self.start_method
+        if method is None and "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        return multiprocessing.get_context(method)
+
+    @staticmethod
+    def _spawn(
+        context: multiprocessing.context.BaseContext, address: str
+    ) -> multiprocessing.process.BaseProcess:
+        process = context.Process(
+            target=run_worker,
+            args=(address,),
+            kwargs={"max_idle": 30.0},
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def _respawn_loop(
+        self,
+        context: multiprocessing.context.BaseContext,
+        address: str,
+        stop: threading.Event,
+    ) -> None:
+        """Replace dead local workers while the campaign is still running."""
+
+        budget = MAX_RESPAWNS_PER_WORKER * max(len(self.processes), 1)
+        while not stop.wait(0.1):
+            for slot, process in enumerate(self.processes):
+                if stop.is_set() or budget <= 0:
+                    return
+                if not process.is_alive():
+                    process.join(timeout=0.1)
+                    self.processes[slot] = self._spawn(context, address)
+                    budget -= 1
+
+
+def executor_from_address(address: str, *, workers: int = 0) -> DistributedExecutor:
+    """The executor behind ``REPRO_JOBS=tcp://host:port`` (external workers)."""
+
+    return DistributedExecutor(address, workers=workers)
+
+
+def local_mini_cluster(
+    workers: Optional[int] = None,
+    *,
+    journal: Union[None, str, CampaignJournal] = None,
+    **kwargs: object,
+) -> DistributedExecutor:
+    """A self-contained loopback scheduler + ``workers`` forked workers."""
+
+    return DistributedExecutor(
+        "tcp://127.0.0.1:0",
+        workers=workers if workers is not None else cpu_count(),
+        journal=journal,
+        **kwargs,  # type: ignore[arg-type]
+    )

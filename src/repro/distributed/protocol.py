@@ -1,0 +1,156 @@
+"""Length-prefixed JSON-over-TCP framing for the distributed runtime.
+
+Every message on the wire is one *frame*: a 4-byte big-endian length header
+followed by that many bytes of UTF-8 JSON encoding a single object with an
+``"op"`` key.  JSON keeps the protocol inspectable (``tcpdump`` shows
+readable envelopes) and versionable; fields that must carry arbitrary
+Python objects -- the cell function, :class:`~repro.experiments.grid.Cell`
+instances and :class:`~repro.experiments.grid.CellOutcome` results -- are
+pickled and base64-embedded via :func:`encode_payload` /
+:func:`decode_payload`.
+
+Message vocabulary (all envelopes carry ``"op"``):
+
+=============  =========  ==================================================
+op             direction  meaning
+=============  =========  ==================================================
+``hello``      w -> s     register; carries ``worker`` (the worker's id)
+``welcome``    s -> w     registration ack; carries ``heartbeat_interval``
+``request``    w -> s     pull one cell (also refreshes the heartbeat)
+``task``       s -> w     a cell assignment: ``campaign``, ``index``,
+                          ``cell`` payload, plus ``fn`` payload the first
+                          time this connection sees the campaign
+``idle``       s -> w     no work right now; retry after ``delay`` seconds
+``result``     w -> s     a finished cell: ``campaign``, ``index``,
+                          ``outcome`` payload (no ack)
+``heartbeat``  w -> s     I-am-alive while executing a long cell (no ack)
+``bye``        w -> s     orderly disconnect
+=============  =========  ==================================================
+
+The scheduler only ever writes in response to a message, so a worker
+connection needs no reader thread; the worker serialises its own writes
+(main loop + heartbeat thread) behind a lock.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Mapping, Tuple
+
+#: Upper bound on a single frame; anything larger is treated as stream
+#: corruption rather than a legitimate message.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: The only address scheme the runtime speaks.
+SCHEME = "tcp"
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream does not follow the framing protocol."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (cleanly or not) mid-conversation."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``tcp://host:port`` into ``(host, port)``.
+
+    Raises :class:`ValueError` with an actionable message on any other
+    shape, so executor-spec and CLI errors stay friendly.
+    """
+
+    text = str(address).strip()
+    scheme, sep, rest = text.partition("://")
+    if not sep or scheme.lower() != SCHEME:
+        raise ValueError(
+            f"unsupported address {address!r}: expected 'tcp://HOST:PORT' "
+            f"(e.g. tcp://127.0.0.1:8765)"
+        )
+    host, sep, port_text = rest.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"bad address {address!r}: expected 'tcp://HOST:PORT' with an "
+            f"explicit port (use port 0 to bind an ephemeral port)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"bad address {address!r}: port {port_text!r} is not an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"bad address {address!r}: port must be in [0, 65535]")
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    return f"{SCHEME}://{host}:{port}"
+
+
+def send_message(sock: socket.socket, message: Mapping[str, Any]) -> None:
+    """Serialise ``message`` as one frame and write it out completely."""
+
+    blob = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"message of {len(blob)} bytes exceeds the frame limit")
+    try:
+        sock.sendall(_HEADER.pack(len(blob)) + blob)
+    except (BrokenPipeError, ConnectionResetError) as error:
+        raise ConnectionClosed(f"peer went away while sending: {error}") from error
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Read exactly one frame and decode it; raises on EOF or corruption."""
+
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit "
+            f"(corrupt stream?)"
+        )
+    blob = _recv_exact(sock, length)
+    try:
+        message = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(message, dict) or "op" not in message:
+        raise ProtocolError(f"frame is not an op envelope: {message!r}")
+    return message
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except (ConnectionResetError, ConnectionAbortedError) as error:
+            raise ConnectionClosed(f"peer reset the connection: {error}") from error
+        if not chunk:
+            raise ConnectionClosed(
+                f"connection closed with {remaining} of {n} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def encode_payload(obj: Any) -> str:
+    """Pickle an arbitrary Python object into a JSON-safe ASCII string."""
+
+    return base64.b64encode(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    try:
+        return pickle.loads(base64.b64decode(text.encode("ascii")))
+    except Exception as error:  # unpicklable payloads must fail loudly, typed
+        raise ProtocolError(f"cannot decode payload: {type(error).__name__}: {error}") from error

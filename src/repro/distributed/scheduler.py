@@ -1,0 +1,472 @@
+"""The campaign scheduler: owns the cell queue, workers pull from it.
+
+One :class:`Scheduler` binds a TCP listening socket and serves *campaigns*
+(one sweep each) to socket-connected workers speaking the protocol of
+:mod:`repro.distributed.protocol`.  The design follows the minimal
+scheduler/worker shape of early ``distributed`` (central queue, registered
+workers, heartbeats, retry on worker loss), scaled down to the needs of a
+deterministic sweep:
+
+* **pull-based**: workers request cells; the scheduler never pushes, so it
+  only ever writes in response to a message and each connection is served
+  by a single thread;
+* **ordered streaming**: :meth:`run_campaign` yields outcomes in submission
+  order (out-of-order completions are buffered), which is what makes
+  distributed rows bit-identical to :class:`SerialExecutor` rows -- every
+  cell carries its own deterministic seed, so order of *completion* cannot
+  leak into the results;
+* **fault tolerance**: a dropped connection or a missed-heartbeat eviction
+  requeues the worker's in-flight cell at the *front* of the queue (bounded
+  by a per-cell retry budget); past the budget the cell is failed with a
+  ``WorkerLostError`` outcome that the harness surfaces as
+  :class:`~repro.experiments.harness.CellExecutionError` carrying the
+  failing configuration;
+* **resumability**: with a :class:`~repro.distributed.campaign.CampaignJournal`
+  attached, completed cells are appended to the journal as they stream in
+  and journaled cells of a restarted campaign are replayed without
+  re-execution.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.distributed import protocol
+from repro.distributed.campaign import CampaignJournal
+from repro.experiments.grid import Cell, CellOutcome
+
+#: ``error_type`` recorded on a cell whose retry budget was exhausted by
+#: worker deaths (connection drops / heartbeat timeouts).
+WORKER_LOST = "WorkerLostError"
+
+#: Delay (seconds) suggested to an idle worker before its next request.
+IDLE_DELAY = 0.05
+
+
+@dataclass
+class SchedulerStats:
+    """Counters exposed for tests, logs and CLI summaries."""
+
+    workers_joined: int = 0
+    evictions: int = 0
+    retries: int = 0
+    results: int = 0
+    duplicates: int = 0
+    journal_hits: int = 0
+    worker_lost_failures: int = 0
+
+
+@dataclass
+class _WorkerConn:
+    """Scheduler-side state of one connected worker."""
+
+    worker_id: str
+    sock: socket.socket
+    last_seen: float
+    inflight: Optional[tuple] = None  # (campaign_id, position)
+    fn_campaign: Optional[str] = None  # campaign the fn payload was sent for
+    evicted: bool = False
+
+
+@dataclass
+class _Campaign:
+    """One sweep being served: queue, buffered results, retry bookkeeping."""
+
+    campaign_id: str
+    cells: Sequence[Cell]
+    fn_payload: str
+    version: str
+    pending: deque = field(default_factory=deque)   # positions awaiting a worker
+    done: set = field(default_factory=set)          # positions with a result
+    results: Dict[int, CellOutcome] = field(default_factory=dict)
+    attempts: Dict[int, int] = field(default_factory=dict)
+
+
+class CampaignStalled(RuntimeError):
+    """No workers were connected for longer than the stall timeout."""
+
+
+class Scheduler:
+    """Serve sweep campaigns to socket-connected workers.
+
+    Parameters
+    ----------
+    address:
+        ``tcp://host:port`` to bind; port ``0`` picks an ephemeral port
+        (read the bound address back from :attr:`address`).
+    heartbeat_interval:
+        Interval advertised to workers in the welcome message.
+    heartbeat_timeout:
+        A worker silent for longer than this is evicted and its in-flight
+        cell requeued.  Must comfortably exceed ``heartbeat_interval``.
+    max_retries:
+        How many times a cell may be *re*-assigned after a worker loss
+        before it is failed with a ``WorkerLostError`` outcome.
+    journal:
+        Optional :class:`CampaignJournal` (or path): completed cells are
+        appended, journaled cells are replayed on restart.
+    stall_timeout:
+        When set, :meth:`run_campaign` raises :class:`CampaignStalled` if
+        cells are pending but no worker has been connected for this long --
+        the safety net that keeps an unattended campaign from hanging
+        forever when its workers never appear (or all died).
+    """
+
+    def __init__(
+        self,
+        address: str = "tcp://127.0.0.1:0",
+        *,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 10.0,
+        max_retries: int = 3,
+        journal: Union[None, str, CampaignJournal] = None,
+        stall_timeout: Optional[float] = None,
+    ) -> None:
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self._bind_host, self._bind_port = protocol.parse_address(address)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_retries = max_retries
+        self.journal = CampaignJournal.coerce(journal)
+        self.stall_timeout = stall_timeout
+        self.stats = SchedulerStats()
+
+        self._lock = threading.Condition()
+        self._conns: Dict[str, _WorkerConn] = {}
+        self._campaign: Optional[_Campaign] = None
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+        self._last_worker_seen = time.monotonic()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "Scheduler":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._bind_host, self._bind_port))
+        listener.listen(128)
+        self._listener = listener
+        self._bind_port = listener.getsockname()[1]
+        self._last_worker_seen = time.monotonic()
+        for target, name in (
+            (self._accept_loop, "accept"),
+            (self._monitor_loop, "monitor"),
+        ):
+            thread = threading.Thread(
+                target=target, name=f"repro-scheduler-{name}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    @property
+    def address(self) -> str:
+        """The bound ``tcp://host:port`` address (valid after :meth:`start`)."""
+
+        host = self._bind_host if self._bind_host not in ("", "0.0.0.0") else "127.0.0.1"
+        return protocol.format_address(host, self._bind_port)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns.values())
+            self._lock.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for conn in conns:
+            _close_socket(conn.sock)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "Scheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._conns)
+
+    # -- campaign execution -------------------------------------------------
+
+    def run_campaign(
+        self,
+        fn: Callable[[Cell], CellOutcome],
+        cells: Sequence[Cell],
+        *,
+        version: Optional[str] = None,
+    ) -> Iterator[CellOutcome]:
+        """Execute ``fn`` over ``cells``, yielding outcomes in submission order.
+
+        ``version`` keys the journal entries; it defaults to
+        :func:`~repro.experiments.harness.run_fingerprint` of the wrapped
+        run function, mirroring the result-cache versioning.
+        """
+
+        cells = list(cells)
+        if not cells:
+            return
+        if version is None:
+            version = self._fingerprint(fn)
+        campaign = _Campaign(
+            campaign_id=uuid.uuid4().hex[:12],
+            cells=cells,
+            fn_payload=protocol.encode_payload(fn),
+            version=version,
+        )
+        # Replay journaled cells; queue only the incomplete ones.
+        for position, cell in enumerate(cells):
+            replayed = self.journal.lookup(cell, version) if self.journal else None
+            if replayed is not None:
+                campaign.results[position] = replayed
+                campaign.done.add(position)
+                self.stats.journal_hits += 1
+            else:
+                campaign.pending.append(position)
+
+        with self._lock:
+            if self._campaign is not None:
+                raise RuntimeError("scheduler already has an active campaign")
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._campaign = campaign
+            self._last_worker_seen = time.monotonic()
+            self._lock.notify_all()
+        try:
+            for position in range(len(cells)):
+                with self._lock:
+                    while position not in campaign.results:
+                        self._check_stalled(campaign)
+                        if self._closed:
+                            raise RuntimeError("scheduler closed mid-campaign")
+                        self._lock.wait(timeout=0.25)
+                    outcome = campaign.results.pop(position)
+                yield outcome
+        finally:
+            with self._lock:
+                self._campaign = None
+                self._lock.notify_all()
+
+    @staticmethod
+    def _fingerprint(fn: Callable[[Cell], CellOutcome]) -> str:
+        from repro.experiments.harness import run_fingerprint
+
+        return run_fingerprint(getattr(fn, "run", fn))
+
+    def _check_stalled(self, campaign: _Campaign) -> None:
+        """Raise when cells are pending but no worker has shown up for too long.
+
+        Called with the lock held.
+        """
+
+        if self.stall_timeout is None:
+            return
+        if self._conns:
+            self._last_worker_seen = time.monotonic()
+            return
+        outstanding = len(campaign.cells) - len(campaign.done)
+        if outstanding and time.monotonic() - self._last_worker_seen > self.stall_timeout:
+            raise CampaignStalled(
+                f"campaign {campaign.campaign_id} stalled: {outstanding} cell(s) "
+                f"outstanding but no worker connected to {self.address} for "
+                f"{self.stall_timeout:.0f}s"
+            )
+
+    # -- accept / monitor threads -------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(sock,),
+                name="repro-scheduler-conn", daemon=True,
+            )
+            thread.start()
+
+    def _monitor_loop(self) -> None:
+        """Evict workers whose heartbeat went silent for too long."""
+
+        while not self._closed:
+            now = time.monotonic()
+            stale: List[_WorkerConn] = []
+            with self._lock:
+                for conn in self._conns.values():
+                    if not conn.evicted and now - conn.last_seen > self.heartbeat_timeout:
+                        conn.evicted = True
+                        stale.append(conn)
+            for conn in stale:
+                self.stats.evictions += 1
+                # Closing the socket unblocks the connection's serve thread,
+                # whose cleanup path requeues the in-flight cell.
+                _close_socket(conn.sock)
+            time.sleep(min(self.heartbeat_interval, 0.2))
+
+    # -- per-connection protocol handling -----------------------------------
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        conn: Optional[_WorkerConn] = None
+        try:
+            hello = protocol.recv_message(sock)
+            if hello.get("op") != "hello":
+                return
+            worker_id = str(hello.get("worker") or uuid.uuid4().hex[:8])
+            conn = _WorkerConn(worker_id=worker_id, sock=sock, last_seen=time.monotonic())
+            with self._lock:
+                if self._closed:
+                    return
+                # A reconnecting worker id replaces its stale connection.
+                previous = self._conns.pop(worker_id, None)
+                self._conns[worker_id] = conn
+                self.stats.workers_joined += 1
+                self._last_worker_seen = time.monotonic()
+                self._lock.notify_all()
+            if previous is not None:
+                _close_socket(previous.sock)
+            protocol.send_message(
+                sock,
+                {"op": "welcome", "heartbeat_interval": self.heartbeat_interval},
+            )
+            while True:
+                message = protocol.recv_message(sock)
+                op = message.get("op")
+                with self._lock:
+                    conn.last_seen = time.monotonic()
+                if op == "request":
+                    self._handle_request(conn)
+                elif op == "result":
+                    self._handle_result(conn, message)
+                elif op == "heartbeat":
+                    pass
+                elif op == "bye":
+                    return
+                else:
+                    raise protocol.ProtocolError(f"unexpected op {op!r} from worker")
+        except (protocol.ProtocolError, OSError):
+            pass  # connection lost: the finally-block requeues in-flight work
+        finally:
+            if conn is not None:
+                self._forget_connection(conn)
+            _close_socket(sock)
+
+    def _handle_request(self, conn: _WorkerConn) -> None:
+        with self._lock:
+            campaign = self._campaign
+            position: Optional[int] = None
+            if campaign is not None:
+                while campaign.pending:
+                    candidate = campaign.pending.popleft()
+                    if candidate not in campaign.done:
+                        position = candidate
+                        break
+            if position is None:
+                reply = {"op": "idle", "delay": IDLE_DELAY}
+            else:
+                campaign.attempts[position] = campaign.attempts.get(position, 0) + 1
+                conn.inflight = (campaign.campaign_id, position)
+                reply = {
+                    "op": "task",
+                    "campaign": campaign.campaign_id,
+                    "index": position,
+                    "cell": protocol.encode_payload(campaign.cells[position]),
+                }
+                if conn.fn_campaign != campaign.campaign_id:
+                    reply["fn"] = campaign.fn_payload
+                    conn.fn_campaign = campaign.campaign_id
+        protocol.send_message(conn.sock, reply)
+
+    def _handle_result(self, conn: _WorkerConn, message: Dict[str, object]) -> None:
+        outcome = protocol.decode_payload(str(message.get("outcome")))
+        position = int(message.get("index", -1))
+        record = None
+        with self._lock:
+            campaign = self._campaign
+            if conn.inflight == (message.get("campaign"), position):
+                conn.inflight = None
+            if (
+                campaign is None
+                or campaign.campaign_id != message.get("campaign")
+                or position in campaign.done
+                or not 0 <= position < len(campaign.cells)
+            ):
+                self.stats.duplicates += 1
+                return
+            campaign.done.add(position)
+            campaign.results[position] = outcome
+            self.stats.results += 1
+            if self.journal is not None and not outcome.failed:
+                record = (campaign.cells[position], outcome, campaign.version)
+            self._lock.notify_all()
+        if record is not None:
+            self.journal.record(*record)
+
+    def _forget_connection(self, conn: _WorkerConn) -> None:
+        """Drop a dead connection and requeue (or fail) its in-flight cell."""
+
+        with self._lock:
+            if self._conns.get(conn.worker_id) is conn:
+                del self._conns[conn.worker_id]
+            if conn.inflight is None:
+                return
+            campaign_id, position = conn.inflight
+            conn.inflight = None
+            campaign = self._campaign
+            if (
+                campaign is None
+                or campaign.campaign_id != campaign_id
+                or position in campaign.done
+            ):
+                return
+            attempts = campaign.attempts.get(position, 1)
+            if attempts > self.max_retries:
+                cell = campaign.cells[position]
+                campaign.done.add(position)
+                campaign.results[position] = CellOutcome(
+                    cell=cell,
+                    error=(
+                        f"cell {cell.describe()} lost with worker "
+                        f"{conn.worker_id!r} (connection dropped or heartbeat "
+                        f"timed out) on attempt {attempts}; retry budget of "
+                        f"{self.max_retries} exhausted"
+                    ),
+                    error_type=WORKER_LOST,
+                )
+                self.stats.worker_lost_failures += 1
+            else:
+                # Front of the queue: a retried cell is the oldest submission
+                # still outstanding, so finishing it first keeps the ordered
+                # result stream moving.
+                campaign.pending.appendleft(position)
+                self.stats.retries += 1
+            self._lock.notify_all()
+
+
+def _close_socket(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

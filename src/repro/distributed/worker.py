@@ -1,0 +1,227 @@
+"""The campaign worker: connect, register, heartbeat, pull cells, stream results.
+
+A worker is a small state machine around one TCP connection to the
+scheduler (:mod:`repro.distributed.scheduler`):
+
+* connect and ``hello``, read the ``welcome`` (which advertises the
+  heartbeat interval);
+* loop: ``request`` a cell; on ``task`` execute the shipped cell function
+  and send the ``result`` back; on ``idle`` sleep briefly and re-request;
+* while a cell executes, a daemon thread sends ``heartbeat`` frames on the
+  same socket (writes are serialised behind a lock; idle re-requests double
+  as heartbeats, so the thread only matters during long cells).
+
+The cell function travels pickled inside the first ``task`` of each
+campaign and is cached for the campaign's duration, so it must either be
+importable from the worker process (module-level functions,
+``functools.partial`` of them -- true for every registered scenario and
+bench case) or the worker must have been forked from the submitting process
+(how :class:`~repro.distributed.executor.DistributedExecutor` spawns its
+local mini-cluster, which keeps even test-local functions picklable by
+reference).
+
+When the scheduler goes away the worker loops back to reconnecting, so one
+long-lived worker serves any number of consecutive campaigns; ``max_idle``
+bounds how long it lingers without useful work (connection attempts
+included) before exiting -- the knob CI uses to make workers self-reap.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from typing import Callable, Optional, Tuple
+
+from repro.distributed import protocol
+from repro.experiments.grid import Cell, CellOutcome
+
+#: How long a worker waits between connection attempts while the scheduler
+#: is down (e.g. between two campaigns bound to the same address).
+RECONNECT_DELAY = 0.2
+
+#: How long a worker waits for the scheduler's reply to a frame it sent
+#: before declaring the connection (or its host) dead.  Replies are
+#: immediate in a healthy system; only the worker's own cell execution is
+#: slow, and no recv happens during it.
+REPLY_TIMEOUT = 30.0
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class Worker:
+    """One worker process' connect-and-serve loop."""
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        worker_id: Optional[str] = None,
+        max_idle: Optional[float] = None,
+        reconnect_delay: float = RECONNECT_DELAY,
+        once: bool = False,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.host, self.port = protocol.parse_address(address)
+        self.address = protocol.format_address(self.host, self.port)
+        self.worker_id = worker_id or default_worker_id()
+        self.max_idle = max_idle
+        self.reconnect_delay = reconnect_delay
+        self.once = once
+        self.log = log or (lambda message: None)
+        self.cells_executed = 0
+        self._last_useful = time.monotonic()
+
+    # -- outer loop ---------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve campaigns until idle for too long; returns cells executed."""
+
+        while True:
+            try:
+                sock = socket.create_connection((self.host, self.port), timeout=5.0)
+            except OSError:
+                if self._idled_out():
+                    return self.cells_executed
+                time.sleep(self.reconnect_delay)
+                continue
+            self._mark_useful()
+            try:
+                self._serve(sock)
+            except (protocol.ProtocolError, OSError):
+                pass  # scheduler went away; reconnect (or idle out) below
+            finally:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if self.once or self._idled_out():
+                return self.cells_executed
+
+    def _idled_out(self) -> bool:
+        return (
+            self.max_idle is not None
+            and time.monotonic() - self._last_useful > self.max_idle
+        )
+
+    def _mark_useful(self) -> None:
+        self._last_useful = time.monotonic()
+
+    # -- one connection -----------------------------------------------------
+
+    def _serve(self, sock: socket.socket) -> None:
+        # The scheduler answers every request immediately (task or idle), so
+        # a reply that takes this long means the peer host died without a
+        # FIN/RST (power loss, partition).  The timeout surfaces as an
+        # OSError, dropping us back to the reconnect loop where --max-idle
+        # can fire -- without it a worker would block in recv forever.
+        sock.settimeout(REPLY_TIMEOUT)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_lock = threading.Lock()
+
+        def send(message: dict) -> None:
+            with send_lock:
+                protocol.send_message(sock, message)
+
+        send({"op": "hello", "worker": self.worker_id})
+        welcome = protocol.recv_message(sock)
+        if welcome.get("op") != "welcome":
+            raise protocol.ProtocolError(f"expected welcome, got {welcome!r}")
+        heartbeat_interval = float(welcome.get("heartbeat_interval", 1.0))
+        self.log(f"worker {self.worker_id} connected to {self.address}")
+
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(send, stop, heartbeat_interval),
+            name="repro-worker-heartbeat",
+            daemon=True,
+        )
+        beat.start()
+        fn_cache: Tuple[Optional[str], Optional[Callable[[Cell], CellOutcome]]] = (None, None)
+        try:
+            while True:
+                send({"op": "request"})
+                message = protocol.recv_message(sock)
+                op = message.get("op")
+                if op == "task":
+                    fn_cache = self._execute(send, message, fn_cache)
+                    self._mark_useful()
+                elif op == "idle":
+                    if self._idled_out():
+                        send({"op": "bye", "worker": self.worker_id})
+                        return
+                    time.sleep(float(message.get("delay", 0.05)))
+                else:
+                    raise protocol.ProtocolError(f"unexpected op {op!r} from scheduler")
+        finally:
+            stop.set()
+
+    def _heartbeat_loop(
+        self, send: Callable[[dict], None], stop: threading.Event, interval: float
+    ) -> None:
+        while not stop.wait(interval):
+            try:
+                send({"op": "heartbeat", "worker": self.worker_id})
+            except (protocol.ProtocolError, OSError):
+                return  # main loop will observe the dead socket itself
+
+    def _execute(
+        self,
+        send: Callable[[dict], None],
+        message: dict,
+        fn_cache: Tuple[Optional[str], Optional[Callable[[Cell], CellOutcome]]],
+    ) -> Tuple[str, Callable[[Cell], CellOutcome]]:
+        campaign = str(message.get("campaign"))
+        cell: Cell = protocol.decode_payload(str(message.get("cell")))
+        cached_campaign, fn = fn_cache
+        if "fn" in message:
+            fn = protocol.decode_payload(str(message["fn"]))
+        elif cached_campaign != campaign or fn is None:
+            raise protocol.ProtocolError(
+                f"task for campaign {campaign} arrived without a cell function"
+            )
+        try:
+            outcome = fn(cell)
+        except Exception as error:  # fn is CellFunction, but be safe
+            import traceback
+
+            outcome = CellOutcome(
+                cell=cell,
+                error=traceback.format_exc(),
+                error_type=type(error).__name__,
+            )
+        # KeyboardInterrupt/SystemExit deliberately propagate: the
+        # connection drops and the scheduler's worker-loss path retries the
+        # cell elsewhere -- Ctrl-C on one worker must cost a retry, never
+        # poison the campaign with a fake cell failure.
+        send(
+            {
+                "op": "result",
+                "worker": self.worker_id,
+                "campaign": campaign,
+                "index": int(message.get("index", -1)),
+                "outcome": protocol.encode_payload(outcome),
+            }
+        )
+        self.cells_executed += 1
+        return campaign, fn
+
+
+def run_worker(
+    address: str,
+    *,
+    worker_id: Optional[str] = None,
+    max_idle: Optional[float] = None,
+    once: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Module-level entry point (picklable as a ``multiprocessing`` target)."""
+
+    return Worker(
+        address, worker_id=worker_id, max_idle=max_idle, once=once, log=log
+    ).run()

@@ -22,7 +22,7 @@ import re
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.experiments.grid import Cell, CellOutcome, cell_key
 
@@ -30,6 +30,38 @@ from repro.experiments.grid import Cell, CellOutcome, cell_key
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def encode_replayable(outcome: CellOutcome) -> Optional[Dict[str, Any]]:
+    """The JSON-safe replay fields of a successful outcome, or ``None``.
+
+    The single definition of "replayable" shared by the result cache and
+    the distributed campaign journal: only metrics that survive a JSON
+    round-trip *unchanged* may be persisted (tuples and non-string dict
+    keys do not), so replayed rows are bit-identical to freshly computed
+    ones.  Failed outcomes and rich-object metrics return ``None`` -- the
+    cell is simply recomputed next time (correct, just not accelerated).
+    """
+
+    if outcome.failed or outcome.metrics is None:
+        return None
+    try:
+        if json.loads(json.dumps(outcome.metrics)) != outcome.metrics:
+            return None
+    except (TypeError, ValueError):
+        return None
+    return {"metrics": outcome.metrics, "elapsed_seconds": outcome.elapsed_seconds}
+
+
+def decode_replayed(cell: Cell, payload: Mapping[str, Any]) -> CellOutcome:
+    """Rebuild the replayed outcome of a persisted entry (``cached=True``)."""
+
+    return CellOutcome(
+        cell=cell,
+        metrics=payload.get("metrics", {}),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        cached=True,
+    )
 
 
 @dataclass
@@ -73,34 +105,29 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return CellOutcome(
-            cell=cell,
-            metrics=payload.get("metrics", {}),
-            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
-            cached=True,
-        )
+        return decode_replayed(cell, payload)
 
     def store(self, experiment: str, cell: Cell, outcome: CellOutcome, version: str = "") -> bool:
         """Persist a successful outcome; returns False when not serialisable."""
 
         if outcome.failed or outcome.metrics is None:
             return False
+        replayable = encode_replayable(outcome)
+        if replayable is None:
+            self.stats.skipped += 1
+            return False
         payload: Dict[str, Any] = {
             "experiment": experiment,
             "params": cell.params_dict,
             "seed": cell.seed,
             "repetition": cell.repetition,
-            "metrics": outcome.metrics,
-            "elapsed_seconds": outcome.elapsed_seconds,
+            **replayable,
         }
         try:
             blob = json.dumps(payload)
-            # Only cache metrics that survive the JSON round-trip unchanged
-            # (tuples and non-string dict keys do not), so replayed rows are
-            # identical to freshly computed ones.
-            if json.loads(blob)["metrics"] != outcome.metrics:
-                raise ValueError("metrics do not round-trip through JSON")
         except (TypeError, ValueError):
+            # The cell's *parameters* (free-form Python values) may not be
+            # JSON-safe even when its metrics are.
             self.stats.skipped += 1
             return False
         path = self._path(experiment, cell_key(experiment, cell, version))

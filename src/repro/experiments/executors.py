@@ -14,7 +14,15 @@ bit-identical rows in the same order; the pool only changes the wall clock.
 
 The default backend is selected by the ``REPRO_JOBS`` environment variable:
 unset or ``1`` means serial, an integer ``N > 1`` means a pool of ``N``
-workers, and ``0`` or ``auto`` means one worker per CPU.
+workers, and ``0`` or ``auto`` means one worker per CPU.  Two further forms
+select the socket-based distributed runtime of :mod:`repro.distributed`
+(resolved lazily, so this module stays import-light):
+``REPRO_JOBS=tcp://host:port`` binds a campaign scheduler at that address
+and waits for externally started workers, and ``distributed`` self-spawns a
+local mini-cluster on an ephemeral loopback port.  Every backend honours
+the same contract -- outcomes stream back in submission order and, because
+each cell carries its own deterministic seed, rows are bit-identical across
+backends.
 """
 
 from __future__ import annotations
@@ -30,6 +38,17 @@ from repro.experiments.grid import Cell, CellOutcome
 JOBS_ENV_VAR = "REPRO_JOBS"
 
 ExecutorSpec = Union[None, str, int, "Executor"]
+
+#: One-line summary of every accepted executor spec, reused by error messages.
+SPEC_FORMS = (
+    "'serial' (or 1), 'process'/'auto' (or 0), an integer job count, "
+    "'distributed' (local mini-cluster), or 'tcp://HOST:PORT' (bind a "
+    "distributed campaign scheduler there for external workers)"
+)
+
+
+class ExecutorSpecError(ValueError):
+    """An executor spec (argument or ``REPRO_JOBS`` value) is not understood."""
 
 
 class Executor:
@@ -137,28 +156,64 @@ def resolve_executor(spec: ExecutorSpec = None, *, jobs: Optional[int] = None) -
     """Turn an executor specification into an :class:`Executor` instance.
 
     ``spec`` may be an executor (returned as-is), ``"serial"``,
-    ``"process"``/``"auto"``, an integer job count, or ``None`` -- in which
-    case the ``REPRO_JOBS`` environment variable decides (defaulting to
-    serial).
+    ``"process"``/``"auto"``, an integer job count, ``"distributed"``, a
+    ``tcp://host:port`` scheduler bind address, or ``None`` -- in which case
+    the ``REPRO_JOBS`` environment variable decides (defaulting to serial).
+
+    Malformed specs raise :class:`ExecutorSpecError` (a :class:`ValueError`)
+    naming the offending value -- and its source when it came from
+    ``REPRO_JOBS`` -- plus every accepted form, so a typo like
+    ``REPRO_JOBS=ten`` fails with an actionable message instead of a bare
+    conversion error deep in the stack.
     """
 
+    source = repr(spec)
     if isinstance(spec, Executor):
         return spec
     if spec is None:
-        spec = os.environ.get(JOBS_ENV_VAR, "").strip() or "serial"
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return SerialExecutor()
+        spec, source = raw, f"{JOBS_ENV_VAR}={raw}"
     if isinstance(spec, str):
-        lowered = spec.lower()
+        lowered = spec.strip().lower()
         if lowered in ("serial", "1"):
             return SerialExecutor()
         if lowered in ("process", "auto", "0"):
             return ProcessPoolExecutor(jobs or cpu_count())
+        if lowered == "distributed" or "://" in lowered:
+            return _resolve_distributed(spec.strip(), source, jobs)
         try:
             spec = int(lowered)
         except ValueError:
-            raise ValueError(
-                f"unknown executor spec {spec!r}; expected 'serial', 'process', "
-                f"'auto' or an integer job count"
+            raise ExecutorSpecError(
+                f"cannot resolve an executor from {source}: expected {SPEC_FORMS}"
             ) from None
     if isinstance(spec, int):
+        if spec < 0:
+            raise ExecutorSpecError(
+                f"cannot resolve an executor from {source}: a job count must "
+                f"be >= 0 (0 means one worker per CPU)"
+            )
         return SerialExecutor() if spec <= 1 else ProcessPoolExecutor(spec)
     raise TypeError(f"cannot resolve an executor from {spec!r}")
+
+
+def _resolve_distributed(spec: str, source: str, jobs: Optional[int]) -> Executor:
+    """Build a :class:`~repro.distributed.executor.DistributedExecutor`.
+
+    Imported lazily: the distributed runtime depends on this module for the
+    :class:`Executor` interface, and plain serial/pool users should not pay
+    for the socket machinery.
+    """
+
+    from repro.distributed.executor import DistributedExecutor, local_mini_cluster
+
+    if spec.lower() == "distributed":
+        return local_mini_cluster(jobs)
+    try:
+        return DistributedExecutor(spec, workers=0)
+    except ValueError as error:
+        raise ExecutorSpecError(
+            f"cannot resolve an executor from {source}: {error} (expected {SPEC_FORMS})"
+        ) from None

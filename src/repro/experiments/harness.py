@@ -40,7 +40,16 @@ from repro.metrics.aggregate import StreamingAggregator, Summary, aggregate_runs
 
 
 class CellExecutionError(RuntimeError):
-    """A cell failed; carries the failing configuration and worker traceback."""
+    """A cell failed; carries the failing configuration and worker traceback.
+
+    Instances must survive process and socket boundaries: a nested harness
+    may raise one inside a pool worker, and the distributed runtime moves
+    failure information over TCP.  The default exception reduction would
+    try to re-call ``__init__(message)`` and fail (the constructor wants an
+    experiment and an outcome), so pickling is routed through
+    :func:`_restore_cell_execution_error`, and :meth:`to_payload` /
+    :meth:`from_payload` provide the JSON-safe form for the wire.
+    """
 
     def __init__(self, experiment: str, outcome: CellOutcome) -> None:
         cell = outcome.cell
@@ -53,6 +62,39 @@ class CellExecutionError(RuntimeError):
             f"experiment {experiment!r}: cell {cell.describe()} failed with "
             f"{outcome.error_type}\n--- worker traceback ---\n{self.worker_traceback}"
         )
+
+    def __reduce__(self):
+        return (_restore_cell_execution_error, (self.to_payload(),))
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A flat dict round-tripping through JSON (params may need ``repr``
+        for non-JSON values; the standard metric/sweep types are safe)."""
+
+        return {
+            "experiment": self.experiment,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "worker_traceback": self.worker_traceback,
+            "message": self.args[0] if self.args else "",
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "CellExecutionError":
+        return _restore_cell_execution_error(payload)
+
+
+def _restore_cell_execution_error(payload: Mapping[str, Any]) -> CellExecutionError:
+    """Rebuild a :class:`CellExecutionError` without re-running ``__init__``."""
+
+    error = CellExecutionError.__new__(CellExecutionError)
+    RuntimeError.__init__(error, payload.get("message", ""))
+    error.experiment = payload.get("experiment", "")
+    error.params = dict(payload.get("params") or {})
+    error.seed = payload.get("seed", 0)
+    error.error_type = payload.get("error_type")
+    error.worker_traceback = payload.get("worker_traceback", "")
+    return error
 
 
 @dataclass
@@ -167,7 +209,8 @@ def run_experiment(
         across repetitions, independent of the executor.
     executor:
         ``None`` (use ``REPRO_JOBS``, default serial), ``"serial"``,
-        ``"process"``/``"auto"``, an integer job count, or an
+        ``"process"``/``"auto"``, an integer job count, ``"distributed"``
+        or a ``tcp://host:port`` distributed-scheduler bind address, or an
         :class:`~repro.experiments.executors.Executor` instance.
     cache:
         Optional on-disk cell cache (a directory path or a
@@ -210,32 +253,44 @@ def run_experiment(
         pending = list(cells)
 
     live = backend.map(CellFunction(run), pending)
-    for cell in cells:
-        outcome = cached.get(cell.index)
-        if outcome is None:
-            outcome = next(live)
-        result.outcomes.append(outcome)
-        if outcome.cached:
-            result.cache_hits += 1
-        if outcome.failed:
-            if not capture_errors:
-                raise CellExecutionError(name, outcome)
-            result.errors.append(outcome)
+    try:
+        for cell in cells:
+            outcome = cached.get(cell.index)
+            if outcome is None:
+                outcome = next(live)
+            result.outcomes.append(outcome)
+            if outcome.cached:
+                result.cache_hits += 1
+            if outcome.failed:
+                if not capture_errors:
+                    raise CellExecutionError(name, outcome)
+                result.errors.append(outcome)
+                if progress is not None:
+                    progress(f"{name}: {cell.describe()} FAILED ({outcome.error_type})")
+                continue
+            row: Dict[str, Any] = {"experiment": name, "seed": cell.seed}
+            row.update(cell.params_dict)
+            row.update(outcome.metrics or {})
+            result.rows.append(row)
+            aggregator.update(row)
+            if store is not None and not outcome.cached:
+                store.store(name, cell, outcome, version)
+            if on_row is not None:
+                on_row(row)
             if progress is not None:
-                progress(f"{name}: {cell.describe()} FAILED ({outcome.error_type})")
-            continue
-        row: Dict[str, Any] = {"experiment": name, "seed": cell.seed}
-        row.update(cell.params_dict)
-        row.update(outcome.metrics or {})
-        result.rows.append(row)
-        aggregator.update(row)
-        if store is not None and not outcome.cached:
-            store.store(name, cell, outcome, version)
-        if on_row is not None:
-            on_row(row)
-        if progress is not None:
-            suffix = " [cached]" if outcome.cached else f" [{outcome.elapsed_seconds:.3f}s]"
-            progress(f"{name}: {cell.describe()}{suffix}")
+                suffix = " [cached]" if outcome.cached else f" [{outcome.elapsed_seconds:.3f}s]"
+                progress(f"{name}: {cell.describe()}{suffix}")
+    finally:
+        # Release the executor deterministically: generator-based backends
+        # hold real resources at their final yield (a bound TCP port and
+        # forked workers for the distributed executor, a process pool for
+        # the pool executor), and an abandoned suspended generator only
+        # tears them down whenever reference-counting happens to collect it
+        # -- too late for the next campaign re-binding the same port, and
+        # never while a CellExecutionError traceback keeps the frame alive.
+        close = getattr(live, "close", None)
+        if close is not None:
+            close()
 
     result.elapsed_seconds = time.perf_counter() - start
     return result

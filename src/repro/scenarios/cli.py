@@ -7,6 +7,8 @@
     python -m repro.scenarios describe fig2.bicriteria # spec as TOML
     python -m repro.scenarios run cluster.policy-panel # one scenario
     python -m repro.scenarios run --all --smoke        # CI smoke tier
+    python -m repro.scenarios run --all --smoke --executor tcp://127.0.0.1:8765
+                                       # ... on external distributed workers
     python -m repro.scenarios sweep cluster.load-ramp --smoke --csv out.csv
     python -m repro.scenarios sweep swf.replay --axis policy.kind=fifo,backfill
 
@@ -50,7 +52,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--all", action="store_true", help="run every registered scenario")
     run.add_argument("--tag", default=None, help="with --all: only this tag")
     run.add_argument("--smoke", action="store_true", help="tiny smoke-tier sizes")
-    run.add_argument("--jobs", default=None, help="executor spec (e.g. 4, serial, auto)")
+    run.add_argument(
+        "--executor", "--jobs", default=None, dest="jobs", metavar="SPEC",
+        help="executor spec: a job count, 'serial', 'auto', 'distributed', or "
+             "tcp://HOST:PORT to schedule cells onto external distributed workers",
+    )
     run.add_argument(
         "--output", type=Path, default=None,
         help="write a JSON summary (per-scenario rows/digest/elapsed) to this file",
@@ -68,7 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override a sweep axis (repeatable), e.g. policy.kind=fifo,backfill",
     )
     swp.add_argument("--repetitions", type=int, default=None)
-    swp.add_argument("--jobs", default=None, help="executor spec (e.g. 4, serial, auto)")
+    swp.add_argument(
+        "--executor", "--jobs", default=None, dest="jobs", metavar="SPEC",
+        help="executor spec: a job count, 'serial', 'auto', 'distributed', or "
+             "tcp://HOST:PORT to schedule cells onto external distributed workers",
+    )
     swp.add_argument("--csv", type=Path, default=None, help="write the rows as CSV")
     swp.add_argument(
         "--group-by", default=None, metavar="COLUMN",
@@ -78,12 +88,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _executor(spec: Optional[str]) -> Any:
+    """Resolve an --executor/--jobs value eagerly.
+
+    Resolving here (instead of letting ``run_scenario`` do it per scenario)
+    makes a malformed spec a *usage* error -- one message, exit code 2 --
+    rather than N per-scenario FAIL lines pretending the scenarios broke.
+    Raises :class:`~repro.experiments.executors.ExecutorSpecError`.
+    """
+
     if spec is None:
         return None
+    from repro.experiments.executors import resolve_executor
+
     try:
-        return int(spec)
+        value: Any = int(spec)
     except ValueError:
-        return spec
+        value = spec
+    return resolve_executor(value)
 
 
 def _parse_axis_value(token: str) -> Any:
@@ -143,19 +164,94 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    if args.all:
-        specs = registry.all_specs(args.tag)
-    elif args.names:
+def select_specs(
+    names: List[str],
+    use_all: bool,
+    tag: Optional[str],
+    *,
+    usage_hint: str = "give scenario names or --all",
+) -> Optional[List[ScenarioSpec]]:
+    """Resolve a CLI scenario selection (names, or ``--all`` [``--tag``]).
+
+    Shared by ``repro.scenarios run`` and the ``repro.distributed``
+    scheduler/run commands.  On a usage error (unknown name, empty
+    selection) prints the message and returns ``None`` -- callers exit 2.
+    """
+
+    if use_all:
+        return registry.all_specs(tag)
+    if names:
         try:
-            specs = registry.resolve(args.names)
+            return registry.resolve(names)
         except KeyError as error:
             print(error, file=sys.stderr)
-            return 2
-    elif not args.spec_files:
-        print("nothing to run: give scenario names, --spec files or --all",
-              file=sys.stderr)
+            return None
+    print(f"nothing to run: {usage_hint}", file=sys.stderr)
+    return None
+
+
+def run_specs(
+    specs: List[ScenarioSpec],
+    *,
+    smoke: bool,
+    executor: Any = None,
+    output: Optional[Path] = None,
+    schema: str = "repro.scenarios/1",
+) -> int:
+    """Run scenario specs, print ok/FAIL summary lines, optionally write JSON.
+
+    The single implementation behind ``repro.scenarios run`` and the
+    ``repro.distributed`` scheduler/run commands, so summary format, failure
+    handling and exit codes cannot drift between the CLIs.  Returns 1 when
+    any scenario failed, else 0.
+    """
+
+    tier = "smoke" if smoke else "full"
+    summaries: List[Dict[str, Any]] = []
+    failures = 0
+    for spec in specs:
+        try:
+            result = run_scenario(spec, smoke=smoke, executor=executor)
+        except Exception as error:  # a broken scenario must fail the build, visibly
+            failures += 1
+            message = f"{type(error).__name__}: {error}"
+            print(f"FAIL {spec.name}: {message.splitlines()[0][:160]}")
+            summaries.append({"name": spec.name, "tier": tier, "ok": False, "error": message})
+            continue
+        outcome = summarize(spec, result)
+        # Cache hits cover both the on-disk result cache and, under a
+        # distributed executor, campaign-journal replays.
+        replayed = f", {outcome.cache_hits} cached" if outcome.cache_hits else ""
+        print(
+            f"ok   {outcome.name}: {outcome.rows} rows in "
+            f"{outcome.elapsed_seconds:.2f}s [{outcome.executor}{replayed}] "
+            f"digest {outcome.digest[:12]}"
+        )
+        summaries.append({"tier": tier, "ok": True, **outcome.to_dict()})
+    print(f"\n{len(specs) - failures}/{len(specs)} scenario(s) passed ({tier} tier)")
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(
+            {"schema": schema, "tier": tier, "scenarios": summaries},
+            indent=2, sort_keys=True,
+        ) + "\n")
+        print(f"summary written to {output}")
+    return 1 if failures else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        executor = _executor(args.jobs)
+    except ValueError as error:
+        print(error, file=sys.stderr)
         return 2
+    if args.all or args.names or not args.spec_files:
+        specs = select_specs(
+            args.names, args.all, args.tag,
+            usage_hint="give scenario names, --spec files or --all",
+        )
+        if specs is None:
+            return 2
     else:
         specs = []
     for path in args.spec_files:
@@ -167,35 +263,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not specs:
         print("no scenarios matched", file=sys.stderr)
         return 2
-
-    tier = "smoke" if args.smoke else "full"
-    summaries: List[Dict[str, Any]] = []
-    failures = 0
-    for spec in specs:
-        try:
-            result = run_scenario(spec, smoke=args.smoke, executor=_executor(args.jobs))
-        except Exception as error:  # a broken scenario must fail the build, visibly
-            failures += 1
-            message = f"{type(error).__name__}: {error}"
-            print(f"FAIL {spec.name}: {message.splitlines()[0][:160]}")
-            summaries.append({"name": spec.name, "tier": tier, "ok": False, "error": message})
-            continue
-        outcome = summarize(spec, result)
-        print(
-            f"ok   {outcome.name}: {outcome.rows} rows in "
-            f"{outcome.elapsed_seconds:.2f}s [{outcome.executor}] "
-            f"digest {outcome.digest[:12]}"
-        )
-        summaries.append({"tier": tier, "ok": True, **outcome.to_dict()})
-    print(f"\n{len(specs) - failures}/{len(specs)} scenario(s) passed ({tier} tier)")
-    if args.output is not None:
-        args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(json.dumps(
-            {"schema": "repro.scenarios/1", "tier": tier, "scenarios": summaries},
-            indent=2, sort_keys=True,
-        ) + "\n")
-        print(f"summary written to {args.output}")
-    return 1 if failures else 0
+    return run_specs(specs, smoke=args.smoke, executor=executor, output=args.output)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -204,7 +272,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         spec = registry.get(args.name)
         axes = _parse_axes(args.axis)
-    except (KeyError, SpecError) as error:
+        executor = _executor(args.jobs)
+    except (KeyError, SpecError, ValueError) as error:
         print(error, file=sys.stderr)
         return 2
     sweep = dict(spec.smoke_spec().sweep if args.smoke else spec.sweep)
@@ -215,7 +284,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             smoke=args.smoke,
             sweep=sweep,
             repetitions=args.repetitions,
-            executor=_executor(args.jobs),
+            executor=executor,
         )
     except Exception as error:
         print(f"FAIL {spec.name}: {type(error).__name__}: {error}", file=sys.stderr)

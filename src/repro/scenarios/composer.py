@@ -16,8 +16,9 @@ each ``kind`` its meaning:
 Everything funnels through :func:`run_scenario_cell`, a module-level
 picklable function, so every scenario inherits the whole sweep machinery of
 :func:`repro.experiments.harness.run_experiment` for free: parallel
-executors (``REPRO_JOBS``), the on-disk cell cache (``REPRO_CACHE_DIR``),
-streamed aggregation and bit-identical serial/parallel rows.
+executors (``REPRO_JOBS=N`` pools, ``REPRO_JOBS=tcp://host:port``
+distributed campaigns), the on-disk cell cache (``REPRO_CACHE_DIR``),
+streamed aggregation and bit-identical rows on every backend.
 """
 
 from __future__ import annotations
@@ -676,6 +677,9 @@ class ScenarioOutcome:
     executor: str
     errors: int = 0
     error: str = ""
+    #: Cells replayed from the result cache or a distributed campaign
+    #: journal instead of being executed.
+    cache_hits: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -689,4 +693,5 @@ def summarize(spec: ScenarioSpec, result: ExperimentResult) -> ScenarioOutcome:
         digest=rows_digest(result.rows),
         executor=result.executor,
         errors=len(result.errors),
+        cache_hits=result.cache_hits,
     )

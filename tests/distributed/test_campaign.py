@@ -1,0 +1,71 @@
+"""Campaign journal tests: keys, replay, corruption tolerance, versioning."""
+
+from __future__ import annotations
+
+import json
+
+from repro.distributed.campaign import CampaignJournal, journal_key
+from repro.experiments.grid import CellOutcome, expand_grid
+
+
+def outcome_for(cell, value):
+    return CellOutcome(cell=cell, metrics={"v": value}, elapsed_seconds=0.1)
+
+
+class TestJournal:
+    def test_record_and_lookup_round_trip(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        cells = expand_grid({"x": [1, 2]}, repetitions=2)
+        for index, cell in enumerate(cells):
+            assert journal.record(cell, outcome_for(cell, float(index)), "v1")
+        fresh = CampaignJournal(tmp_path / "j.jsonl")
+        assert len(fresh) == 4
+        for index, cell in enumerate(cells):
+            replayed = fresh.lookup(cell, "v1")
+            assert replayed is not None
+            assert replayed.cached is True
+            assert replayed.metrics == {"v": float(index)}
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        (cell,) = expand_grid({}, repetitions=1)
+        journal.record(cell, outcome_for(cell, 1.0), "v1")
+        assert journal.lookup(cell, "v1") is not None
+        assert CampaignJournal(tmp_path / "j.jsonl").lookup(cell, "v2") is None
+
+    def test_failed_and_rich_outcomes_are_not_journaled(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        (cell,) = expand_grid({}, repetitions=1)
+        failed = CellOutcome(cell=cell, error="boom", error_type="ValueError")
+        assert not journal.record(cell, failed, "v1")
+        rich = CellOutcome(cell=cell, metrics={"payload": {("t", 1)}})
+        assert not journal.record(cell, rich, "v1")
+        assert not (tmp_path / "j.jsonl").exists()
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        cells = expand_grid({"x": [1, 2]}, repetitions=1)
+        for cell in cells:
+            journal.record(cell, outcome_for(cell, 1.0), "v1")
+        # Simulate a campaign killed mid-append: a half-written final line.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "abcd", "metrics": {"v":')
+        recovered = CampaignJournal(path)
+        assert len(recovered) == 2
+        assert recovered.lookup(cells[0], "v1") is not None
+
+    def test_key_covers_params_seed_and_version(self):
+        cell_a, cell_b = expand_grid({"n": [1, 2]}, repetitions=1)
+        assert journal_key(cell_a, "v") != journal_key(cell_b, "v")
+        assert journal_key(cell_a, "v") != journal_key(cell_a, "w")
+
+    def test_entries_are_plain_json_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        (cell,) = expand_grid({"x": [7]}, repetitions=1)
+        journal.record(cell, outcome_for(cell, 2.5), "v1")
+        entry = json.loads(path.read_text().splitlines()[0])
+        assert entry["params"] == {"x": 7}
+        assert entry["seed"] == cell.seed
+        assert entry["metrics"] == {"v": 2.5}

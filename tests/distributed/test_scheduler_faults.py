@@ -1,0 +1,216 @@
+"""Scheduler fault-path tests driven through raw protocol sockets.
+
+A *silent* fake worker -- one that registers, takes a cell and then stops
+heartbeating without closing its socket -- is indistinguishable from a hung
+host; only the heartbeat timeout can reclaim its cell.  These tests pin the
+eviction, requeue and retry-budget bookkeeping at the scheduler level,
+complementing the end-to-end SIGKILL test (where the kernel closes the
+socket and the scheduler notices immediately).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.distributed import DistributedExecutor, Scheduler, protocol
+from repro.distributed.scheduler import WORKER_LOST, CampaignStalled
+from repro.experiments.grid import CellFunction, expand_grid
+
+
+def plain_cell(seed, x):
+    return {"y": x * 10 + seed % 10}
+
+
+class FakeWorker:
+    """A hand-driven protocol client (no heartbeat thread, no execution)."""
+
+    def __init__(self, address, worker_id):
+        host, port = protocol.parse_address(address)
+        self.sock = socket.create_connection((host, port), timeout=5.0)
+        self.worker_id = worker_id
+        protocol.send_message(self.sock, {"op": "hello", "worker": worker_id})
+        assert protocol.recv_message(self.sock)["op"] == "welcome"
+
+    def take_cell(self, timeout=10.0):
+        """Request until a task arrives; returns the task message."""
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            protocol.send_message(self.sock, {"op": "request"})
+            reply = protocol.recv_message(self.sock)
+            if reply["op"] == "task":
+                return reply
+            time.sleep(0.02)
+        raise AssertionError("fake worker never received a task")
+
+    def finish(self, task):
+        cell = protocol.decode_payload(task["cell"])
+        outcome = CellFunction(plain_cell)(cell)
+        protocol.send_message(self.sock, {
+            "op": "result",
+            "worker": self.worker_id,
+            "campaign": task["campaign"],
+            "index": task["index"],
+            "outcome": protocol.encode_payload(outcome),
+        })
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def collect_campaign(scheduler, cells, results, errors):
+    try:
+        results.extend(scheduler.run_campaign(CellFunction(plain_cell), cells))
+    except Exception as error:  # surfaced to the test thread
+        errors.append(error)
+
+
+class TestHeartbeatEviction:
+    def test_silent_worker_is_evicted_and_its_cell_requeued(self):
+        cells = expand_grid({"x": list(range(8))}, repetitions=1)
+        scheduler = Scheduler(
+            heartbeat_interval=0.1, heartbeat_timeout=0.6, max_retries=3
+        ).start()
+        results, errors = [], []
+        consumer = threading.Thread(
+            target=collect_campaign, args=(scheduler, cells, results, errors)
+        )
+        consumer.start()
+        silent = None
+        honest = None
+        try:
+            # The silent worker grabs a cell first, then goes quiet.
+            silent = FakeWorker(scheduler.address, "silent")
+            task = silent.take_cell()
+            held = protocol.decode_payload(task["cell"])
+
+            # An honest worker drains everything else, then idles until the
+            # eviction releases the held cell.
+            honest = FakeWorker(scheduler.address, "honest")
+            done = 0
+            while done < len(cells) - 1:
+                honest.finish(honest.take_cell())
+                done += 1
+            retried = honest.take_cell(timeout=10.0)
+            assert protocol.decode_payload(retried["cell"]) == held
+            honest.finish(retried)
+
+            consumer.join(timeout=10.0)
+            assert not consumer.is_alive() and not errors
+            assert [outcome.metrics for outcome in results] == [
+                CellFunction(plain_cell)(cell).metrics for cell in cells
+            ]
+            assert scheduler.stats.evictions == 1
+            assert scheduler.stats.retries == 1
+            # The evicted socket was closed by the scheduler (EOF or reset).
+            silent.sock.settimeout(2.0)
+            try:
+                assert silent.sock.recv(1) == b""
+            except ConnectionError:
+                pass
+        finally:
+            for worker in (silent, honest):
+                if worker is not None:
+                    worker.close()
+            scheduler.close()
+            consumer.join(timeout=5.0)
+
+    def test_retry_budget_exhaustion_yields_worker_lost_outcome(self):
+        cells = expand_grid({}, repetitions=1)  # a single cell
+        scheduler = Scheduler(
+            heartbeat_interval=0.1, heartbeat_timeout=5.0, max_retries=1
+        ).start()
+        results, errors = [], []
+        consumer = threading.Thread(
+            target=collect_campaign, args=(scheduler, cells, results, errors)
+        )
+        consumer.start()
+        try:
+            for attempt in range(2):  # initial assignment + one retry
+                crashy = FakeWorker(scheduler.address, f"crashy-{attempt}")
+                crashy.take_cell()
+                crashy.close()  # die mid-cell: connection drop, no result
+            consumer.join(timeout=10.0)
+            assert not consumer.is_alive() and not errors
+            (outcome,) = results
+            assert outcome.failed
+            assert outcome.error_type == WORKER_LOST
+            assert "retry budget" in outcome.error
+            assert scheduler.stats.worker_lost_failures == 1
+            assert scheduler.stats.retries == 1
+        finally:
+            scheduler.close()
+            consumer.join(timeout=5.0)
+
+
+class TestDuplicateAndLateResults:
+    def test_duplicate_result_for_a_done_cell_is_ignored(self):
+        cells = expand_grid({"x": [1]}, repetitions=1)
+        scheduler = Scheduler(heartbeat_interval=0.1, heartbeat_timeout=5.0).start()
+        results, errors = [], []
+        consumer = threading.Thread(
+            target=collect_campaign, args=(scheduler, cells, results, errors)
+        )
+        consumer.start()
+        worker = None
+        try:
+            worker = FakeWorker(scheduler.address, "dup")
+            task = worker.take_cell()
+            worker.finish(task)
+            worker.finish(task)  # replayed frame: must not corrupt anything
+            consumer.join(timeout=10.0)
+            assert not consumer.is_alive() and not errors
+            assert len(results) == 1
+            assert scheduler.stats.results == 1
+            # The duplicate frame travels concurrently with the campaign
+            # ending; wait for the connection thread to swallow it.
+            deadline = time.monotonic() + 5.0
+            while scheduler.stats.duplicates < 1 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert scheduler.stats.duplicates >= 1
+        finally:
+            if worker is not None:
+                worker.close()
+            scheduler.close()
+            consumer.join(timeout=5.0)
+
+
+class TestStallGuard:
+    def test_campaign_with_no_workers_raises_campaign_stalled(self):
+        executor = DistributedExecutor(
+            workers=0, stall_timeout=0.5, heartbeat_interval=0.1,
+            heartbeat_timeout=1.0,
+        )
+        cells = expand_grid({"x": [1, 2]}, repetitions=1)
+        with pytest.raises(CampaignStalled):
+            list(executor.map(CellFunction(plain_cell), cells))
+
+    def test_concurrent_campaigns_on_one_scheduler_are_rejected(self):
+        scheduler = Scheduler(heartbeat_interval=0.1, heartbeat_timeout=5.0).start()
+        cells = expand_grid({"x": [1]}, repetitions=1)
+        results, errors = [], []
+        consumer = threading.Thread(
+            target=collect_campaign, args=(scheduler, cells, results, errors)
+        )
+        consumer.start()
+        worker = None
+        try:
+            time.sleep(0.2)  # let the first campaign register itself
+            with pytest.raises(RuntimeError):
+                next(iter(scheduler.run_campaign(CellFunction(plain_cell), cells)))
+            worker = FakeWorker(scheduler.address, "finisher")
+            worker.finish(worker.take_cell())
+            consumer.join(timeout=10.0)
+            assert not consumer.is_alive() and not errors and len(results) == 1
+        finally:
+            if worker is not None:
+                worker.close()
+            scheduler.close()
+            consumer.join(timeout=5.0)

@@ -14,6 +14,7 @@ import pytest
 from repro.experiments.cache import ResultCache
 from repro.experiments.executors import (
     JOBS_ENV_VAR,
+    ExecutorSpecError,
     ProcessPoolExecutor,
     SerialExecutor,
     resolve_executor,
@@ -103,6 +104,45 @@ class TestExecutorSelection:
         monkeypatch.setenv(JOBS_ENV_VAR, "1")
         assert isinstance(resolve_executor(None), SerialExecutor)
 
+    def test_malformed_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "ten")
+        with pytest.raises(ExecutorSpecError) as excinfo:
+            resolve_executor(None)
+        message = str(excinfo.value)
+        # The error must say where the bad value came from and what is
+        # accepted, not surface as a bare int() conversion failure.
+        assert f"{JOBS_ENV_VAR}=ten" in message
+        assert "tcp://HOST:PORT" in message and "'serial'" in message
+
+    def test_negative_job_counts_are_rejected(self, monkeypatch):
+        with pytest.raises(ExecutorSpecError):
+            resolve_executor(-2)
+        monkeypatch.setenv(JOBS_ENV_VAR, "-3")
+        with pytest.raises(ExecutorSpecError) as excinfo:
+            resolve_executor(None)
+        assert f"{JOBS_ENV_VAR}=-3" in str(excinfo.value)
+
+    def test_tcp_spec_resolves_to_distributed_executor(self):
+        from repro.distributed import DistributedExecutor
+
+        executor = resolve_executor("tcp://127.0.0.1:8765")
+        assert isinstance(executor, DistributedExecutor)
+        assert executor.address == "tcp://127.0.0.1:8765"
+        assert executor.workers == 0  # external workers connect themselves
+        local = resolve_executor("distributed", jobs=3)
+        assert isinstance(local, DistributedExecutor) and local.workers == 3
+
+    def test_malformed_tcp_spec_is_friendly(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "tcp://nohost")
+        with pytest.raises(ExecutorSpecError) as excinfo:
+            resolve_executor(None)
+        message = str(excinfo.value)
+        assert f"{JOBS_ENV_VAR}=tcp://nohost" in message
+        with pytest.raises(ExecutorSpecError):
+            resolve_executor("udp://127.0.0.1:1")
+        # ExecutorSpecError stays a ValueError for existing callers.
+        assert issubclass(ExecutorSpecError, ValueError)
+
 
 class TestParallelIdentity:
     def test_pool_rows_identical_to_serial_64_cells(self):
@@ -186,6 +226,45 @@ class TestErrorCapture:
             run_experiment("boom", failing_on_three, {"n": [3]},
                            repetitions=1, executor="serial")
         assert excinfo.value.params == {"n": 3}
+
+    def test_cell_execution_error_pickle_round_trip(self):
+        """Regression: the two-argument constructor used to break unpickling.
+
+        The default exception reduction re-calls ``cls(*args)`` with the
+        formatted message, which does not match ``__init__(experiment,
+        outcome)`` -- so a :class:`CellExecutionError` crossing a process or
+        socket boundary (nested harness in a pool worker, distributed
+        failure reporting) blew up with a ``TypeError`` instead of
+        arriving intact.
+        """
+
+        import pickle
+
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_experiment("boom", failing_on_three, {"n": [3]},
+                           repetitions=1, base_seed=9, executor="serial")
+        error = excinfo.value
+        restored = pickle.loads(pickle.dumps(error))
+        assert isinstance(restored, CellExecutionError)
+        assert restored.experiment == "boom"
+        assert restored.params == {"n": 3}
+        assert restored.seed == 9
+        assert restored.error_type == "ValueError"
+        assert restored.worker_traceback == error.worker_traceback
+        assert str(restored) == str(error)
+
+    def test_cell_execution_error_json_payload_round_trip(self):
+        import json
+
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_experiment("boom", failing_on_three, {"n": [3]},
+                           repetitions=1, executor="serial")
+        error = excinfo.value
+        payload = json.loads(json.dumps(error.to_payload()))
+        restored = CellExecutionError.from_payload(payload)
+        assert restored.params == {"n": 3}
+        assert restored.error_type == "ValueError"
+        assert "bad cell n=3" in restored.worker_traceback
 
     def test_capture_errors_records_and_continues(self):
         result = run_experiment("soft", failing_on_three, {"n": [1, 2, 3, 4]},

@@ -62,6 +62,23 @@ class TestRun:
     def test_no_selection_exits_two(self, capsys):
         assert main(["run"]) == 2
 
+    def test_malformed_executor_spec_is_a_usage_error(self, capsys):
+        """A bad --executor is one exit-2 message, not N scenario FAILs."""
+
+        code = main(["run", "mix.rigid-moldable", "--smoke",
+                     "--executor", "carrier-pigeon"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot resolve an executor" in captured.err
+        assert "FAIL" not in captured.out
+        assert main(["sweep", "mix.rigid-moldable", "--smoke",
+                     "--executor", "tcp://nohost"]) == 2
+
+    def test_executor_flag_accepts_job_counts(self, capsys, tmp_path):
+        code = main(["run", "mix.rigid-moldable", "--smoke", "--jobs", "1"])
+        assert code == 0
+        assert "1/1 scenario(s) passed" in capsys.readouterr().out
+
     def test_spec_file(self, capsys, tmp_path):
         spec_file = tmp_path / "mini.toml"
         spec_file.write_text(
