@@ -7,6 +7,10 @@
 #   make bench CACHE=.repro-cache   ... with the on-disk cell cache
 #   make perf                  repro.bench quick tier -> BENCH_<ts>.json
 #   make perf-compare          quick tier + diff against the committed baseline
+#   make runtime-check         golden-digest equivalence + warn-only perf
+#                              compare (mirrors the CI runtime-equivalence job)
+#   make runtime-goldens       re-pin tests/runtime/goldens.json (intentional
+#                              behavior changes only)
 #   make scenarios             list the registered scenarios
 #   make scenario-smoke        smoke-run every registered scenario (CI job)
 #   make distributed-smoke     same smoke tier through the socket scheduler
@@ -24,7 +28,7 @@ BASELINE ?= benchmarks/baselines/quick.json
 
 BENCH_ENV = $(if $(JOBS),REPRO_JOBS=$(JOBS)) $(if $(CACHE),REPRO_CACHE_DIR=$(CACHE))
 
-.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke lint ci clean
+.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke lint ci clean runtime-check runtime-goldens
 
 # Port the distributed smoke tier binds its campaign schedulers on.
 DIST_PORT ?= 7641
@@ -44,6 +48,18 @@ perf-compare:
 	@REPORT=$$(PYTHONPATH=src $(PYTHON) -m repro.bench --quick) && \
 	PYTHONPATH=src $(PYTHON) -m repro.bench compare $(BASELINE) $$REPORT \
 		--threshold $(BENCH_THRESHOLD) --warn-only
+
+# Prove the unified runtime is bit-identical to the pinned goldens
+# (tests/runtime/goldens.json), then measure the kernel speed against the
+# committed baseline in warn-only mode (mirrors the CI runtime-equivalence
+# job).  Regenerate the goldens with `make runtime-goldens` ONLY for an
+# intentional behavior change, and say so in the commit message.
+runtime-check:
+	$(PYTHON) -m pytest tests/runtime -q
+	$(MAKE) perf-compare
+
+runtime-goldens:
+	PYTHONPATH=src $(PYTHON) -m repro.runtime.golden capture
 
 scenarios:
 	PYTHONPATH=src $(PYTHON) -m repro.scenarios list

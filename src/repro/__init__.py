@@ -17,6 +17,9 @@ Package map
 ``repro.simulation``
     Discrete-event engine, single-cluster and grid simulators (centralized
     best-effort and decentralized load exchange).
+``repro.runtime``
+    The unified job-lifecycle core those simulators are configurations of:
+    one state machine, pluggable hooks, one ``SimulationRecord`` result.
 ``repro.workload``
     Synthetic workload generators (rigid / moldable jobs, multi-parametric
     bags, community profiles), arrival processes, SWF I/O.
@@ -44,6 +47,8 @@ from repro.simulation import (
     DecentralizedGridSimulator,
     Simulator,
 )
+from repro.runtime import RunRecord, SchedulingRuntime, SimulationRecord
+from repro.core.policies import SchedulingPolicy, make_policy, policy_names
 from repro.workload import figure2_workload, generate_moldable_jobs, generate_rigid_jobs
 from repro.metrics import schedule_ratios
 from repro.experiments import run_figure2, Figure2Config
@@ -75,6 +80,12 @@ __all__ = [
     "ClusterSimulator",
     "CentralizedGridSimulator",
     "DecentralizedGridSimulator",
+    "SchedulingRuntime",
+    "SimulationRecord",
+    "RunRecord",
+    "SchedulingPolicy",
+    "make_policy",
+    "policy_names",
     "figure2_workload",
     "generate_moldable_jobs",
     "generate_rigid_jobs",

@@ -38,6 +38,19 @@ from repro.core.policies.base import (
     ReleaseDateScheduler,
     SchedulerError,
 )
+from repro.core.policies.online import (
+    BackfillPolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+    SmallestFirstPolicy,
+)
+from repro.core.policies.adapter import PlannedPolicy
+from repro.core.policies.registry import (
+    make_policy,
+    policy_names,
+    register_policy,
+    resolve_cluster_policies,
+)
 from repro.core.policies.list_scheduling import ListScheduler
 from repro.core.policies.shelf import ShelfScheduler, SmartShelfScheduler
 from repro.core.policies.mrt import GreedyMoldableScheduler, MRTScheduler
@@ -52,6 +65,15 @@ __all__ = [
     "ReleaseDateScheduler",
     "MoldableAllocator",
     "SchedulerError",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "BackfillPolicy",
+    "SmallestFirstPolicy",
+    "PlannedPolicy",
+    "make_policy",
+    "policy_names",
+    "register_policy",
+    "resolve_cluster_policies",
     "ListScheduler",
     "ShelfScheduler",
     "SmartShelfScheduler",

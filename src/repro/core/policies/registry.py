@@ -1,0 +1,167 @@
+"""Registry: every scheduling policy constructible by name.
+
+One flat namespace covers both the native on-line queue policies and the
+schedule-constructing policies (wrapped by
+:class:`~repro.core.policies.adapter.PlannedPolicy`), so simulators,
+scenario specs and CLIs can all say ``policy="bicriteria"`` and get a
+:class:`~repro.core.policies.online.SchedulingPolicy` for the unified
+runtime.
+
+    make_policy("backfill")                       # native queue policy
+    make_policy("bicriteria")                     # PlannedPolicy(BiCriteriaScheduler())
+    make_policy("mixed", strategy="a_priori")     # factory kwargs pass through
+    make_policy(existing_policy_instance)         # passed through unchanged
+
+New policies register with :func:`register_policy`; names are unique and
+collisions raise, exactly like the scenario registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from repro.core.policies.adapter import PlannedPolicy
+from repro.core.policies.base import MoldableAllocator
+from repro.core.policies.online import (
+    BackfillPolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+    SmallestFirstPolicy,
+)
+
+PolicyFactory = Callable[..., SchedulingPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory) -> PolicyFactory:
+    """Register ``factory`` under ``name``; raises on collisions."""
+
+    if name in _REGISTRY:
+        raise ValueError(f"policy {name!r} is already registered")
+    _REGISTRY[name] = factory
+    return factory
+
+
+def policy_names() -> List[str]:
+    """Sorted names of every registered policy."""
+
+    return sorted(_REGISTRY)
+
+
+def make_policy(
+    spec: Union[str, SchedulingPolicy],
+    *,
+    allocator: Optional[MoldableAllocator] = None,
+    **params,
+) -> SchedulingPolicy:
+    """Build a policy from a registered name (instances pass through).
+
+    ``allocator`` overrides the moldable->rigid allocation strategy;
+    ``params`` are forwarded to the factory (e.g. ``strategy=`` for the
+    mixed scheduler).
+    """
+
+    if isinstance(spec, SchedulingPolicy):
+        if allocator is not None or params:
+            raise ValueError(
+                "make_policy: allocator/params overrides cannot be applied to "
+                "an already-constructed policy instance; pass a registered "
+                "name, or configure the instance directly"
+            )
+        return spec
+    try:
+        factory = _REGISTRY[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown scheduling policy {spec!r}; known: {policy_names()}"
+        ) from None
+    return factory(allocator=allocator, **params)
+
+
+#: A policy argument: a registered name or a ready policy instance.
+PolicySpec = Union[str, SchedulingPolicy]
+
+
+def resolve_cluster_policies(
+    grid,
+    policy: Union[PolicySpec, Mapping[str, PolicySpec]],
+    allocator: Optional[MoldableAllocator] = None,
+    *,
+    default: PolicySpec = "fifo",
+) -> Dict[str, SchedulingPolicy]:
+    """One policy instance per cluster from a shared spec or a per-cluster map.
+
+    ``grid`` is any iterable of clusters exposing ``name`` plus a
+    ``cluster_names`` attribute (a :class:`repro.platform.grid.LightGrid`).
+    Clusters missing from a partial mapping fall back to ``default`` -- the
+    calling simulator passes its own documented default policy.
+
+    A shared *name* builds one instance per cluster, so stateful policies
+    (e.g. planned adapters) never leak state across clusters.  An explicit
+    :class:`SchedulingPolicy` *instance* is shared verbatim, like the legacy
+    simulators did -- callers passing stateful instances own that risk.
+    """
+
+    if isinstance(policy, Mapping):
+        unknown = [name for name in policy if name not in grid.cluster_names]
+        if unknown:
+            raise ValueError(f"policies reference unknown clusters: {unknown}")
+        return {
+            cluster.name: make_policy(policy.get(cluster.name, default),
+                                      allocator=allocator)
+            for cluster in grid
+        }
+    return {
+        cluster.name: make_policy(policy, allocator=allocator) for cluster in grid
+    }
+
+
+def _planned(scheduler_factory: Callable[..., object]) -> PolicyFactory:
+    """A registry factory wrapping a schedule constructor in PlannedPolicy."""
+
+    def factory(*, allocator: Optional[MoldableAllocator] = None, **params) -> SchedulingPolicy:
+        return PlannedPolicy(scheduler_factory(**params), allocator)
+
+    return factory
+
+
+# -- native queue policies ---------------------------------------------------
+register_policy("fifo", lambda *, allocator=None, **p: FifoPolicy(allocator, **p))
+register_policy("backfill", lambda *, allocator=None, **p: BackfillPolicy(allocator, **p))
+register_policy(
+    "smallest-first", lambda *, allocator=None, **p: SmallestFirstPolicy(allocator, **p)
+)
+
+
+# -- schedule-constructing policies, adapted -------------------------------
+def _register_planned() -> None:
+    from repro.core.policies.backfilling import ConservativeBackfilling, EasyBackfilling
+    from repro.core.policies.batch_online import BatchOnlineScheduler
+    from repro.core.policies.bicriteria import BiCriteriaScheduler
+    from repro.core.policies.list_scheduling import ListScheduler
+    from repro.core.policies.mrt import GreedyMoldableScheduler, MRTScheduler
+    from repro.core.policies.reservations import ReservationAwareScheduler
+    from repro.core.policies.rigid_moldable_mix import MixedScheduler
+    from repro.core.policies.shelf import ShelfScheduler, SmartShelfScheduler
+
+    register_policy("lpt", _planned(lambda **p: ListScheduler("lpt", **p)))
+    register_policy("spt", _planned(lambda **p: ListScheduler("spt", **p)))
+    register_policy("wspt", _planned(lambda **p: ListScheduler("wspt", **p)))
+    register_policy("list", _planned(lambda order="lpt", **p: ListScheduler(order, **p)))
+    register_policy("shelf", _planned(lambda **p: ShelfScheduler(**p)))
+    register_policy("smart-shelves", _planned(lambda **p: SmartShelfScheduler(**p)))
+    register_policy("mrt", _planned(lambda **p: MRTScheduler(**p)))
+    register_policy("greedy-moldable", _planned(lambda **p: GreedyMoldableScheduler(**p)))
+    register_policy("batch-online", _planned(lambda **p: BatchOnlineScheduler(**p)))
+    register_policy(
+        "batch-mrt", _planned(lambda **p: BatchOnlineScheduler(MRTScheduler(), **p))
+    )
+    register_policy("bicriteria", _planned(lambda **p: BiCriteriaScheduler(**p)))
+    register_policy("conservative-bf", _planned(lambda **p: ConservativeBackfilling(**p)))
+    register_policy("easy-bf", _planned(lambda **p: EasyBackfilling(**p)))
+    register_policy("mixed", _planned(lambda **p: MixedScheduler(**p)))
+    register_policy("reservation-aware", _planned(lambda **p: ReservationAwareScheduler(**p)))
+
+
+_register_planned()

@@ -4,13 +4,21 @@ The repository has no plotting dependency; the examples and benchmarks print
 their results as aligned text tables and simple character plots (enough to
 see the *shape* of the Figure 2 curves in a terminal), and can dump CSV for
 external plotting.
+
+Simulation results are reported through the unified
+:class:`~repro.runtime.record.SimulationRecord` model:
+:func:`simulation_table` renders any mix of records -- single cluster,
+centralized grid, decentralized grid -- as one table (one
+``record.summary()`` row each), and :func:`runs_table` lists a record's
+individual job executions.  No function in this module special-cases a
+result type.
 """
 
 from __future__ import annotations
 
 import io
 import math
-from typing import Any, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 
 def _format_cell(value: Any, precision: int) -> str:
@@ -105,6 +113,51 @@ def ascii_plot(
     legend = ", ".join(f"{name[0].upper()} = {name}" for name in series)
     out.write(f"{x_label}   [{legend}]" + (f"   y: {y_label}" if y_label else "") + "\n")
     return out.getvalue()
+
+
+def simulation_table(
+    records: Union[Mapping[str, Any], Iterable[Any]],
+    *,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """One row per :class:`~repro.runtime.record.SimulationRecord`.
+
+    ``records`` is a mapping from label to record (e.g. the output of
+    :func:`repro.simulation.cluster_sim.compare_policies`) or a plain
+    iterable of records (labelled by their policy name).  Records from
+    different organisations mix freely: the columns are the union of every
+    record's summary keys.
+    """
+
+    if isinstance(records, Mapping):
+        items = list(records.items())
+    else:
+        items = [(record.policy, record) for record in records]
+    rows: List[Dict[str, Any]] = [
+        {"label": label, **record.summary()} for label, record in items
+    ]
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return ascii_table(rows, columns=columns, precision=precision, title=title)
+
+
+def runs_table(
+    record: Any,
+    *,
+    limit: Optional[int] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """The individual job executions of one record, ordered by start time."""
+
+    runs = record.runs()
+    if limit is not None:
+        runs = runs[:limit]
+    return ascii_table([r.as_dict() for r in runs], precision=precision, title=title)
 
 
 def to_csv(rows: Sequence[Mapping[str, Any]], *, columns: Optional[Sequence[str]] = None) -> str:

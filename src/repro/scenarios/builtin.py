@@ -389,6 +389,91 @@ def grid_node_churn() -> ScenarioSpec:
     )
 
 
+@scenario
+def grid_hetero_policies() -> ScenarioSpec:
+    """Per-cluster heterogeneous policies: each CIMENT cluster runs its own
+    scheduler (a configuration only the unified runtime makes expressible)."""
+
+    return ScenarioSpec(
+        name="grid.hetero-policies",
+        model="grid-decentralized",
+        description="CIMENT grid where every cluster runs a different local policy",
+        tags=("grid", "decentralized", "policy", "runtime"),
+        platform=ComponentSpec("ciment"),
+        workload=ComponentSpec(
+            "ciment-communities", {"jobs_per_community": 10, "grid_bags": False},
+        ),
+        policy=ComponentSpec("exchange", {"imbalance_threshold": 1.5}),
+        metrics=("makespan", "mean_flow", "max_flow", "migrations", "fairness_on_work"),
+        repetitions=1,
+        seed=1234,
+        sweep={
+            "policy.local_policy": [
+                "backfill",
+                {
+                    "icluster-itanium": "backfill",
+                    "xeon-cluster": "fifo",
+                    "athlon-cluster-a": "smallest-first",
+                    "athlon-cluster-b": "backfill",
+                },
+                {
+                    "icluster-itanium": "smallest-first",
+                    "xeon-cluster": "smallest-first",
+                    "athlon-cluster-a": "fifo",
+                    "athlon-cluster-b": "fifo",
+                },
+            ],
+        },
+        smoke={
+            "workload.jobs_per_community": 3,
+            "sweep": {
+                "policy.local_policy": [
+                    "backfill",
+                    {
+                        "icluster-itanium": "backfill",
+                        "xeon-cluster": "fifo",
+                        "athlon-cluster-a": "smallest-first",
+                        "athlon-cluster-b": "backfill",
+                    },
+                ],
+            },
+        },
+    )
+
+
+@scenario
+def cluster_policy_switch() -> ScenarioSpec:
+    """Mid-run policy switching: an operator flips the queue policy while
+    jobs are in flight (runtime hook, no bespoke event loop)."""
+
+    return ScenarioSpec(
+        name="cluster.policy-switch",
+        model="cluster-online",
+        description="FCFS stream switching to backfilling/SJF mid-run",
+        tags=("cluster", "online", "policy", "runtime"),
+        platform=ComponentSpec("count", {"machine_count": 64}),
+        workload=ComponentSpec("moldable", {"n_jobs": 80, "runtime_range": [0.5, 10.0]}),
+        arrival=ComponentSpec("poisson", {"rate": 2.0}),
+        policy=ComponentSpec("switch", {"initial": "fifo"}),
+        metrics=("makespan", "mean_stretch", "utilization", "policy_name", "trace_events"),
+        repetitions=3,
+        seed=1234,
+        sweep={
+            "policy.switches": [
+                [],
+                [[15.0, "backfill"]],
+                [[15.0, "smallest-first"], [30.0, "backfill"]],
+            ],
+        },
+        smoke={
+            "workload.n_jobs": 20,
+            "sweep": {
+                "policy.switches": [[], [[8.0, "backfill"]]],
+            },
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # Off-line panel + divisible load
 # ---------------------------------------------------------------------------

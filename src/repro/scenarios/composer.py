@@ -387,12 +387,24 @@ def _run_cluster_online(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
     platform = build_platform(spec.platform, rng)
     machine_count = platform_processor_count(platform)
     jobs = _cluster_jobs(spec, machine_count, rng, seed)
-    policy = "fifo" if spec.policy.kind == "default" else spec.policy.kind
+    kind = spec.policy.kind
+    switches = []
+    if kind == "switch":
+        # Mid-run policy switching: start under ``initial`` and swap to the
+        # named policies at the given simulation times.
+        policy = spec.policy.params.get("initial", "fifo")
+        switches = [
+            (float(time), str(name))
+            for time, name in spec.policy.params.get("switches", [])
+        ]
+    else:
+        policy = "fifo" if kind == "default" else kind
     allocator = spec.policy.params.get("allocator")
     simulator = ClusterSimulator(
         platform if not isinstance(platform, int) else machine_count,
         policy=policy,
         allocator=MoldableAllocator(allocator) if allocator else None,
+        policy_switches=switches,
     )
     result = simulator.run(jobs)
     metrics = _ratio_metrics(result.schedule, jobs, machine_count)

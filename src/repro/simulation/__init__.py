@@ -17,15 +17,30 @@ from scratch for this reproduction:
   of section 5.2 (best-effort multi-parametric jobs filling the holes),
 * :mod:`repro.simulation.decentralized` -- the decentralized organisation
   (load exchange between clusters).
+
+The three simulators are configurations of the unified job-lifecycle core in
+:mod:`repro.runtime` and all return its
+:class:`~repro.runtime.record.SimulationRecord`; they are imported lazily
+here because the runtime itself builds on this package's kernel modules.
 """
 
 from repro.simulation.engine import Simulator, Process, Timeout
 from repro.simulation.events import Event, EventQueue
 from repro.simulation.resources import ProcessorPool, AllocationRequest
 from repro.simulation.tracing import Trace, TraceEvent
-from repro.simulation.cluster_sim import ClusterSimulator, SimulationResult
-from repro.simulation.grid_sim import CentralizedGridSimulator, GridSimulationResult
-from repro.simulation.decentralized import DecentralizedGridSimulator
+
+#: Simulator names resolved lazily (they import repro.runtime, which imports
+#: this package's kernel modules -- a direct import here would be circular).
+_LAZY = {
+    "ClusterSimulator": "repro.simulation.cluster_sim",
+    "SimulationResult": "repro.simulation.cluster_sim",
+    "compare_policies": "repro.simulation.cluster_sim",
+    "CentralizedGridSimulator": "repro.simulation.grid_sim",
+    "GridSimulationResult": "repro.simulation.grid_sim",
+    "GridServer": "repro.simulation.grid_sim",
+    "DecentralizedGridSimulator": "repro.simulation.decentralized",
+    "DecentralizedResult": "repro.simulation.decentralized",
+}
 
 __all__ = [
     "Simulator",
@@ -42,4 +57,13 @@ __all__ = [
     "CentralizedGridSimulator",
     "GridSimulationResult",
     "DecentralizedGridSimulator",
+    "DecentralizedResult",
 ]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,156 +1,51 @@
-"""On-line simulation of a single cluster driven by a queue policy.
+"""On-line simulation of a single cluster driven by a scheduling policy.
 
-This is the event-driven counterpart of the schedule-constructing policies of
-:mod:`repro.core.policies`: jobs arrive over time (their release dates), wait
-in a queue, and a :class:`QueuePolicy` decides at every scheduling point
-(arrival or completion) which waiting jobs to start on the free processors.
+This is the event-driven counterpart of the schedule-constructing policies
+of :mod:`repro.core.policies`: jobs arrive over time (their release dates),
+wait in a queue, and a :class:`~repro.core.policies.online.SchedulingPolicy`
+decides at every scheduling point (arrival or completion) which waiting jobs
+to start on the free processors.
 
-The simulator returns a :class:`SimulationResult` containing the executed
-:class:`~repro.core.allocation.Schedule` (reconstructed from the event
-trace), the raw trace, the criteria report and the Figure-2 style ratios, so
-simulated and constructed schedules can be compared on the same metrics.
+Since the unified-runtime refactor the simulator is a *configuration* of
+:class:`repro.runtime.lifecycle.SchedulingRuntime` -- one strict node, no
+hooks -- rather than its own event loop, and the result is the unified
+:class:`repro.runtime.record.SimulationRecord` (``SimulationResult`` is a
+compat alias).  Any policy registered in
+:mod:`repro.core.policies.registry` can drive the cluster by name::
+
+    ClusterSimulator(64, policy="bicriteria").run(jobs)
+
+The queue-policy classes that historically lived here moved to
+:mod:`repro.core.policies.online`; deprecated import shims below keep the
+old paths working.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Dict, Optional, Sequence, Tuple, Union
 
-from repro.core.allocation import Schedule
 from repro.core.criteria import CriteriaReport
-from repro.core.job import Job, MoldableJob, RigidJob
-from repro.core.policies.base import MoldableAllocator, SchedulerError
-from repro.metrics.ratios import RatioReport, schedule_ratios
+from repro.core.job import Job
+from repro.core.policies.base import MoldableAllocator
+from repro.core.policies.online import SchedulingPolicy
+from repro.core.policies.registry import make_policy
+from repro.metrics.ratios import schedule_ratios
 from repro.platform.cluster import Cluster
-from repro.simulation.engine import Simulator
-from repro.simulation.resources import ProcessorPool
-from repro.simulation.tracing import Trace
+from repro.runtime.lifecycle import ClusterNode, RuntimeConfig, SchedulingRuntime
+from repro.runtime.record import MODE_CLUSTER, SimulationRecord
 
+#: Unified result model; the historical name is kept as an alias.
+SimulationResult = SimulationRecord
 
-# ---------------------------------------------------------------------------
-# Queue policies
-# ---------------------------------------------------------------------------
-
-
-class QueuePolicy:
-    """Decides which waiting jobs to start when processors are free.
-
-    ``select(queue, free, now)`` returns a list of ``(job, nbproc)`` pairs to
-    start immediately; the returned jobs must be pairwise distinct members of
-    ``queue`` and their total processor demand must not exceed ``free``.
-    """
-
-    name = "abstract"
-
-    def __init__(self, allocator: Optional[MoldableAllocator] = None) -> None:
-        self.allocator = allocator or MoldableAllocator("bounded_efficiency")
-
-    def allocation(self, job: Job, machine_count: int, free: int) -> int:
-        """Processor count for ``job``, never exceeding the currently free count."""
-
-        nbproc = self.allocator.allocate(job, machine_count)
-        if isinstance(job, MoldableJob):
-            nbproc = max(job.min_procs, min(nbproc, free)) if free >= job.min_procs else nbproc
-        return nbproc
-
-    def select(self, queue: Sequence[Job], free: int, now: float, machine_count: int):
-        raise NotImplementedError
-
-
-class FifoPolicy(QueuePolicy):
-    """Strict first-come-first-served: the head of the queue blocks everyone."""
-
-    name = "fifo"
-
-    def select(self, queue: Sequence[Job], free: int, now: float, machine_count: int):
-        decisions = []
-        remaining = free
-        for job in queue:
-            nbproc = self.allocation(job, machine_count, remaining)
-            if nbproc <= remaining:
-                decisions.append((job, nbproc))
-                remaining -= nbproc
-            else:
-                break  # FCFS: do not bypass the blocked head of queue
-        return decisions
-
-
-class BackfillPolicy(QueuePolicy):
-    """FCFS with aggressive backfilling: later jobs may use leftover processors.
-
-    Unlike the clairvoyant EASY implementation of
-    :mod:`repro.core.policies.backfilling` this on-line policy does not
-    compute a shadow time; it simply lets any queued job that fits in the
-    currently free processors start.  It therefore favours utilisation at the
-    possible expense of large jobs -- the simulation benchmarks quantify this
-    trade-off.
-    """
-
-    name = "backfill"
-
-    def select(self, queue: Sequence[Job], free: int, now: float, machine_count: int):
-        decisions = []
-        remaining = free
-        for job in queue:
-            nbproc = self.allocation(job, machine_count, remaining)
-            if nbproc <= remaining:
-                decisions.append((job, nbproc))
-                remaining -= nbproc
-            if remaining == 0:
-                break
-        return decisions
-
-
-class SmallestFirstPolicy(QueuePolicy):
-    """Start the smallest waiting jobs first (good for the mean stretch)."""
-
-    name = "smallest-first"
-
-    def select(self, queue: Sequence[Job], free: int, now: float, machine_count: int):
-        def key(job: Job) -> Tuple[float, str]:
-            if isinstance(job, MoldableJob):
-                return (job.min_work(), job.name)
-            if isinstance(job, RigidJob):
-                return (job.duration * job.nbproc, job.name)
-            return (math.inf, job.name)
-
-        decisions = []
-        remaining = free
-        for job in sorted(queue, key=key):
-            nbproc = self.allocation(job, machine_count, remaining)
-            if nbproc <= remaining:
-                decisions.append((job, nbproc))
-                remaining -= nbproc
-        return decisions
-
-
-QUEUE_POLICIES = {
-    "fifo": FifoPolicy,
-    "backfill": BackfillPolicy,
-    "smallest-first": SmallestFirstPolicy,
-}
-
-
-# ---------------------------------------------------------------------------
-# Simulator
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class SimulationResult:
-    """Outcome of a single-cluster on-line simulation."""
-
-    schedule: Schedule
-    trace: Trace
-    criteria: CriteriaReport
-    ratios: RatioReport
-    policy: str
-    machine_count: int
-
-    @property
-    def makespan(self) -> float:
-        return self.criteria.makespan
+_CLUSTER_CONFIG = RuntimeConfig(
+    strict_select=True,
+    complete_with_processors=True,
+    starved_message=(
+        "simulation finished with {count} jobs still queued "
+        "(policy {policy!r} starved them)"
+    ),
+)
 
 
 class ClusterSimulator:
@@ -160,8 +55,9 @@ class ClusterSimulator:
         self,
         platform: Union[Cluster, int],
         *,
-        policy: Union[str, QueuePolicy] = "fifo",
+        policy: Union[str, SchedulingPolicy] = "fifo",
         allocator: Optional[MoldableAllocator] = None,
+        policy_switches: Sequence[Tuple[float, Union[str, SchedulingPolicy]]] = (),
         trace_labels: bool = False,
     ) -> None:
         if isinstance(platform, Cluster):
@@ -172,82 +68,49 @@ class ClusterSimulator:
                 raise ValueError("machine_count must be >= 1")
             self.machine_count = int(platform)
             self.cluster_name = None
-        if isinstance(policy, str):
-            try:
-                policy_cls = QUEUE_POLICIES[policy]
-            except KeyError:
-                raise ValueError(
-                    f"unknown queue policy {policy!r}; known: {sorted(QUEUE_POLICIES)}"
-                ) from None
-            policy = policy_cls(allocator)
-        self.policy = policy
+        self.policy = make_policy(policy, allocator=allocator)
+        #: Mid-run policy switches: (simulation time, policy name or instance)
+        #: pairs, applied by a :class:`~repro.runtime.hooks.PolicySwitchHook`.
+        self.policy_switches = [(float(t), p) for t, p in policy_switches]
+        for _time, switch_policy in self.policy_switches:
+            if not isinstance(switch_policy, SchedulingPolicy):
+                make_policy(switch_policy)  # eager name validation
         #: Build per-event label strings (debugging aid; off on the fast path).
         self.trace_labels = trace_labels
 
     # -- main entry point -------------------------------------------------------
-    def run(self, jobs: Sequence[Job]) -> SimulationResult:
+    def run(self, jobs: Sequence[Job]) -> SimulationRecord:
         jobs = list(jobs)
-        sim = Simulator(trace_labels=self.trace_labels)
-        labels = self.trace_labels
-        pool = ProcessorPool(self.machine_count)
-        trace = Trace()
-        queue: List[Job] = []
-        schedule = Schedule(self.machine_count)
+        node = ClusterNode(
+            self.cluster_name or "cluster",
+            self.machine_count,
+            policy=self.policy,
+            trace_name=self.cluster_name,
+        )
+        hooks = []
+        if self.policy_switches:
+            from repro.runtime.hooks import PolicySwitchHook
 
-        def try_start() -> None:
-            free = pool.free_count(sim.now)
-            if free == 0 or not queue:
-                return
-            decisions = self.policy.select(tuple(queue), free, sim.now, self.machine_count)
-            used = sum(nbproc for _, nbproc in decisions)
-            if used > free:
-                raise SchedulerError(
-                    f"policy {self.policy.name!r} over-committed: asked {used} "
-                    f"processors, only {free} free"
-                )
-            for job, nbproc in decisions:
-                processors = pool.try_acquire(job.name, nbproc, now=sim.now)
-                assert processors is not None
-                queue.remove(job)
-                runtime = job.runtime(nbproc)
-                schedule.add(job, sim.now, processors, runtime)
-                trace.record(sim.now, "start", job.name,
-                             cluster=self.cluster_name, processors=processors)
-
-                def complete(job=job, processors=processors) -> None:
-                    pool.release(job.name)
-                    trace.record(sim.now, "complete", job.name,
-                                 cluster=self.cluster_name, processors=processors)
-                    try_start()
-
-                sim.schedule(runtime, complete,
-                             label=f"complete {job.name}" if labels else "")
-
-        def submit(job: Job) -> None:
-            trace.record(sim.now, "submit", job.name, cluster=self.cluster_name)
-            queue.append(job)
-            try_start()
-
-        for job in sorted(jobs, key=lambda j: (j.release_date, j.name)):
-            sim.schedule_at(job.release_date, lambda job=job: submit(job),
-                            label=f"submit {job.name}" if labels else "")
-        sim.run()
-
-        if queue:
-            raise SchedulerError(
-                f"simulation finished with {len(queue)} jobs still queued "
-                f"(policy {self.policy.name!r} starved them)"
+            hooks.append(
+                PolicySwitchHook([(t, None, p) for t, p in self.policy_switches])
             )
-        schedule.validate()
-        criteria = CriteriaReport.from_schedule(schedule)
-        ratios = schedule_ratios(schedule, jobs, machine_count=self.machine_count)
-        return SimulationResult(
-            schedule=schedule,
-            trace=trace,
-            criteria=criteria,
-            ratios=ratios,
-            policy=self.policy.name,
+        runtime = SchedulingRuntime(
+            [node], hooks=hooks, config=_CLUSTER_CONFIG, trace_labels=self.trace_labels
+        )
+        horizon = runtime.run({node.name: jobs})
+
+        node.schedule.validate()
+        criteria = CriteriaReport.from_schedule(node.schedule)
+        ratios = schedule_ratios(node.schedule, jobs, machine_count=self.machine_count)
+        return SimulationRecord(
+            mode=MODE_CLUSTER,
             machine_count=self.machine_count,
+            schedules={node.name: node.schedule},
+            cluster_criteria={node.name: criteria},
+            trace=runtime.trace,
+            horizon=horizon,
+            policies={node.name: node.policy.name},
+            ratios=ratios,
         )
 
 
@@ -256,11 +119,55 @@ def compare_policies(
     machine_count: int,
     *,
     policies: Sequence[str] = ("fifo", "backfill", "smallest-first"),
-) -> Dict[str, SimulationResult]:
+) -> Dict[str, SimulationRecord]:
     """Run the same workload under several queue policies (policy-comparison helper)."""
 
-    results: Dict[str, SimulationResult] = {}
+    results: Dict[str, SimulationRecord] = {}
     for name in policies:
         simulator = ClusterSimulator(machine_count, policy=name)
         results[name] = simulator.run(jobs)
     return results
+
+
+# ---------------------------------------------------------------------------
+# Deprecated import shims (the policy classes moved to core.policies.online)
+# ---------------------------------------------------------------------------
+
+_MOVED = {
+    "QueuePolicy": "SchedulingPolicy",
+    "FifoPolicy": "FifoPolicy",
+    "BackfillPolicy": "BackfillPolicy",
+    "SmallestFirstPolicy": "SmallestFirstPolicy",
+}
+
+
+def __getattr__(name: str):
+    if name in _MOVED:
+        import repro.core.policies.online as online
+
+        warnings.warn(
+            f"repro.simulation.cluster_sim.{name} moved to "
+            f"repro.core.policies.online.{_MOVED[name]}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(online, _MOVED[name])
+    if name == "QUEUE_POLICIES":
+        from repro.core.policies.online import (
+            BackfillPolicy,
+            FifoPolicy,
+            SmallestFirstPolicy,
+        )
+
+        warnings.warn(
+            "repro.simulation.cluster_sim.QUEUE_POLICIES is deprecated; use "
+            "repro.core.policies.registry.make_policy / policy_names instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            "fifo": FifoPolicy,
+            "backfill": BackfillPolicy,
+            "smallest-first": SmallestFirstPolicy,
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -6,64 +6,44 @@ in order to balance the load.  The protocol for exchanging work still has to
 be defined, but it would have to take care of both fairness and performance
 issues at the same time."
 
-Since the paper explicitly leaves the protocol open ("there are several
-directions to address this problem: graph coupling [...] an economical
-approach [...] consensus-driven algorithms ..."), this module implements a
-simple, well-documented *load-threshold* exchange protocol that captures the
-idea and lets the benchmarks compare the decentralized organisation against
-isolated clusters and against the centralized best-effort scheme:
+Since the paper explicitly leaves the protocol open, this module implements
+a simple, well-documented *load-threshold* exchange protocol (see
+:class:`repro.runtime.hooks.LoadExchangeHook` for the rules: relative-load
+comparison on every submission/completion, smallest-first migration of
+queued jobs, wide-area transfer delays, owners preserved for the fairness
+metrics).
 
-* every cluster runs its own FCFS queue for the jobs submitted to it;
-* when a job is submitted (or a job completes) the cluster compares its
-  *relative load* (queued + running work divided by its compute rate) to the
-  load of the other clusters;
-* if its load exceeds the minimum load by more than ``imbalance_threshold``,
-  it migrates queued jobs (smallest first, never running ones) to the least
-  loaded cluster; a migration delay -- the wide-area transfer time of the job
-  input data -- is charged before the job becomes available on the remote
-  cluster;
-* migrated jobs keep their owner, so the fairness metrics can verify that
-  "making [resources] available to others does not make [their owners] loose
-  too much".
+Since the unified-runtime refactor the simulator is a *configuration* of
+:class:`repro.runtime.lifecycle.SchedulingRuntime`: one node per cluster
+with running-work and flow-time accounting, plus the exchange hook.  Like
+the centralized simulator, ``local_policy`` accepts a single policy or a
+per-cluster mapping, so each cluster of the grid can run its own scheduler.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.allocation import Schedule
 from repro.core.criteria import CriteriaReport
-from repro.core.job import Job, MoldableJob, RigidJob
-from repro.core.bounds import min_work
-from repro.core.policies.base import MoldableAllocator, SchedulerError
-from repro.metrics.fairness import FairnessReport, fairness_report
+from repro.core.job import Job
+from repro.core.policies.base import MoldableAllocator
+from repro.metrics.fairness import fairness_report
 from repro.platform.grid import LightGrid
-from repro.simulation.cluster_sim import QUEUE_POLICIES, QueuePolicy
-from repro.simulation.engine import Simulator
-from repro.simulation.resources import ProcessorPool
-from repro.simulation.tracing import Trace
+from repro.runtime.hooks import LoadExchangeHook
+from repro.runtime.lifecycle import ClusterNode, RuntimeConfig, SchedulingRuntime
+from repro.core.policies.registry import PolicySpec, resolve_cluster_policies
+from repro.runtime.record import MODE_DECENTRALIZED, SimulationRecord
 
+#: Unified result model; the historical name is kept as an alias.
+DecentralizedResult = SimulationRecord
 
-@dataclass
-class DecentralizedResult:
-    """Outcome of a decentralized grid simulation."""
-
-    schedules: Dict[str, Schedule]
-    criteria: Dict[str, CriteriaReport]
-    migrations: int
-    migrated_jobs: List[str]
-    horizon: float
-    trace: Trace
-    fairness: FairnessReport
-    #: Mean flow time (C_j - r_j) over all jobs of the grid.
-    mean_flow: float
-    #: Maximum flow time over all jobs.
-    max_flow: float
-
-    @property
-    def makespan(self) -> float:
-        return max((s.makespan() for s in self.schedules.values()), default=0.0)
+_DECENTRALIZED_CONFIG = RuntimeConfig(
+    track_work=True,
+    release_work_on_complete=True,
+    track_flows=True,
+    starved_message="cluster {name!r} finished with {count} jobs queued",
+)
 
 
 class DecentralizedGridSimulator:
@@ -73,7 +53,7 @@ class DecentralizedGridSimulator:
         self,
         grid: LightGrid,
         *,
-        local_policy: Union[str, QueuePolicy] = "backfill",
+        local_policy: Union[PolicySpec, Mapping[str, PolicySpec]] = "backfill",
         allocator: Optional[MoldableAllocator] = None,
         imbalance_threshold: float = 2.0,
         exchange_enabled: bool = True,
@@ -83,16 +63,9 @@ class DecentralizedGridSimulator:
         if imbalance_threshold < 0:
             raise ValueError("imbalance_threshold must be >= 0")
         self.grid = grid
-        if isinstance(local_policy, str):
-            try:
-                policy_cls = QUEUE_POLICIES[local_policy]
-            except KeyError:
-                raise ValueError(
-                    f"unknown queue policy {local_policy!r}; known: {sorted(QUEUE_POLICIES)}"
-                ) from None
-            self._policy_factory = lambda: policy_cls(allocator)
-        else:
-            self._policy_factory = lambda: local_policy
+        self._policies = resolve_cluster_policies(
+            grid, local_policy, allocator, default="backfill"
+        )
         self.imbalance_threshold = imbalance_threshold
         self.exchange_enabled = exchange_enabled
         self.data_volume_per_work_unit = data_volume_per_work_unit
@@ -100,163 +73,58 @@ class DecentralizedGridSimulator:
         self.trace_labels = trace_labels
 
     # -- main entry point --------------------------------------------------------
-    def run(self, submissions: Mapping[str, Sequence[Job]]) -> DecentralizedResult:
+    def run(self, submissions: Mapping[str, Sequence[Job]]) -> SimulationRecord:
         """Run the simulation; ``submissions`` maps cluster name -> local jobs."""
 
         unknown = [name for name in submissions if name not in self.grid.cluster_names]
         if unknown:
             raise ValueError(f"submissions reference unknown clusters: {unknown}")
 
-        sim = Simulator(trace_labels=self.trace_labels)
-        labels = self.trace_labels
-        trace = Trace()
-        pools: Dict[str, ProcessorPool] = {}
-        queues: Dict[str, List[Job]] = {}
-        running_work: Dict[str, float] = {}
-        policies: Dict[str, QueuePolicy] = {}
-        schedules: Dict[str, Schedule] = {}
-        migrations = 0
-        migrated_jobs: List[str] = []
-        flows: Dict[str, float] = {}
-        release_of: Dict[str, float] = {}
-
-        for cluster in self.grid:
-            pools[cluster.name] = ProcessorPool(cluster.processor_count)
-            queues[cluster.name] = []
-            running_work[cluster.name] = 0.0
-            policies[cluster.name] = self._policy_factory()
-            schedules[cluster.name] = Schedule(cluster.processor_count)
-
-        def relative_load(cluster_name: str) -> float:
-            cluster = self.grid.cluster(cluster_name)
-            queued = sum(min_work(j) for j in queues[cluster_name])
-            return (queued + running_work[cluster_name]) / cluster.total_compute_rate
-
-        def try_start(cluster_name: str) -> None:
-            cluster = self.grid.cluster(cluster_name)
-            pool = pools[cluster_name]
-            queue = queues[cluster_name]
-            if not queue:
-                return
-            free = pool.free_count(sim.now)
-            if free == 0:
-                return
-            decisions = policies[cluster_name].select(
-                tuple(queue), free, sim.now, cluster.processor_count
+        nodes = [
+            ClusterNode(
+                cluster.name,
+                cluster.processor_count,
+                policy=self._policies[cluster.name],
+                speed=cluster.machines[0].speed,
+                cluster=cluster,
             )
-            for job, nbproc in decisions:
-                processors = pool.try_acquire(job.name, nbproc, now=sim.now)
-                if processors is None:
-                    continue
-                queue.remove(job)
-                speed = cluster.machines[0].speed
-                runtime = job.runtime(nbproc) / speed
-                running_work[cluster_name] += runtime * nbproc
-                schedules[cluster_name].add(job, sim.now, processors, runtime)
-                trace.record(sim.now, "start", job.name, cluster=cluster_name,
-                             processors=processors)
+            for cluster in self.grid
+        ]
+        exchange = LoadExchangeHook(
+            self.grid,
+            imbalance_threshold=self.imbalance_threshold,
+            enabled=self.exchange_enabled,
+            data_volume_per_work_unit=self.data_volume_per_work_unit,
+        )
+        runtime = SchedulingRuntime(
+            nodes,
+            hooks=[exchange],
+            config=_DECENTRALIZED_CONFIG,
+            trace_labels=self.trace_labels,
+        )
+        horizon = runtime.run(submissions)
 
-                def complete(job=job, cluster_name=cluster_name,
-                             runtime=runtime, nbproc=nbproc) -> None:
-                    pools[cluster_name].release(job.name)
-                    running_work[cluster_name] -= runtime * nbproc
-                    flows[job.name] = sim.now - release_of[job.name]
-                    trace.record(sim.now, "complete", job.name, cluster=cluster_name)
-                    try_start(cluster_name)
-                    maybe_exchange(cluster_name)
-
-                sim.schedule(runtime, complete,
-                             label=f"complete {job.name}" if labels else "")
-
-        def maybe_exchange(cluster_name: str) -> None:
-            nonlocal migrations
-            if not self.exchange_enabled:
-                return
-            queue = queues[cluster_name]
-            if not queue:
-                return
-            my_load = relative_load(cluster_name)
-            others = [c.name for c in self.grid if c.name != cluster_name]
-            if not others:
-                return
-            target = min(others, key=relative_load)
-            target_load = relative_load(target)
-            if my_load - target_load <= self.imbalance_threshold:
-                return
-            # Migrate queued jobs (smallest first) while the imbalance persists.
-            for job in sorted(queue, key=lambda j: (min_work(j), j.name)):
-                my_load = relative_load(cluster_name)
-                target_load = relative_load(target)
-                if my_load - target_load <= self.imbalance_threshold:
-                    break
-                # A job that cannot run on the target cluster stays put.
-                target_procs = self.grid.cluster(target).processor_count
-                if isinstance(job, RigidJob) and job.nbproc > target_procs:
-                    continue
-                if isinstance(job, MoldableJob) and job.min_procs > target_procs:
-                    continue
-                queue.remove(job)
-                migrations += 1
-                migrated_jobs.append(job.name)
-                delay = self.grid.transfer_time(
-                    cluster_name, target, min_work(job) * self.data_volume_per_work_unit
-                )
-                trace.record(sim.now, "migrate", job.name, cluster=cluster_name,
-                             info=f"-> {target}")
-
-                def arrive(job=job, target=target) -> None:
-                    queues[target].append(job)
-                    trace.record(sim.now, "submit", job.name, cluster=target,
-                                 info="migrated")
-                    try_start(target)
-
-                sim.schedule(delay, arrive,
-                             label=f"migrate {job.name}" if labels else "")
-
-        def submit(cluster_name: str, job: Job) -> None:
-            release_of[job.name] = sim.now
-            trace.record(sim.now, "submit", job.name, cluster=cluster_name)
-            queues[cluster_name].append(job)
-            try_start(cluster_name)
-            maybe_exchange(cluster_name)
-
-        for cluster_name, jobs in submissions.items():
-            for job in sorted(jobs, key=lambda j: (j.release_date, j.name)):
-                sim.schedule_at(
-                    job.release_date,
-                    lambda cluster_name=cluster_name, job=job: submit(cluster_name, job),
-                    label=f"submit {job.name}" if labels else "",
-                )
-        sim.run()
-
-        for cluster_name, queue in queues.items():
-            if queue:
-                raise SchedulerError(
-                    f"cluster {cluster_name!r} finished with {len(queue)} jobs queued"
-                )
-
-        criteria = {}
-        merged: Optional[Schedule] = None
-        for cluster in self.grid:
+        criteria: Dict[str, CriteriaReport] = {}
+        for node in nodes:
             # Migrated jobs may start before their *local* release date on the
             # remote schedule clock; validation of release dates is therefore
             # done against the recorded submission times, not job.release_date.
-            schedules[cluster.name].validate(check_release_dates=False)
-            criteria[cluster.name] = CriteriaReport.from_schedule(schedules[cluster.name])
+            node.schedule.validate(check_release_dates=False)
+            criteria[node.name] = CriteriaReport.from_schedule(node.schedule)
 
         # Fairness is computed on the union of the per-cluster schedules on a
         # virtual platform of the full grid size.
         union = Schedule(self.grid.processor_count)
         offset = 0
-        for cluster in self.grid:
-            for entry in schedules[cluster.name]:
+        for node in nodes:
+            for entry in node.schedule:
                 union.add(
                     entry.job,
                     entry.start,
                     [p + offset for p in entry.processors],
                     entry.allocation.runtime,
                 )
-            offset += cluster.processor_count
+            offset += node.machine_count
         fairness = fairness_report(
             union,
             entitled_shares={
@@ -265,17 +133,21 @@ class DecentralizedGridSimulator:
             },
         )
 
-        flow_values = list(flows.values())
+        flow_values = list(runtime.flows.values())
         mean_flow = sum(flow_values) / len(flow_values) if flow_values else 0.0
         max_flow = max(flow_values) if flow_values else 0.0
-        return DecentralizedResult(
-            schedules=schedules,
-            criteria=criteria,
-            migrations=migrations,
-            migrated_jobs=migrated_jobs,
-            horizon=sim.now,
-            trace=trace,
+        return SimulationRecord(
+            mode=MODE_DECENTRALIZED,
+            machine_count=self.grid.processor_count,
+            schedules={node.name: node.schedule for node in nodes},
+            cluster_criteria=criteria,
+            trace=runtime.trace,
+            horizon=horizon,
+            policies={node.name: node.policy.name for node in nodes},
+            migrations=exchange.migrations,
+            migrated_jobs=exchange.migrated_jobs,
             fairness=fairness,
+            flows=dict(runtime.flows),
             mean_flow=mean_flow,
             max_flow=max_flow,
         )

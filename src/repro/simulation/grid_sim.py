@@ -12,120 +12,46 @@ The central server then has to submit it once again.  [...]  Furthermore,
 this ensures that local users of the clusters will not be disturbed by grid
 jobs."
 
-The simulation implements exactly this protocol:
+Since the unified-runtime refactor the simulator is a *configuration* of
+:class:`repro.runtime.lifecycle.SchedulingRuntime`: one node per cluster
+with preemption-aware free counts, plus the
+:class:`repro.runtime.hooks.BestEffortHook` implementing the best-effort
+protocol (fill idle processors, kill + resubmit on local demand).  The
+**non-disturbance invariant** -- local jobs start exactly as if the grid
+jobs did not exist -- is checked by the test-suite by comparing against a
+simulation without grid jobs.
 
-* each cluster runs its local queue policy (FCFS or backfilling) for its own
-  community's jobs;
-* a central :class:`GridServer` holds the multi-parametric bags and keeps the
-  idle processors of every cluster busy with *best-effort runs* (one run =
-  one processor for ``run_time`` time units);
-* when a local job needs processors held by best-effort runs, those runs are
-  killed and their work is resubmitted by the server (kill + resubmit events
-  are recorded in the trace);
-* the **non-disturbance invariant** -- local jobs start exactly as if the
-  grid jobs did not exist -- is checked by the test-suite by comparing
-  against a simulation without grid jobs.
+``local_policy`` accepts a single policy (name or instance, applied to
+every cluster) or a mapping from cluster name to policy, so heterogeneous
+grids can run a different scheduler per cluster.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
-from repro.core.allocation import Schedule
 from repro.core.criteria import CriteriaReport
 from repro.core.job import Job, ParametricSweep
-from repro.core.policies.base import MoldableAllocator, SchedulerError
+from repro.core.policies.base import MoldableAllocator
+from repro.core.policies.registry import (
+    PolicySpec,
+    resolve_cluster_policies,
+)
 from repro.platform.grid import LightGrid
-from repro.simulation.cluster_sim import QUEUE_POLICIES, QueuePolicy
-from repro.simulation.engine import Simulator
-from repro.simulation.resources import ProcessorPool
-from repro.simulation.tracing import Trace
+from repro.runtime.hooks import BestEffortHook
+from repro.runtime.hooks import GridServer  # noqa: F401  (compat re-export)
+from repro.runtime.lifecycle import ClusterNode, RuntimeConfig, SchedulingRuntime
+from repro.runtime.record import MODE_CENTRALIZED, SimulationRecord
 
+#: Unified result model; the historical name is kept as an alias.
+GridSimulationResult = SimulationRecord
 
-@dataclass
-class GridSimulationResult:
-    """Outcome of a centralized grid simulation."""
-
-    #: Per-cluster schedule of the *local* jobs.
-    local_schedules: Dict[str, Schedule]
-    #: Per-cluster criteria report of the local jobs.
-    local_criteria: Dict[str, CriteriaReport]
-    #: Completion time of each multi-parametric bag (None if unfinished).
-    bag_completion: Dict[str, Optional[float]]
-    #: Number of best-effort runs completed per bag.
-    runs_completed: Dict[str, int]
-    #: Number of best-effort kills (total).
-    kills: int
-    #: Number of best-effort runs launched (including resubmissions).
-    launches: int
-    #: Simulation end time.
-    horizon: float
-    #: Full event trace.
-    trace: Trace
-    #: Average utilization per cluster (local + best-effort work).
-    utilization: Dict[str, float]
-
-    @property
-    def total_runs_completed(self) -> int:
-        return sum(self.runs_completed.values())
-
-    def grid_throughput(self) -> float:
-        """Best-effort runs completed per unit of time."""
-
-        if self.horizon <= 0:
-            return 0.0
-        return self.total_runs_completed / self.horizon
-
-
-@dataclass
-class _Run:
-    """One elementary run of a multi-parametric bag."""
-
-    bag: ParametricSweep
-    index: int
-
-    @property
-    def name(self) -> str:
-        return f"{self.bag.name}#{self.index}"
-
-
-class GridServer:
-    """The central server holding the multi-parametric grid jobs."""
-
-    def __init__(self, bags: Sequence[ParametricSweep]) -> None:
-        names = [b.name for b in bags]
-        if len(set(names)) != len(names):
-            raise ValueError("duplicate bag names")
-        self.bags = list(bags)
-        self.pending: List[_Run] = []
-        self.completed: Dict[str, int] = {b.name: 0 for b in bags}
-        self.launches = 0
-        self.kills = 0
-        self.bag_completion: Dict[str, Optional[float]] = {b.name: None for b in bags}
-        for bag in self.bags:
-            for index in range(bag.n_runs):
-                self.pending.append(_Run(bag, index))
-
-    def next_run(self) -> Optional[_Run]:
-        if not self.pending:
-            return None
-        return self.pending.pop(0)
-
-    def resubmit(self, run: _Run) -> None:
-        """A killed run goes back to the head of the queue ("submit it once again")."""
-
-        self.kills += 1
-        self.pending.insert(0, run)
-
-    def complete(self, run: _Run, now: float) -> None:
-        self.completed[run.bag.name] += 1
-        if self.completed[run.bag.name] == run.bag.n_runs:
-            self.bag_completion[run.bag.name] = now
-
-    @property
-    def remaining_runs(self) -> int:
-        return len(self.pending)
+_CENTRALIZED_CONFIG = RuntimeConfig(
+    preempt_best_effort=True,
+    local_info="local",
+    track_work=True,
+    starved_message="cluster {name!r} finished with {count} local jobs queued",
+)
 
 
 class CentralizedGridSimulator:
@@ -135,22 +61,15 @@ class CentralizedGridSimulator:
         self,
         grid: LightGrid,
         *,
-        local_policy: Union[str, QueuePolicy] = "fifo",
+        local_policy: Union[PolicySpec, Mapping[str, PolicySpec]] = "fifo",
         allocator: Optional[MoldableAllocator] = None,
         best_effort_enabled: bool = True,
         trace_labels: bool = False,
     ) -> None:
         self.grid = grid
-        if isinstance(local_policy, str):
-            try:
-                policy_cls = QUEUE_POLICIES[local_policy]
-            except KeyError:
-                raise ValueError(
-                    f"unknown queue policy {local_policy!r}; known: {sorted(QUEUE_POLICIES)}"
-                ) from None
-            self._policy_factory = lambda: policy_cls(allocator)
-        else:
-            self._policy_factory = lambda: local_policy
+        self._policies = resolve_cluster_policies(
+            grid, local_policy, allocator, default="fifo"
+        )
         self.best_effort_enabled = best_effort_enabled
         #: Build per-event label strings (debugging aid; off on the fast path).
         self.trace_labels = trace_labels
@@ -160,7 +79,7 @@ class CentralizedGridSimulator:
         self,
         local_jobs: Mapping[str, Sequence[Job]],
         grid_bags: Sequence[ParametricSweep] = (),
-    ) -> GridSimulationResult:
+    ) -> SimulationRecord:
         """Run the simulation.
 
         Parameters
@@ -176,155 +95,44 @@ class CentralizedGridSimulator:
         if unknown:
             raise ValueError(f"local jobs reference unknown clusters: {unknown}")
 
-        sim = Simulator(trace_labels=self.trace_labels)
-        labels = self.trace_labels
-        trace = Trace()
         server = GridServer(grid_bags if self.best_effort_enabled else [])
+        nodes = [
+            ClusterNode(
+                cluster.name,
+                cluster.processor_count,
+                policy=self._policies[cluster.name],
+                speed=cluster.machines[0].speed,
+                cluster=cluster,
+            )
+            for cluster in self.grid
+        ]
+        runtime = SchedulingRuntime(
+            nodes,
+            hooks=[BestEffortHook(server)],
+            config=_CENTRALIZED_CONFIG,
+            trace_labels=self.trace_labels,
+        )
+        horizon = runtime.run(local_jobs)
 
-        pools: Dict[str, ProcessorPool] = {}
-        queues: Dict[str, List[Job]] = {}
-        policies: Dict[str, QueuePolicy] = {}
-        schedules: Dict[str, Schedule] = {}
-        busy_work: Dict[str, float] = {}
-        for cluster in self.grid:
-            pools[cluster.name] = ProcessorPool(cluster.processor_count)
-            queues[cluster.name] = []
-            policies[cluster.name] = self._policy_factory()
-            schedules[cluster.name] = Schedule(cluster.processor_count)
-            busy_work[cluster.name] = 0.0
+        criteria: Dict[str, CriteriaReport] = {}
+        utilization: Dict[str, float] = {}
+        for node in nodes:
+            node.schedule.validate(check_release_dates=True)
+            criteria[node.name] = CriteriaReport.from_schedule(node.schedule)
+            denom = node.machine_count * horizon
+            utilization[node.name] = node.work / denom if denom > 0 else 0.0
 
-        # ----------------------------------------------------------------- helpers
-        def fill_best_effort(cluster_name: str) -> None:
-            """Give every idle processor of the cluster a best-effort run."""
-
-            if not self.best_effort_enabled:
-                return
-            pool = pools[cluster_name]
-            while pool.free_count(sim.now) > 0:
-                run = server.next_run()
-                if run is None:
-                    return
-                lease_name = f"be:{run.name}"
-                state = {"cancelled": False}
-
-                def on_preempt(_procs, run=run, state=state, cluster_name=cluster_name) -> None:
-                    # Killed by a local job: resubmit and cancel the completion.
-                    state["cancelled"] = True
-                    trace.record(sim.now, "kill", run.name, cluster=cluster_name)
-                    server.resubmit(run)
-                    trace.record(sim.now, "resubmit", run.name, cluster=cluster_name)
-                    # The resubmitted run may find room on another cluster that
-                    # currently has no pending event: wake them all up.
-                    sim.schedule(
-                        0.0,
-                        lambda: [fill_best_effort(c.name) for c in self.grid],
-                        priority=2,
-                        label="refill after kill" if labels else "",
-                    )
-
-                processors = pool.try_acquire(
-                    lease_name, 1, now=sim.now, preemptible=True, on_preempt=on_preempt
-                )
-                if processors is None:
-                    return
-                server.launches += 1
-                trace.record(sim.now, "start", run.name,
-                             cluster=cluster_name, processors=processors, info="best-effort")
-                speed = self.grid.cluster(cluster_name).machines[0].speed
-                duration = run.bag.run_time / speed
-
-                def complete(run=run, lease_name=lease_name, state=state,
-                             cluster_name=cluster_name, duration=duration) -> None:
-                    if state["cancelled"]:
-                        return
-                    pools[cluster_name].release(lease_name)
-                    busy_work[cluster_name] += duration
-                    trace.record(sim.now, "complete", run.name,
-                                 cluster=cluster_name, info="best-effort")
-                    server.complete(run, sim.now)
-                    fill_best_effort(cluster_name)
-
-                sim.schedule(duration, complete,
-                             label=f"complete {run.name}" if labels else "")
-
-        def try_start_local(cluster_name: str) -> None:
-            pool = pools[cluster_name]
-            queue = queues[cluster_name]
-            policy = policies[cluster_name]
-            cluster = self.grid.cluster(cluster_name)
-            if not queue:
-                fill_best_effort(cluster_name)
-                return
-            free_plus_preemptible = pool.free_count(sim.now) + len(pool.preemptible_processors())
-            decisions = policy.select(tuple(queue), free_plus_preemptible, sim.now,
-                                      cluster.processor_count)
-            for job, nbproc in decisions:
-                processors = pool.try_acquire(
-                    job.name, nbproc, now=sim.now, allow_preemption=True
-                )
-                if processors is None:
-                    continue
-                queue.remove(job)
-                speed = cluster.machines[0].speed
-                runtime = job.runtime(nbproc) / speed
-                schedules[cluster_name].add(job, sim.now, processors, runtime)
-                busy_work[cluster_name] += runtime * nbproc
-                trace.record(sim.now, "start", job.name,
-                             cluster=cluster_name, processors=processors, info="local")
-
-                def complete(job=job, cluster_name=cluster_name) -> None:
-                    pools[cluster_name].release(job.name)
-                    trace.record(sim.now, "complete", job.name,
-                                 cluster=cluster_name, info="local")
-                    try_start_local(cluster_name)
-
-                sim.schedule(runtime, complete,
-                             label=f"complete {job.name}" if labels else "")
-            fill_best_effort(cluster_name)
-
-        def submit_local(cluster_name: str, job: Job) -> None:
-            trace.record(sim.now, "submit", job.name, cluster=cluster_name, info="local")
-            queues[cluster_name].append(job)
-            try_start_local(cluster_name)
-
-        # ------------------------------------------------------------- submissions
-        for cluster_name, jobs in local_jobs.items():
-            for job in sorted(jobs, key=lambda j: (j.release_date, j.name)):
-                sim.schedule_at(
-                    job.release_date,
-                    lambda cluster_name=cluster_name, job=job: submit_local(cluster_name, job),
-                    label=f"submit {job.name}" if labels else "",
-                )
-        # Kick off best-effort filling at time 0 on every cluster.
-        for cluster in self.grid:
-            sim.schedule(0.0, lambda name=cluster.name: fill_best_effort(name),
-                         priority=1, label=f"fill {cluster.name}" if labels else "")
-
-        sim.run()
-        horizon = sim.now
-
-        for cluster_name, queue in queues.items():
-            if queue:
-                raise SchedulerError(
-                    f"cluster {cluster_name!r} finished with {len(queue)} local jobs queued"
-                )
-
-        local_criteria = {}
-        utilization = {}
-        for cluster in self.grid:
-            schedules[cluster.name].validate(check_release_dates=True)
-            local_criteria[cluster.name] = CriteriaReport.from_schedule(schedules[cluster.name])
-            denom = cluster.processor_count * horizon
-            utilization[cluster.name] = busy_work[cluster.name] / denom if denom > 0 else 0.0
-
-        return GridSimulationResult(
-            local_schedules=schedules,
-            local_criteria=local_criteria,
+        return SimulationRecord(
+            mode=MODE_CENTRALIZED,
+            machine_count=self.grid.processor_count,
+            schedules={node.name: node.schedule for node in nodes},
+            cluster_criteria=criteria,
+            trace=runtime.trace,
+            horizon=horizon,
+            policies={node.name: node.policy.name for node in nodes},
+            utilization=utilization,
             bag_completion=dict(server.bag_completion),
             runs_completed=dict(server.completed),
             kills=server.kills,
             launches=server.launches,
-            horizon=horizon,
-            trace=trace,
-            utilization=utilization,
         )

@@ -23,6 +23,7 @@ EVENT_KINDS = (
     "release",
     "migrate",
     "reject",
+    "policy-switch",
 )
 
 #: Internal set for O(1) kind validation on the per-event hot path.

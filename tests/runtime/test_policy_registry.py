@@ -1,0 +1,128 @@
+"""Every policy is constructible by name and runs on the unified runtime."""
+
+import pytest
+
+from repro.core.policies import (
+    MoldableAllocator,
+    PlannedPolicy,
+    SchedulingPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+from repro.simulation.cluster_sim import ClusterSimulator
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.models import WorkloadConfig, generate_moldable_jobs
+
+
+def online_workload(n_jobs=10, machines=16, seed=9):
+    jobs = generate_moldable_jobs(
+        n_jobs, machines, config=WorkloadConfig(weight_scheme="work"), random_state=seed
+    )
+    return poisson_arrivals(jobs, rate=1.0, random_state=seed)
+
+
+class TestRegistry:
+    def test_known_names_cover_the_whole_policy_zoo(self):
+        names = policy_names()
+        for expected in (
+            "fifo", "backfill", "smallest-first",           # queue policies
+            "lpt", "spt", "wspt", "list",                   # list scheduling
+            "shelf", "smart-shelves",                       # shelf packing
+            "mrt", "greedy-moldable",                       # moldable makespan
+            "bicriteria", "batch-online", "batch-mrt",      # on-line transforms
+            "conservative-bf", "easy-bf",                   # backfilling
+            "mixed", "reservation-aware",                   # section 5.1
+        ):
+            assert expected in names
+
+    @pytest.mark.parametrize("name", sorted({
+        "fifo", "backfill", "smallest-first", "lpt", "spt", "wspt", "list",
+        "shelf", "smart-shelves", "mrt", "greedy-moldable", "bicriteria",
+        "batch-online", "batch-mrt", "conservative-bf", "easy-bf", "mixed",
+        "reservation-aware",
+    }))
+    def test_every_policy_constructs_and_drives_the_cluster_runtime(self, name):
+        policy = make_policy(name)
+        assert isinstance(policy, SchedulingPolicy)
+        jobs = online_workload()
+        result = ClusterSimulator(16, policy=name).run(jobs)
+        result.schedule.validate()
+        assert len(result.schedule) == len(jobs)
+        assert result.trace.count("complete") == len(jobs)
+
+    def test_registry_is_exhaustive(self):
+        """Every registered name must actually run on the runtime (guards
+        future registrations against silently broken adapters)."""
+
+        jobs = online_workload(6, 8, seed=13)
+        for name in policy_names():
+            result = ClusterSimulator(8, policy=name).run(jobs)
+            assert len(result.schedule) == 6, f"policy {name!r} lost jobs"
+
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("magic")
+        with pytest.raises(ValueError):
+            ClusterSimulator(8, policy="magic")
+
+    def test_instances_pass_through(self):
+        policy = make_policy("fifo")
+        assert make_policy(policy) is policy
+
+    def test_overrides_alongside_an_instance_are_rejected(self):
+        policy = make_policy("fifo")
+        with pytest.raises(ValueError, match="already-constructed"):
+            make_policy(policy, allocator=MoldableAllocator("min_runtime"))
+        with pytest.raises(ValueError, match="already-constructed"):
+            make_policy(policy, strategy="a_priori")
+
+    def test_collisions_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("fifo", lambda **kwargs: None)
+
+    def test_factory_kwargs_forwarded(self):
+        mixed = make_policy("mixed", strategy="a_priori")
+        assert "a_priori" in mixed.scheduler.name
+        ordered = make_policy("list", order="spt")
+        assert ordered.scheduler.name == "list-spt"
+
+    def test_allocator_override(self):
+        policy = make_policy("backfill", allocator=MoldableAllocator("min_runtime"))
+        assert policy.allocator.strategy == "min_runtime"
+
+
+class TestPlannedAdapter:
+    def test_plan_order_is_respected(self):
+        """The planned adapter dispatches in (planned start, name) order."""
+
+        policy = make_policy("wspt")
+        assert isinstance(policy, PlannedPolicy)
+        jobs = online_workload(8, 8, seed=21)
+        result = ClusterSimulator(8, policy=policy).run(jobs)
+        assert len(result.schedule) == 8
+
+    def test_replans_when_the_queue_changes(self):
+        policy = make_policy("lpt")
+        jobs = online_workload(6, 8, seed=22)
+        ClusterSimulator(8, policy=policy).run(jobs)
+        first_plan = dict(policy._plan)
+        assert first_plan  # a plan was built and retained
+
+    def test_reused_simulator_never_applies_a_stale_plan(self):
+        """Same job *names*, different jobs: the second run must re-plan."""
+
+        from repro.core.job import RigidJob
+
+        simulator = ClusterSimulator(8, policy=make_policy("lpt"))
+        first = simulator.run(
+            [RigidJob(name="a", nbproc=4, duration=2.0),
+             RigidJob(name="b", nbproc=4, duration=1.0)]
+        )
+        assert first.schedule["a"].nbproc == 4
+        second = simulator.run(
+            [RigidJob(name="a", nbproc=1, duration=5.0),
+             RigidJob(name="b", nbproc=2, duration=1.0)]
+        )
+        assert second.schedule["a"].nbproc == 1
+        assert second.schedule["b"].nbproc == 2

@@ -6,13 +6,12 @@ from hypothesis import strategies as st
 
 from repro.core.job import RigidJob
 from repro.core.policies.backfilling import ConservativeBackfilling
-from repro.simulation.cluster_sim import (
-    QUEUE_POLICIES,
-    ClusterSimulator,
-    compare_policies,
-)
+from repro.simulation.cluster_sim import ClusterSimulator, compare_policies
 from repro.workload.arrivals import poisson_arrivals
 from repro.workload.models import generate_moldable_jobs, generate_rigid_jobs
+
+#: The basic queue policies (historically cluster_sim.QUEUE_POLICIES).
+QUEUE_POLICIES = ("fifo", "backfill", "smallest-first")
 
 
 class TestClusterSimulator:
