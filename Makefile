@@ -13,8 +13,12 @@
 #                              behavior changes only)
 #   make scenarios             list the registered scenarios
 #   make scenario-smoke        smoke-run every registered scenario (CI job)
-#   make distributed-smoke     same smoke tier through the socket scheduler
+#   make distributed-smoke     same smoke tier through the tcp:// scheduler
 #                              with 2 local workers (mirrors the CI job)
+#   make distributed-smoke-inproc   same smoke tier over inproc:// comms
+#                              (coroutine fleet, no sockets or forks)
+#   make distributed-stress    stealing/speculation stress smoke: 32-worker
+#                              inproc fleet, 1s speculation delay
 #   make lint                  ruff check (byte-compilation fallback)
 #   make ci                    lint + test + scenario smoke + warn-only perf
 #                              compare (mirrors CI)
@@ -28,7 +32,7 @@ BASELINE ?= benchmarks/baselines/quick.json
 
 BENCH_ENV = $(if $(JOBS),REPRO_JOBS=$(JOBS)) $(if $(CACHE),REPRO_CACHE_DIR=$(CACHE))
 
-.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke lint ci clean runtime-check runtime-goldens
+.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke distributed-smoke-inproc distributed-stress lint ci clean runtime-check runtime-goldens
 
 # Port the distributed smoke tier binds its campaign schedulers on.
 DIST_PORT ?= 7641
@@ -69,7 +73,7 @@ scenarios:
 scenario-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.scenarios run --all --smoke
 
-# The same smoke tier scheduled over the socket-based distributed runtime:
+# The same smoke tier scheduled over the tcp:// distributed runtime:
 # two long-lived local workers serve every campaign in turn (they retry
 # until each per-scenario scheduler binds, and self-reap via --max-idle
 # once the run is over). Mirrors the CI distributed-smoke job; digests
@@ -80,6 +84,21 @@ distributed-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.scenarios run --all --smoke \
 		--executor tcp://127.0.0.1:$(DIST_PORT); \
 	STATUS=$$?; wait; exit $$STATUS
+
+# The same smoke tier over inproc:// comms: the scheduler and a coroutine
+# worker fleet share one process and event loop -- no sockets, no forks --
+# but the frames, scheduling (stealing + speculation) and digests are the
+# same.  Mirrors the CI distributed-smoke inproc matrix leg.
+distributed-smoke-inproc:
+	PYTHONPATH=src $(PYTHON) -m repro.scenarios run --all --smoke \
+		--executor inproc://
+
+# Stress leg: a 32-worker inproc fleet with an aggressive 1s speculation
+# delay, so stealing AND speculative re-execution actually fire while the
+# digests are checked (mirrors the CI distributed-stress job).
+distributed-stress:
+	PYTHONPATH=src $(PYTHON) -m repro.distributed run --all --smoke \
+		--comm inproc --workers 32 --speculation-delay 1
 
 # ruff when available (the CI lint job installs it); plain byte-compilation
 # otherwise so the target always catches syntax errors.

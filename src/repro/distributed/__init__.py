@@ -1,14 +1,24 @@
-"""Distributed campaign runner: scheduler/worker runtime over TCP sockets.
+"""Distributed campaign runner: an asyncio scheduler over pluggable comms.
 
 The single-host sweep engine (``REPRO_JOBS=N`` process pools) tops out at
 one machine; this package is the execution layer that outgrows it.  A
-central :class:`~repro.distributed.scheduler.Scheduler` owns the cell queue
-of one *campaign* (a sweep routed through the harness) and speaks a
-length-prefixed JSON-over-TCP protocol
-(:mod:`repro.distributed.protocol`) to any number of
-:class:`~repro.distributed.worker.Worker` processes -- on the same host or
-across a cluster -- which register, heartbeat, pull cells and stream
-outcomes back.  Fault tolerance is retry-based (dead workers' in-flight
+central :class:`~repro.distributed.scheduler.Scheduler` -- a single-event-
+loop asyncio state machine -- owns the cell queue of one *campaign* (a
+sweep routed through the harness) and serves it to any number of
+:class:`~repro.distributed.worker.Worker` s, which register, heartbeat,
+pull cells and stream outcomes back.  The messages are length-prefixed JSON
+frames (:mod:`repro.distributed.protocol`) carried over a pluggable comm
+layer (:mod:`repro.distributed.comm`): ``tcp://`` sockets for real fleets
+on one host or across a cluster, ``inproc://`` channels for socketless
+in-process fleets -- a thousand simulated workers in one process.
+
+Scheduling is pull-based with prefetch leases, plus **work stealing** (idle
+workers steal the queued tail of loaded workers' leases) and **speculative
+re-execution** (straggler cells are duplicated onto idle workers; the first
+result wins and the losers are cancelled).  Both ride on the runtime's
+duplicate-result idempotence -- results are keyed by position and every
+cell carries its own deterministic seed -- so they change the wall clock,
+never the rows.  Fault tolerance is retry-based (dead workers' in-flight
 cells are requeued under a bounded budget) and campaigns are resumable
 through an append-only JSONL journal
 (:class:`~repro.distributed.campaign.CampaignJournal`).
@@ -18,16 +28,27 @@ The public entry points:
 * :class:`~repro.distributed.executor.DistributedExecutor` plugs the
   runtime into the ordinary ``Executor`` interface, so any sweep, scenario
   or bench case runs distributed unchanged and bit-identically (selected by
-  ``REPRO_JOBS=tcp://host:port``, ``executor="distributed"``, or
-  explicitly);
+  ``REPRO_JOBS=tcp://host:port``, ``REPRO_JOBS=inproc://``,
+  ``executor="distributed"``, or explicitly);
 * ``python -m repro.distributed`` drives it from the command line
   (``scheduler`` / ``worker`` / ``run`` -- see :mod:`repro.distributed.cli`).
 """
 
 from repro.distributed.campaign import CampaignJournal
+from repro.distributed.comm import (
+    Backend,
+    Comm,
+    CommClosedError,
+    CommError,
+    Listener,
+    UnknownSchemeError,
+    register_backend,
+    registered_schemes,
+)
 from repro.distributed.executor import (
     DistributedExecutor,
     executor_from_address,
+    inproc_fleet,
     local_mini_cluster,
 )
 from repro.distributed.protocol import (
@@ -37,20 +58,30 @@ from repro.distributed.protocol import (
     parse_address,
 )
 from repro.distributed.scheduler import CampaignStalled, Scheduler, SchedulerStats
-from repro.distributed.worker import Worker, run_worker
+from repro.distributed.worker import AsyncWorker, Worker, run_worker
 
 __all__ = [
+    "AsyncWorker",
+    "Backend",
     "CampaignJournal",
     "CampaignStalled",
+    "Comm",
+    "CommClosedError",
+    "CommError",
     "ConnectionClosed",
     "DistributedExecutor",
+    "Listener",
     "ProtocolError",
     "Scheduler",
     "SchedulerStats",
+    "UnknownSchemeError",
     "Worker",
     "executor_from_address",
     "format_address",
+    "inproc_fleet",
     "local_mini_cluster",
     "parse_address",
+    "register_backend",
+    "registered_schemes",
     "run_worker",
 ]

@@ -11,14 +11,24 @@
     # self-contained local mini-cluster: scheduler + N forked workers
     python -m repro.distributed run fig2.bicriteria --workers 4 --smoke
 
+    # same campaign, no sockets or forks: an in-process coroutine fleet
+    python -m repro.distributed run fig2.bicriteria --comm inproc --workers 32 --smoke
+
     # resume a killed campaign: only incomplete cells re-execute
     python -m repro.distributed run grid.ciment --workers 4 --journal ciment.jsonl
 
+Addresses are scheme-prefixed comm addresses (``tcp://HOST:PORT``,
+``inproc://NAME``; see :mod:`repro.distributed.comm`), and the scheduling
+knobs of the runtime -- prefetch leases, work stealing, speculative
+re-execution -- are exposed as flags on ``scheduler`` and ``run``.
+
 ``scheduler`` and ``run`` accept the same scenario selection as
 ``python -m repro.scenarios run`` (names or ``--all`` [``--tag``]) and print
-the same ok/FAIL summary lines; exit codes are 0 on success, 1 when a
-scenario fails, 2 on usage errors.  The scenarios CLI reaches the same
-runtime through ``python -m repro.scenarios run --executor tcp://...``.
+the same ok/FAIL summary lines plus a scheduler-stats line (steals,
+speculations, retries...); exit codes are 0 on success, 1 when a scenario
+fails, 2 on usage errors.  The scenarios CLI reaches the same runtime
+through ``python -m repro.scenarios run --executor tcp://...`` (or
+``--executor inproc://``).
 """
 
 from __future__ import annotations
@@ -72,23 +82,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="write a JSON summary (per-scenario rows/digest/elapsed) to this file",
     )
+    common.add_argument(
+        "--prefetch", type=int, default=2, metavar="N",
+        help="assignments per task reply; extras form the worker's stealable "
+             "lease (default: 2)",
+    )
+    common.add_argument(
+        "--no-steal", action="store_true",
+        help="disable work stealing from loaded workers' leases",
+    )
+    common.add_argument(
+        "--no-speculate", action="store_true",
+        help="disable speculative re-execution of straggler cells",
+    )
+    common.add_argument(
+        "--speculation-delay", type=float, default=5.0, metavar="SECONDS",
+        help="minimum age of a running cell before it is duplicated onto an "
+             "idle worker (default: 5)",
+    )
 
     scheduler = sub.add_parser(
         "scheduler", parents=[common],
         help="run scenarios as the scheduler, served by external workers",
     )
     scheduler.add_argument(
-        "--bind", default="tcp://0.0.0.0:8765", metavar="tcp://HOST:PORT",
-        help="address to bind the campaign scheduler on (default: tcp://0.0.0.0:8765)",
+        "--bind", default="tcp://0.0.0.0:8765", metavar="ADDRESS",
+        help="comm address to bind the campaign scheduler on "
+             "(default: tcp://0.0.0.0:8765)",
     )
 
     run = sub.add_parser(
         "run", parents=[common],
-        help="run scenarios on a self-spawned local mini-cluster",
+        help="run scenarios on a self-spawned local fleet",
     )
     run.add_argument(
         "--workers", type=int, default=2, metavar="N",
-        help="local worker processes to spawn (default: 2)",
+        help="local workers to spawn (default: 2)",
+    )
+    run.add_argument(
+        "--comm", choices=("tcp", "inproc"), default="tcp",
+        help="comm backend for the self-contained fleet: 'tcp' forks worker "
+             "processes on a loopback port, 'inproc' raises coroutine "
+             "workers in this process (default: tcp)",
     )
     return parser
 
@@ -123,23 +158,36 @@ def _run_scenarios(args: argparse.Namespace, executor: DistributedExecutor) -> i
             print("no scenarios matched", file=sys.stderr)
         return 2
     print(f"scheduling onto {executor!r}")
-    return run_specs(
+    code = run_specs(
         specs,
         smoke=args.smoke,
         executor=executor,
         output=args.output,
         schema="repro.distributed/1",
     )
+    counters = {k: v for k, v in executor.stats.as_dict().items() if v}
+    if counters:
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        print(f"scheduler stats: {summary}", file=sys.stderr)
+    return code
+
+
+def _scheduling_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "journal": args.journal,
+        "max_retries": args.max_retries,
+        "stall_timeout": args.stall_timeout,
+        "prefetch": args.prefetch,
+        "steal": not args.no_steal,
+        "speculate": not args.no_speculate,
+        "speculation_delay": args.speculation_delay,
+    }
 
 
 def _cmd_scheduler(args: argparse.Namespace) -> int:
     try:
         executor = DistributedExecutor(
-            args.bind,
-            workers=0,
-            journal=args.journal,
-            max_retries=args.max_retries,
-            stall_timeout=args.stall_timeout,
+            args.bind, workers=0, **_scheduling_kwargs(args)
         )
     except ValueError as error:
         print(error, file=sys.stderr)
@@ -152,13 +200,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("run needs --workers >= 1 (use the scheduler command for "
               "externally managed workers)", file=sys.stderr)
         return 2
-    executor = DistributedExecutor(
-        "tcp://127.0.0.1:0",
-        workers=args.workers,
-        journal=args.journal,
-        max_retries=args.max_retries,
-        stall_timeout=args.stall_timeout,
-    )
+    address = "inproc://" if args.comm == "inproc" else "tcp://127.0.0.1:0"
+    try:
+        executor = DistributedExecutor(
+            address, workers=args.workers, **_scheduling_kwargs(args)
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     return _run_scenarios(args, executor)
 
 

@@ -1,0 +1,43 @@
+"""Pluggable communication backends for the distributed runtime.
+
+``tcp://HOST:PORT`` (asyncio sockets, PR-4 wire format) and
+``inproc://NAME`` (in-process channels, no sockets) ship built in; new
+backends subclass :class:`~repro.distributed.comm.core.Backend` and call
+:func:`~repro.distributed.comm.core.register_backend`.  See
+:mod:`repro.distributed.comm.core` for the interfaces and the registry.
+"""
+
+from repro.distributed.comm.core import (
+    Backend,
+    Comm,
+    CommClosedError,
+    CommError,
+    ConnectionHandler,
+    Listener,
+    UnknownSchemeError,
+    connect,
+    get_backend,
+    listener,
+    register_backend,
+    registered_schemes,
+    split_address,
+    validate_address,
+)
+from repro.distributed.comm import inproc, tcp  # noqa: F401  (self-registering)
+
+__all__ = [
+    "Backend",
+    "Comm",
+    "CommClosedError",
+    "CommError",
+    "ConnectionHandler",
+    "Listener",
+    "UnknownSchemeError",
+    "connect",
+    "get_backend",
+    "listener",
+    "register_backend",
+    "registered_schemes",
+    "split_address",
+    "validate_address",
+]

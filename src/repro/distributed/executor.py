@@ -1,4 +1,4 @@
-"""``DistributedExecutor``: the socket runtime behind the ``Executor`` interface.
+"""``DistributedExecutor``: the distributed runtime behind the ``Executor`` interface.
 
 This is the piece that lets every existing sweep, scenario and bench case
 run distributed *unchanged*: :func:`repro.experiments.harness.run_experiment`
@@ -7,21 +7,32 @@ gets outcomes streamed back in submission order -- exactly the contract the
 serial and process-pool backends satisfy, so distributed rows are
 bit-identical to :class:`~repro.experiments.executors.SerialExecutor` rows.
 
-Selection (see :func:`repro.experiments.executors.resolve_executor`):
+The executor is comm-backend agnostic (see :mod:`repro.distributed.comm`);
+selection goes through :func:`repro.experiments.executors.resolve_executor`:
 
 * ``REPRO_JOBS=tcp://host:port`` / ``executor="tcp://host:port"`` -- bind
   the scheduler at that address and wait for externally started workers
   (``python -m repro.distributed worker tcp://host:port``);
 * ``executor="distributed"`` -- bind an ephemeral loopback port and
-  self-spawn a local mini-cluster of one worker per CPU.
+  self-spawn a local mini-cluster of one forked worker process per CPU;
+* ``REPRO_JOBS=inproc://`` / ``executor="inproc://..."`` -- no sockets, no
+  processes: the scheduler and a fleet of coroutine workers share one event
+  loop in this process.  Same scheduler, same wire frames (round-tripped
+  through the frame codec), same ordered bit-identical rows -- which is what
+  makes it an honest backend for tests that want a thousand workers.
 
 Each ``map`` call runs one campaign: start a
-:class:`~repro.distributed.scheduler.Scheduler`, optionally fork local
-worker processes (a babysitter thread respawns any that die, so a SIGKILLed
-worker costs a retry, not the sweep), stream the ordered outcomes, then
-tear everything down.  With ``journal=`` (or ``REPRO_JOURNAL=``) pointing
-at a JSONL file, completed cells are journaled as they finish and a
-restarted campaign re-executes only the incomplete ones.
+:class:`~repro.distributed.scheduler.Scheduler` (work stealing and
+speculative re-execution are **on** by default here, with a prefetch of 2 to
+give stealing a backlog to feed on), raise the local fleet -- forked
+processes for ``tcp://``, event-loop coroutines for ``inproc://``, either
+babysat so a dead worker costs a retry, not the sweep -- stream the ordered
+outcomes, then tear everything down.  With ``journal=`` (or
+``REPRO_JOURNAL=``) pointing at a JSONL file, completed cells are journaled
+as they finish and a restarted campaign re-executes only the incomplete
+ones.  After each campaign the scheduler's counters are published on
+:attr:`last_stats` (and accumulated on :attr:`stats`) so callers and the CLI
+can report steals, speculations and retries.
 """
 
 from __future__ import annotations
@@ -31,9 +42,9 @@ import os
 import threading
 from typing import Callable, Iterator, List, Optional, Sequence, Union
 
-from repro.distributed import protocol
 from repro.distributed.campaign import CampaignJournal
-from repro.distributed.scheduler import Scheduler
+from repro.distributed.comm import core as comm_core
+from repro.distributed.scheduler import Scheduler, SchedulerStats
 from repro.distributed.worker import run_worker
 from repro.experiments.executors import Executor, cpu_count
 from repro.experiments.grid import Cell, CellOutcome
@@ -46,17 +57,23 @@ JOURNAL_ENV_VAR = "REPRO_JOURNAL"
 #: the per-cell retry budget, not fork-bomb the host.
 MAX_RESPAWNS_PER_WORKER = 8
 
+#: How long a self-spawned worker lingers without work before exiting.
+WORKER_MAX_IDLE = 30.0
+
 
 class DistributedExecutor(Executor):
-    """Run cells on socket-connected workers behind a campaign scheduler.
+    """Run cells on comm-connected workers behind a campaign scheduler.
 
     Parameters
     ----------
     address:
-        ``tcp://host:port`` the per-campaign scheduler binds; the default
-        picks an ephemeral loopback port (self-contained mini-cluster).
+        Comm address the per-campaign scheduler binds: ``tcp://host:port``
+        (port 0 = ephemeral) for socket fleets, ``inproc://name`` (empty
+        name = fresh token) for an in-process fleet.  The default picks an
+        ephemeral loopback port (self-contained mini-cluster).
     workers:
-        Local worker processes to self-spawn per campaign.  ``0`` spawns
+        Local workers to self-spawn per campaign -- forked processes for
+        ``tcp://``, event-loop coroutines for ``inproc://``.  ``0`` spawns
         none and relies on external workers connecting to ``address``.
     journal:
         Campaign journal path or :class:`CampaignJournal`; defaults to the
@@ -66,10 +83,17 @@ class DistributedExecutor(Executor):
     stall_timeout:
         Abort the campaign when no worker has been connected for this long
         (``None`` waits forever -- sensible only for interactive use).
+    prefetch / steal / speculate / speculation_delay / max_speculative:
+        Scheduling knobs, forwarded to the :class:`Scheduler`.  Unlike the
+        raw scheduler's conservative pull-of-one default, the executor
+        defaults to ``prefetch=2`` with stealing and speculation enabled:
+        outcomes are keyed by position and each cell carries its own seed,
+        so these change the wall clock, never the rows.
     start_method:
-        ``multiprocessing`` start method for self-spawned workers.  ``None``
-        prefers ``fork`` where available, keeping cell functions defined in
-        non-importable modules (pytest test files) picklable by reference.
+        ``multiprocessing`` start method for self-spawned ``tcp://``
+        workers.  ``None`` prefers ``fork`` where available, keeping cell
+        functions defined in non-importable modules (pytest test files)
+        picklable by reference.
     """
 
     name = "distributed"
@@ -84,12 +108,20 @@ class DistributedExecutor(Executor):
         heartbeat_timeout: float = 10.0,
         max_retries: int = 3,
         stall_timeout: Optional[float] = 120.0,
+        prefetch: int = 2,
+        steal: bool = True,
+        speculate: bool = True,
+        speculation_delay: float = 5.0,
+        max_speculative: int = 1,
         start_method: Optional[str] = None,
     ) -> None:
-        protocol.parse_address(address)  # fail early, with the friendly message
+        comm_core.validate_address(address)  # fail early, with the friendly message
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if prefetch < 1:
+            raise ValueError("prefetch must be >= 1")
         self.address = address
+        self.scheme = comm_core.split_address(address)[0]
         self.workers = workers
         if journal is None:
             journal = os.environ.get(JOURNAL_ENV_VAR, "").strip() or None
@@ -98,13 +130,23 @@ class DistributedExecutor(Executor):
         self.heartbeat_timeout = heartbeat_timeout
         self.max_retries = max_retries
         self.stall_timeout = stall_timeout
+        self.prefetch = prefetch
+        self.steal = steal
+        self.speculate = speculate
+        self.speculation_delay = speculation_delay
+        self.max_speculative = max_speculative
         self.start_method = start_method
+        #: Counters of the most recently finished campaign, and their
+        #: accumulation across every campaign this executor ran.
+        self.last_stats: Optional[SchedulerStats] = None
+        self.stats = SchedulerStats()
         #: The live scheduler / spawned worker processes of the campaign
         #: currently streaming through :meth:`map` (exposed for tests and
         #: fault-injection: killing ``processes[i]`` exercises the retry
         #: path of a real worker loss).
         self.scheduler: Optional[Scheduler] = None
         self.processes: List[multiprocessing.process.BaseProcess] = []
+        self._local_workers: List[object] = []  # futures of inproc coroutines
 
     def __repr__(self) -> str:
         return f"DistributedExecutor(address={self.address!r}, workers={self.workers})"
@@ -126,6 +168,11 @@ class DistributedExecutor(Executor):
                 max_retries=self.max_retries,
                 journal=self.journal,
                 stall_timeout=self.stall_timeout,
+                prefetch=self.prefetch,
+                steal=self.steal,
+                speculate=self.speculate,
+                speculation_delay=self.speculation_delay,
+                max_speculative=self.max_speculative,
             )
             scheduler.start()
             self.scheduler = scheduler
@@ -133,23 +180,40 @@ class DistributedExecutor(Executor):
             babysitter: Optional[threading.Thread] = None
             try:
                 if self.workers:
-                    context = self._context()
                     count = min(self.workers, len(cells))
-                    self.processes = [
-                        self._spawn(context, scheduler.address) for _ in range(count)
-                    ]
-                    babysitter = threading.Thread(
-                        target=self._respawn_loop,
-                        args=(context, scheduler.address, stop),
-                        name="repro-distributed-babysitter",
-                        daemon=True,
-                    )
+                    if self.scheme == "inproc":
+                        self._local_workers = [
+                            scheduler.spawn_local_worker(max_idle=WORKER_MAX_IDLE)
+                            for _ in range(count)
+                        ]
+                        babysitter = threading.Thread(
+                            target=self._respawn_local_loop,
+                            args=(scheduler, stop),
+                            name="repro-distributed-babysitter",
+                            daemon=True,
+                        )
+                    else:
+                        context = self._context()
+                        self.processes = [
+                            self._spawn(context, scheduler.address) for _ in range(count)
+                        ]
+                        babysitter = threading.Thread(
+                            target=self._respawn_loop,
+                            args=(context, scheduler.address, stop),
+                            name="repro-distributed-babysitter",
+                            daemon=True,
+                        )
                     babysitter.start()
                 yield from scheduler.run_campaign(fn, cells)
             finally:
                 stop.set()
                 if babysitter is not None:
                     babysitter.join(timeout=2.0)
+                self.last_stats = scheduler.stats
+                self.stats.add(scheduler.stats)
+                for future in self._local_workers:
+                    future.cancel()  # type: ignore[attr-defined]
+                self._local_workers = []
                 scheduler.close()
                 for process in self.processes:
                     process.terminate()
@@ -160,7 +224,7 @@ class DistributedExecutor(Executor):
 
         return stream()
 
-    # -- local mini-cluster -------------------------------------------------
+    # -- local mini-cluster (tcp://: forked processes) ----------------------
 
     def _context(self) -> multiprocessing.context.BaseContext:
         method = self.start_method
@@ -175,7 +239,7 @@ class DistributedExecutor(Executor):
         process = context.Process(
             target=run_worker,
             args=(address,),
-            kwargs={"max_idle": 30.0},
+            kwargs={"max_idle": WORKER_MAX_IDLE},
             daemon=True,
         )
         process.start()
@@ -187,7 +251,7 @@ class DistributedExecutor(Executor):
         address: str,
         stop: threading.Event,
     ) -> None:
-        """Replace dead local workers while the campaign is still running."""
+        """Replace dead local worker processes while the campaign runs."""
 
         budget = MAX_RESPAWNS_PER_WORKER * max(len(self.processes), 1)
         while not stop.wait(0.1):
@@ -197,6 +261,25 @@ class DistributedExecutor(Executor):
                 if not process.is_alive():
                     process.join(timeout=0.1)
                     self.processes[slot] = self._spawn(context, address)
+                    budget -= 1
+
+    # -- local fleet (inproc://: coroutines on the scheduler's loop) --------
+
+    def _respawn_local_loop(self, scheduler: Scheduler, stop: threading.Event) -> None:
+        """Replace dead in-process workers while the campaign runs."""
+
+        budget = MAX_RESPAWNS_PER_WORKER * max(len(self._local_workers), 1)
+        while not stop.wait(0.1):
+            for slot, future in enumerate(self._local_workers):
+                if stop.is_set() or budget <= 0:
+                    return
+                if future.done():  # type: ignore[attr-defined]
+                    try:
+                        self._local_workers[slot] = scheduler.spawn_local_worker(
+                            max_idle=WORKER_MAX_IDLE
+                        )
+                    except RuntimeError:
+                        return  # scheduler shut down under us
                     budget -= 1
 
 
@@ -216,6 +299,22 @@ def local_mini_cluster(
 
     return DistributedExecutor(
         "tcp://127.0.0.1:0",
+        workers=workers if workers is not None else cpu_count(),
+        journal=journal,
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+def inproc_fleet(
+    workers: Optional[int] = None,
+    *,
+    journal: Union[None, str, CampaignJournal] = None,
+    **kwargs: object,
+) -> DistributedExecutor:
+    """A socketless in-process scheduler + ``workers`` coroutine workers."""
+
+    return DistributedExecutor(
+        "inproc://",
         workers=workers if workers is not None else cpu_count(),
         journal=journal,
         **kwargs,  # type: ignore[arg-type]

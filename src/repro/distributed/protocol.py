@@ -1,4 +1,4 @@
-"""Length-prefixed JSON-over-TCP framing for the distributed runtime.
+"""Length-prefixed JSON framing and payload encoding for the distributed runtime.
 
 Every message on the wire is one *frame*: a 4-byte big-endian length header
 followed by that many bytes of UTF-8 JSON encoding a single object with an
@@ -9,6 +9,14 @@ instances and :class:`~repro.experiments.grid.CellOutcome` results -- are
 pickled and base64-embedded via :func:`encode_payload` /
 :func:`decode_payload`.
 
+This module owns the *format* only; transport lives in the pluggable comm
+layer (:mod:`repro.distributed.comm`): the ``tcp://`` backend frames
+asyncio streams with these helpers, the ``inproc://`` backend reuses the
+same envelope checks without sockets, and the synchronous
+:func:`send_message` / :func:`recv_message` pair remains for plain-socket
+peers (tests drive the scheduler through raw sockets to prove the wire
+format did not drift).
+
 Message vocabulary (all envelopes carry ``"op"``):
 
 =============  =========  ==================================================
@@ -16,64 +24,110 @@ op             direction  meaning
 =============  =========  ==================================================
 ``hello``      w -> s     register; carries ``worker`` (the worker's id)
 ``welcome``    s -> w     registration ack; carries ``heartbeat_interval``
-``request``    w -> s     pull one cell (also refreshes the heartbeat)
+``request``    w -> s     pull work (also refreshes the heartbeat)
 ``task``       s -> w     a cell assignment: ``campaign``, ``index``,
-                          ``cell`` payload, plus ``fn`` payload the first
-                          time this connection sees the campaign
+                          ``attempt``, ``cell`` payload, optional ``extra``
+                          prefetched assignments, plus ``fn`` payload the
+                          first time this connection sees the campaign
 ``idle``       s -> w     no work right now; retry after ``delay`` seconds
 ``result``     w -> s     a finished cell: ``campaign``, ``index``,
-                          ``outcome`` payload (no ack)
+                          ``attempt``, ``outcome`` payload (no ack)
 ``heartbeat``  w -> s     I-am-alive while executing a long cell (no ack)
+``revoke``     s -> w     give still-queued assignments ``indices`` of
+                          ``campaign`` back (an idle worker wants to steal)
+``revoked``    w -> s     steal confirmation: ``indices`` were still queued
+                          and dropped, ``kept`` had already started
+``cancel``     s -> w     assignment (``index``, ``attempt``) lost the
+                          speculative race; skip it / don't bother replying
 ``bye``        w -> s     orderly disconnect
 =============  =========  ==================================================
 
-The scheduler only ever writes in response to a message, so a worker
-connection needs no reader thread; the worker serialises its own writes
-(main loop + heartbeat thread) behind a lock.
+The frame-size guard defaults to 64 MB and is configurable through the
+``REPRO_MAX_FRAME`` environment variable (bytes); oversized frames are
+rejected with the actual size and the active limit in the message.
 """
 
 from __future__ import annotations
 
 import base64
 import json
+import os
 import pickle
 import socket
 import struct
 from typing import Any, Dict, Mapping, Tuple
 
-#: Upper bound on a single frame; anything larger is treated as stream
-#: corruption rather than a legitimate message.
+from repro.distributed.comm.core import (
+    CommClosedError,
+    CommError,
+    get_backend,
+    split_address,
+)
+
+#: Default upper bound on a single frame; anything larger is treated as
+#: stream corruption rather than a legitimate message.  Override through
+#: :data:`MAX_FRAME_ENV_VAR`.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Environment variable overriding the frame limit (integer, bytes).
+MAX_FRAME_ENV_VAR = "REPRO_MAX_FRAME"
 
 _HEADER = struct.Struct(">I")
 
-#: The only address scheme the runtime speaks.
+#: The scheme of the socket transport (kept for back-compat; the comm
+#: registry in :mod:`repro.distributed.comm.core` is the source of truth).
 SCHEME = "tcp"
 
 
-class ProtocolError(RuntimeError):
+class ProtocolError(CommError):
     """The byte stream does not follow the framing protocol."""
 
 
-class ConnectionClosed(ProtocolError):
+class ConnectionClosed(ProtocolError, CommClosedError):
     """The peer closed the connection (cleanly or not) mid-conversation."""
 
 
-def parse_address(address: str) -> Tuple[str, int]:
-    """Split ``tcp://host:port`` into ``(host, port)``.
+def max_frame_bytes() -> int:
+    """The active frame limit: ``REPRO_MAX_FRAME`` or the 64 MB default."""
 
-    Raises :class:`ValueError` with an actionable message on any other
-    shape, so executor-spec and CLI errors stay friendly.
+    raw = os.environ.get(MAX_FRAME_ENV_VAR, "").strip()
+    if not raw:
+        return MAX_FRAME_BYTES
+    try:
+        limit = int(raw)
+    except ValueError:
+        raise ProtocolError(
+            f"{MAX_FRAME_ENV_VAR}={raw!r} is not an integer byte count"
+        ) from None
+    if limit <= 0:
+        raise ProtocolError(f"{MAX_FRAME_ENV_VAR}={raw!r} must be a positive byte count")
+    return limit
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split a ``tcp://HOST:PORT`` address into ``(host, port)``.
+
+    Scheme-aware: an address with an unregistered scheme fails naming the
+    registered ones, and a registered-but-non-tcp address (``inproc://``)
+    explains that this API needs a socket address.  Raises
+    :class:`ValueError` in both cases, so executor-spec and CLI errors stay
+    friendly.
     """
 
-    text = str(address).strip()
-    scheme, sep, rest = text.partition("://")
-    if not sep or scheme.lower() != SCHEME:
+    scheme, location = split_address(address)
+    get_backend(scheme)  # unknown scheme -> UnknownSchemeError naming the menu
+    if scheme != SCHEME:
         raise ValueError(
-            f"unsupported address {address!r}: expected 'tcp://HOST:PORT' "
-            f"(e.g. tcp://127.0.0.1:8765)"
+            f"address {address!r} uses the {scheme}:// scheme, but this API "
+            f"needs a socket address of the form tcp://HOST:PORT"
         )
-    host, sep, port_text = rest.rpartition(":")
+    return parse_host_port(location, address)
+
+
+def parse_host_port(location: str, address: str) -> Tuple[str, int]:
+    """Split ``HOST:PORT`` (the location part of a tcp address)."""
+
+    host, sep, port_text = location.rpartition(":")
     if not sep or not host:
         raise ValueError(
             f"bad address {address!r}: expected 'tcp://HOST:PORT' with an "
@@ -94,12 +148,65 @@ def format_address(host: str, port: int) -> str:
     return f"{SCHEME}://{host}:{port}"
 
 
+# -- frame encoding (shared by the sync socket path and the comm backends) ---
+
+
+def dump_frame(message: Mapping[str, Any]) -> bytes:
+    """Serialise one envelope to JSON bytes, enforcing the frame limit."""
+
+    blob = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    limit = max_frame_bytes()
+    if len(blob) > limit:
+        raise ProtocolError(
+            f"message of {len(blob):,} bytes exceeds the {limit:,}-byte frame "
+            f"limit (set {MAX_FRAME_ENV_VAR} to raise it)"
+        )
+    return blob
+
+
+def check_frame_length(length: int) -> None:
+    """Reject an inbound frame header that exceeds the active limit."""
+
+    limit = max_frame_bytes()
+    if length > limit:
+        raise ProtocolError(
+            f"frame of {length:,} bytes exceeds the {limit:,}-byte limit "
+            f"(corrupt stream? set {MAX_FRAME_ENV_VAR} to raise the limit)"
+        )
+
+
+def load_frame(blob: bytes) -> Dict[str, Any]:
+    """Decode one frame body into an op envelope, or raise loudly."""
+
+    try:
+        message = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(message, dict) or "op" not in message:
+        raise ProtocolError(f"frame is not an op envelope: {message!r}")
+    return message
+
+
+def pack_header(length: int) -> bytes:
+    return _HEADER.pack(length)
+
+
+def header_size() -> int:
+    return _HEADER.size
+
+
+def unpack_header(header: bytes) -> int:
+    (length,) = _HEADER.unpack(header)
+    return length
+
+
+# -- synchronous socket framing (plain-socket peers and wire-format tests) ---
+
+
 def send_message(sock: socket.socket, message: Mapping[str, Any]) -> None:
     """Serialise ``message`` as one frame and write it out completely."""
 
-    blob = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    if len(blob) > MAX_FRAME_BYTES:
-        raise ProtocolError(f"message of {len(blob)} bytes exceeds the frame limit")
+    blob = dump_frame(message)
     try:
         sock.sendall(_HEADER.pack(len(blob)) + blob)
     except (BrokenPipeError, ConnectionResetError) as error:
@@ -110,20 +217,9 @@ def recv_message(sock: socket.socket) -> Dict[str, Any]:
     """Read exactly one frame and decode it; raises on EOF or corruption."""
 
     header = _recv_exact(sock, _HEADER.size)
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit "
-            f"(corrupt stream?)"
-        )
-    blob = _recv_exact(sock, length)
-    try:
-        message = json.loads(blob.decode("utf-8"))
-    except (UnicodeDecodeError, ValueError) as error:
-        raise ProtocolError(f"undecodable frame: {error}") from error
-    if not isinstance(message, dict) or "op" not in message:
-        raise ProtocolError(f"frame is not an op envelope: {message!r}")
-    return message
+    length = unpack_header(header)
+    check_frame_length(length)
+    return load_frame(_recv_exact(sock, length))
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -141,6 +237,9 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+# -- payload encoding --------------------------------------------------------
 
 
 def encode_payload(obj: Any) -> str:

@@ -1,44 +1,68 @@
-"""The campaign scheduler: owns the cell queue, workers pull from it.
+"""The campaign scheduler: a single-event-loop asyncio state machine.
 
-One :class:`Scheduler` binds a TCP listening socket and serves *campaigns*
-(one sweep each) to socket-connected workers speaking the protocol of
-:mod:`repro.distributed.protocol`.  The design follows the minimal
-scheduler/worker shape of early ``distributed`` (central queue, registered
-workers, heartbeats, retry on worker loss), scaled down to the needs of a
-deterministic sweep:
+One :class:`Scheduler` owns the cell queue of a *campaign* (one sweep routed
+through the harness) and serves it to workers over the pluggable comm layer
+(:mod:`repro.distributed.comm`): ``tcp://`` sockets for real fleets,
+``inproc://`` channels for simulated ones.  Everything runs on **one**
+asyncio event loop in a background thread -- one coroutine per connection,
+one monitor task -- so a thousand workers cost a thousand small coroutines,
+not a thousand OS threads.
 
-* **pull-based**: workers request cells; the scheduler never pushes, so it
-  only ever writes in response to a message and each connection is served
-  by a single thread;
+Scheduling model:
+
+* **pull-based with prefetch leases**: workers request work; the reply
+  carries up to ``prefetch`` assignments, the extras forming the worker's
+  *lease* (a local backlog it executes without further round trips).  The
+  scheduler tracks every lease.
+* **work stealing**: when the global queue is dry, an idle worker's request
+  triggers a steal from the tail of the most-loaded worker's lease.  The
+  steal is two-phase: the victim gets a ``revoke`` push and answers with a
+  ``revoked`` frame naming the cells it *actually* still had queued (it may
+  have started some in the meantime); only those confirmed cells are
+  requeued and handed to idle workers.  Stealing therefore never duplicates
+  an execution -- a cell runs twice only when speculation chooses to.
+* **speculative re-execution**: when queue and leases are all dry but cells
+  are still executing, a straggler cell older than ``speculation_delay`` is
+  duplicated onto the idle worker.  The first result wins; every other
+  live attempt gets a ``cancel`` push and its late result is counted as a
+  duplicate.  Correctness rides on the duplicate-result idempotence the
+  runtime always had: results are keyed by position, and each cell carries
+  its own deterministic seed, so *which* attempt wins cannot change a row.
 * **ordered streaming**: :meth:`run_campaign` yields outcomes in submission
-  order (out-of-order completions are buffered), which is what makes
-  distributed rows bit-identical to :class:`SerialExecutor` rows -- every
-  cell carries its own deterministic seed, so order of *completion* cannot
-  leak into the results;
+  order (out-of-order completions are buffered), which is what keeps
+  distributed rows bit-identical to
+  :class:`~repro.experiments.executors.SerialExecutor` rows under stealing
+  and speculation alike.
 * **fault tolerance**: a dropped connection or a missed-heartbeat eviction
-  requeues the worker's in-flight cell at the *front* of the queue (bounded
-  by a per-cell retry budget); past the budget the cell is failed with a
-  ``WorkerLostError`` outcome that the harness surfaces as
-  :class:`~repro.experiments.harness.CellExecutionError` carrying the
-  failing configuration;
-* **resumability**: with a :class:`~repro.distributed.campaign.CampaignJournal`
-  attached, completed cells are appended to the journal as they stream in
-  and journaled cells of a restarted campaign are replayed without
-  re-execution.
+  requeues the worker's in-flight cells at the *front* of the queue, unless
+  another live (speculative) attempt already covers them; past a bounded
+  per-cell retry budget the cell is failed with a ``WorkerLostError``
+  outcome that the harness surfaces as
+  :class:`~repro.experiments.harness.CellExecutionError`.
+* **resumability**: with a
+  :class:`~repro.distributed.campaign.CampaignJournal` attached, completed
+  cells are appended as they stream in and journaled cells of a restarted
+  campaign are replayed without re-execution.
+
+The heartbeat monitor is event-driven: it sleeps until the earliest
+possible eviction deadline (or forever while no worker is connected) and is
+woken by membership changes -- an idle scheduler no longer polls at 5 Hz.
 """
 
 from __future__ import annotations
 
-import socket
+import asyncio
 import threading
 import time
 import uuid
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.distributed import protocol
 from repro.distributed.campaign import CampaignJournal
+from repro.distributed.comm import core as comm_core
+from repro.distributed.comm.core import Comm, CommError
 from repro.experiments.grid import Cell, CellOutcome
 
 #: ``error_type`` recorded on a cell whose retry budget was exhausted by
@@ -60,6 +84,30 @@ class SchedulerStats:
     duplicates: int = 0
     journal_hits: int = 0
     worker_lost_failures: int = 0
+    steals: int = 0
+    speculations: int = 0
+    cancels: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    def add(self, other: "SchedulerStats") -> None:
+        for key, value in other.as_dict().items():
+            setattr(self, key, getattr(self, key) + value)
+
+
+@dataclass
+class _Assignment:
+    """One live attempt of one cell on one worker."""
+
+    position: int
+    attempt: int
+    conn: "_WorkerConn"
+    assigned_at: float
+    speculative: bool = False
+    #: A revoke asking for this cell back is in flight; it stays the
+    #: worker's until the worker confirms it never started it.
+    revoking: bool = False
 
 
 @dataclass
@@ -67,9 +115,14 @@ class _WorkerConn:
     """Scheduler-side state of one connected worker."""
 
     worker_id: str
-    sock: socket.socket
+    comm: Comm
     last_seen: float
-    inflight: Optional[tuple] = None  # (campaign_id, position)
+    #: Live assignments keyed by position (a worker never holds two
+    #: attempts of the same cell).
+    assignments: Dict[int, _Assignment] = field(default_factory=dict)
+    #: Positions in dispatch order; the head is (probably) executing, the
+    #: tail is the stealable backlog.
+    lease: Deque[int] = field(default_factory=deque)
     fn_campaign: Optional[str] = None  # campaign the fn payload was sent for
     evicted: bool = False
 
@@ -82,10 +135,12 @@ class _Campaign:
     cells: Sequence[Cell]
     fn_payload: str
     version: str
-    pending: deque = field(default_factory=deque)   # positions awaiting a worker
-    done: set = field(default_factory=set)          # positions with a result
+    pending: Deque[int] = field(default_factory=deque)  # positions awaiting a worker
+    done: set = field(default_factory=set)              # positions with a result
     results: Dict[int, CellOutcome] = field(default_factory=dict)
-    attempts: Dict[int, int] = field(default_factory=dict)
+    attempts: Dict[int, int] = field(default_factory=dict)      # total assignments
+    loss_retries: Dict[int, int] = field(default_factory=dict)  # worker-loss requeues
+    running: Dict[int, List[_Assignment]] = field(default_factory=dict)
 
 
 class CampaignStalled(RuntimeError):
@@ -93,29 +148,44 @@ class CampaignStalled(RuntimeError):
 
 
 class Scheduler:
-    """Serve sweep campaigns to socket-connected workers.
+    """Serve sweep campaigns to comm-connected workers.
 
     Parameters
     ----------
     address:
-        ``tcp://host:port`` to bind; port ``0`` picks an ephemeral port
-        (read the bound address back from :attr:`address`).
+        Any registered comm address (``tcp://host:port``, ``inproc://name``);
+        tcp port ``0`` picks an ephemeral port and ``inproc://`` with an
+        empty location picks a fresh token -- read the bound address back
+        from :attr:`address`.
     heartbeat_interval:
         Interval advertised to workers in the welcome message.
     heartbeat_timeout:
         A worker silent for longer than this is evicted and its in-flight
-        cell requeued.  Must comfortably exceed ``heartbeat_interval``.
+        cells requeued.  Must comfortably exceed ``heartbeat_interval``.
     max_retries:
-        How many times a cell may be *re*-assigned after a worker loss
-        before it is failed with a ``WorkerLostError`` outcome.
+        How many times a cell may be requeued after worker losses before it
+        is failed with a ``WorkerLostError`` outcome.
     journal:
         Optional :class:`CampaignJournal` (or path): completed cells are
         appended, journaled cells are replayed on restart.
     stall_timeout:
         When set, :meth:`run_campaign` raises :class:`CampaignStalled` if
-        cells are pending but no worker has been connected for this long --
-        the safety net that keeps an unattended campaign from hanging
-        forever when its workers never appear (or all died).
+        cells are pending but no worker has been connected for this long.
+    prefetch:
+        Assignments per ``task`` reply (1 = classic pull-of-one; larger
+        values amortise round trips and create the leases stealing feeds on).
+    steal:
+        Let idle workers steal queued-but-unstarted cells from the most
+        loaded worker's lease when the global queue is dry.
+    speculate:
+        Let idle workers run duplicate attempts of straggler cells (older
+        than ``speculation_delay``); first result wins, losers are
+        cancelled.
+    speculation_delay:
+        Minimum age (seconds) of a running attempt before it is considered
+        a straggler worth duplicating.
+    max_speculative:
+        Extra concurrent attempts allowed per cell on top of the primary.
     """
 
     def __init__(
@@ -127,71 +197,126 @@ class Scheduler:
         max_retries: int = 3,
         journal: Union[None, str, CampaignJournal] = None,
         stall_timeout: Optional[float] = None,
+        prefetch: int = 1,
+        steal: bool = True,
+        speculate: bool = True,
+        speculation_delay: float = 5.0,
+        max_speculative: int = 1,
     ) -> None:
         if heartbeat_timeout <= heartbeat_interval:
             raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
-        self._bind_host, self._bind_port = protocol.parse_address(address)
+        if prefetch < 1:
+            raise ValueError("prefetch must be >= 1")
+        if speculation_delay <= 0:
+            raise ValueError("speculation_delay must be > 0")
+        if max_speculative < 0:
+            raise ValueError("max_speculative must be >= 0")
+        comm_core.validate_address(address)
+        self._requested_address = address
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.max_retries = max_retries
         self.journal = CampaignJournal.coerce(journal)
         self.stall_timeout = stall_timeout
+        self.prefetch = prefetch
+        self.steal = steal
+        self.speculate = speculate
+        self.speculation_delay = speculation_delay
+        self.max_speculative = max_speculative
         self.stats = SchedulerStats()
 
         self._lock = threading.Condition()
         self._conns: Dict[str, _WorkerConn] = {}
         self._campaign: Optional[_Campaign] = None
-        self._listener: Optional[socket.socket] = None
-        self._threads: List[threading.Thread] = []
         self._closed = False
         self._last_worker_seen = time.monotonic()
+
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._listener: Optional[comm_core.Listener] = None
+        self._monitor_wake: Optional[asyncio.Event] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "Scheduler":
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self._bind_host, self._bind_port))
-        listener.listen(128)
-        self._listener = listener
-        self._bind_port = listener.getsockname()[1]
-        self._last_worker_seen = time.monotonic()
-        for target, name in (
-            (self._accept_loop, "accept"),
-            (self._monitor_loop, "monitor"),
-        ):
-            thread = threading.Thread(
-                target=target, name=f"repro-scheduler-{name}", daemon=True
-            )
-            thread.start()
-            self._threads.append(thread)
+        """Spin up the event-loop thread and bind the listener."""
+
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-scheduler-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread.join(timeout=2.0)
+            self._thread = None
+            raise error
+        if not self._started.is_set():
+            raise RuntimeError("scheduler event loop failed to start in time")
         return self
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # surface startup failures to start()
+            if not self._started.is_set():
+                self._startup_error = error
+        finally:
+            self._started.set()
+            with self._lock:
+                self._lock.notify_all()  # wake any consumer blocked mid-campaign
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._monitor_wake = asyncio.Event()
+        listener = comm_core.listener(self._requested_address, self._serve_comm)
+        await listener.start()
+        self._listener = listener
+        self._last_worker_seen = time.monotonic()
+        self._started.set()
+        monitor = asyncio.create_task(self._monitor())
+        try:
+            await self._shutdown.wait()
+        finally:
+            monitor.cancel()
+            await listener.stop()
+            with self._lock:
+                conns = list(self._conns.values())
+            for conn in conns:
+                await conn.comm.close()
 
     @property
     def address(self) -> str:
-        """The bound ``tcp://host:port`` address (valid after :meth:`start`)."""
+        """The bound contact address (valid after :meth:`start`)."""
 
-        host = self._bind_host if self._bind_host not in ("", "0.0.0.0") else "127.0.0.1"
-        return protocol.format_address(host, self._bind_port)
+        if self._listener is not None:
+            return self._listener.address
+        return self._requested_address
 
     def close(self) -> None:
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            conns = list(self._conns.values())
             self._lock.notify_all()
-        if self._listener is not None:
+        if self._thread is None:
+            return
+        self._started.wait(timeout=5.0)
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None:
             try:
-                self._listener.close()
-            except OSError:
-                pass
-        for conn in conns:
-            _close_socket(conn.sock)
-        for thread in self._threads:
-            thread.join(timeout=2.0)
+                loop.call_soon_threadsafe(shutdown.set)
+            except RuntimeError:
+                pass  # loop already gone
+        self._thread.join(timeout=5.0)
 
     def __enter__(self) -> "Scheduler":
         return self.start()
@@ -203,6 +328,22 @@ class Scheduler:
     def worker_count(self) -> int:
         with self._lock:
             return len(self._conns)
+
+    def spawn_local_worker(self, **worker_kwargs: object) -> "asyncio.Future":
+        """Run an :class:`~repro.distributed.worker.AsyncWorker` on this
+        scheduler's own event loop, connected to :attr:`address`.
+
+        This is how ``inproc://`` fleets are raised: each worker is one
+        coroutine, so a thousand of them fit in one process.  Returns the
+        ``concurrent.futures.Future`` of the worker's ``run()``.
+        """
+
+        from repro.distributed.worker import AsyncWorker
+
+        if self._loop is None:
+            raise RuntimeError("scheduler is not started")
+        worker = AsyncWorker(self.address, **worker_kwargs)  # type: ignore[arg-type]
+        return asyncio.run_coroutine_threadsafe(worker.run(), self._loop)
 
     # -- campaign execution -------------------------------------------------
 
@@ -289,49 +430,56 @@ class Scheduler:
                 f"{self.stall_timeout:.0f}s"
             )
 
-    # -- accept / monitor threads -------------------------------------------
+    # -- the heartbeat-eviction monitor (event-driven, no busy-poll) --------
 
-    def _accept_loop(self) -> None:
-        while not self._closed:
-            try:
-                sock, _addr = self._listener.accept()
-            except OSError:
-                return  # listener closed
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            thread = threading.Thread(
-                target=self._serve_connection, args=(sock,),
-                name="repro-scheduler-conn", daemon=True,
-            )
-            thread.start()
+    async def _monitor(self) -> None:
+        """Evict workers whose heartbeat went silent for too long.
 
-    def _monitor_loop(self) -> None:
-        """Evict workers whose heartbeat went silent for too long."""
+        Sleeps until the earliest possible eviction deadline, or forever
+        while no worker is connected; membership changes set
+        ``_monitor_wake``.  An idle scheduler therefore burns zero CPU
+        between events instead of polling at 5 Hz.
+        """
 
-        while not self._closed:
-            now = time.monotonic()
-            stale: List[_WorkerConn] = []
+        assert self._monitor_wake is not None
+        while True:
+            self._monitor_wake.clear()
             with self._lock:
-                for conn in self._conns.values():
-                    if not conn.evicted and now - conn.last_seen > self.heartbeat_timeout:
+                conns = [c for c in self._conns.values() if not c.evicted]
+            if not conns:
+                await self._monitor_wake.wait()
+                continue
+            now = time.monotonic()
+            stale = [c for c in conns if now - c.last_seen > self.heartbeat_timeout]
+            if stale:
+                with self._lock:
+                    for conn in stale:
                         conn.evicted = True
-                        stale.append(conn)
-            for conn in stale:
-                self.stats.evictions += 1
-                # Closing the socket unblocks the connection's serve thread,
-                # whose cleanup path requeues the in-flight cell.
-                _close_socket(conn.sock)
-            time.sleep(min(self.heartbeat_interval, 0.2))
+                for conn in stale:
+                    self.stats.evictions += 1
+                    # Closing the comm unblocks the connection's serve task,
+                    # whose cleanup path requeues the in-flight cells.
+                    await conn.comm.close()
+                continue
+            deadline = min(c.last_seen for c in conns) + self.heartbeat_timeout
+            try:
+                await asyncio.wait_for(
+                    self._monitor_wake.wait(),
+                    timeout=max(deadline - time.monotonic(), 0.005),
+                )
+            except asyncio.TimeoutError:
+                pass
 
     # -- per-connection protocol handling -----------------------------------
 
-    def _serve_connection(self, sock: socket.socket) -> None:
+    async def _serve_comm(self, comm: Comm) -> None:
         conn: Optional[_WorkerConn] = None
         try:
-            hello = protocol.recv_message(sock)
+            hello = await comm.recv()
             if hello.get("op") != "hello":
                 return
             worker_id = str(hello.get("worker") or uuid.uuid4().hex[:8])
-            conn = _WorkerConn(worker_id=worker_id, sock=sock, last_seen=time.monotonic())
+            conn = _WorkerConn(worker_id=worker_id, comm=comm, last_seen=time.monotonic())
             with self._lock:
                 if self._closed:
                     return
@@ -341,68 +489,242 @@ class Scheduler:
                 self.stats.workers_joined += 1
                 self._last_worker_seen = time.monotonic()
                 self._lock.notify_all()
+            self._monitor_wake_up()
             if previous is not None:
-                _close_socket(previous.sock)
-            protocol.send_message(
-                sock,
-                {"op": "welcome", "heartbeat_interval": self.heartbeat_interval},
+                await previous.comm.close()
+            await comm.send(
+                {
+                    "op": "welcome",
+                    "heartbeat_interval": self.heartbeat_interval,
+                    "prefetch": self.prefetch,
+                }
             )
             while True:
-                message = protocol.recv_message(sock)
+                message = await comm.recv()
                 op = message.get("op")
                 with self._lock:
                     conn.last_seen = time.monotonic()
                 if op == "request":
-                    self._handle_request(conn)
+                    await self._handle_request(conn)
                 elif op == "result":
-                    self._handle_result(conn, message)
+                    await self._handle_result(conn, message)
+                elif op == "revoked":
+                    self._handle_revoked(conn, message)
                 elif op == "heartbeat":
                     pass
                 elif op == "bye":
                     return
                 else:
                     raise protocol.ProtocolError(f"unexpected op {op!r} from worker")
-        except (protocol.ProtocolError, OSError):
+        except (CommError, OSError, asyncio.IncompleteReadError):
             pass  # connection lost: the finally-block requeues in-flight work
         finally:
             if conn is not None:
                 self._forget_connection(conn)
-            _close_socket(sock)
+            await comm.close()
+            self._monitor_wake_up()
 
-    def _handle_request(self, conn: _WorkerConn) -> None:
+    def _monitor_wake_up(self) -> None:
+        if self._monitor_wake is not None:
+            self._monitor_wake.set()
+
+    # -- assignment: queue, steal, speculate --------------------------------
+
+    def _assign(
+        self, campaign: _Campaign, conn: _WorkerConn, position: int, *, speculative: bool
+    ) -> Dict[str, object]:
+        """Record one attempt and build its wire entry (lock held)."""
+
+        attempt = campaign.attempts.get(position, 0) + 1
+        campaign.attempts[position] = attempt
+        assignment = _Assignment(
+            position=position,
+            attempt=attempt,
+            conn=conn,
+            assigned_at=time.monotonic(),
+            speculative=speculative,
+        )
+        conn.assignments[position] = assignment
+        conn.lease.append(position)
+        campaign.running.setdefault(position, []).append(assignment)
+        return {
+            "index": position,
+            "attempt": attempt,
+            "cell": protocol.encode_payload(campaign.cells[position]),
+        }
+
+    def _request_steal(
+        self, campaign: _Campaign, thief: _WorkerConn
+    ) -> Optional[Tuple[_WorkerConn, Dict[str, object]]]:
+        """Ask the most-loaded worker to give its lease tail back (lock held).
+
+        Phase one of a two-phase steal: the cells stay the victim's until
+        its ``revoked`` confirmation arrives (see :meth:`_handle_revoked`),
+        because only the victim knows which of them it has already started.
+        The lease head is never asked for -- it is (probably) executing.
+        Returns the ``revoke`` push for the victim, or ``None`` when nobody
+        has a stealable backlog.
+        """
+
+        def stealable(conn: _WorkerConn) -> List[int]:
+            return [
+                position
+                for position in list(conn.lease)[1:]
+                if not conn.assignments[position].revoking
+            ]
+
+        # Candidate victims come from the live assignments, not the fleet:
+        # with thousands of mostly-idle workers, the scan must be bounded by
+        # outstanding work, not by fleet size.
+        loaded = {
+            id(a.conn): a.conn
+            for attempts in campaign.running.values()
+            for a in attempts
+        }
+        victim, candidates = None, []
+        for candidate in loaded.values():
+            if candidate is thief or candidate.evicted:
+                continue
+            tail = stealable(candidate)
+            if len(tail) > len(candidates):
+                victim, candidates = candidate, tail
+        if victim is None or not candidates:
+            return None
+        count = min(self.prefetch, max(1, (len(candidates) + 1) // 2))
+        wanted = candidates[-count:]
+        for position in wanted:
+            victim.assignments[position].revoking = True
+        return (
+            victim,
+            {"op": "revoke", "campaign": campaign.campaign_id, "indices": wanted},
+        )
+
+    def _handle_revoked(self, conn: _WorkerConn, message: Dict[str, object]) -> None:
+        """Phase two of a steal: requeue the cells the victim confirmed."""
+
+        with self._lock:
+            removed = [int(i) for i in (message.get("indices") or [])]  # type: ignore[union-attr]
+            kept = [int(i) for i in (message.get("kept") or [])]  # type: ignore[union-attr]
+            for position in kept:
+                assignment = conn.assignments.get(position)
+                if assignment is not None:
+                    assignment.revoking = False  # started after all; still its
+            campaign = self._campaign
+            if campaign is None or campaign.campaign_id != message.get("campaign"):
+                for position in removed:
+                    assignment = conn.assignments.get(position)
+                    if assignment is not None:
+                        assignment.revoking = False
+                return
+            requeue: List[int] = []
+            for position in removed:
+                assignment = conn.assignments.pop(position, None)
+                if assignment is None:
+                    continue
+                try:
+                    conn.lease.remove(position)
+                except ValueError:
+                    pass
+                live = campaign.running.get(position)
+                if live is not None:
+                    live = [a for a in live if a is not assignment]
+                    if live:
+                        campaign.running[position] = live
+                    else:
+                        del campaign.running[position]
+                if (
+                    position not in campaign.done
+                    and position not in campaign.pending
+                    and position not in campaign.running
+                ):
+                    requeue.append(position)
+                    self.stats.steals += 1
+            # Front of the queue, oldest first: stolen cells are older than
+            # anything still pending, and idle workers re-request within
+            # IDLE_DELAY, so they move immediately.
+            for position in reversed(requeue):
+                campaign.pending.appendleft(position)
+            self._lock.notify_all()
+
+    def _speculative_candidate(
+        self, campaign: _Campaign, conn: _WorkerConn
+    ) -> Optional[int]:
+        """The oldest straggler cell worth duplicating onto ``conn`` (lock held)."""
+
+        if self.max_speculative < 1:
+            return None
+        now = time.monotonic()
+        best: Optional[Tuple[float, int]] = None
+        for position, attempts in campaign.running.items():
+            if position in campaign.done or position in conn.assignments:
+                continue
+            if not attempts or len(attempts) > self.max_speculative:
+                continue
+            oldest = min(a.assigned_at for a in attempts)
+            if now - oldest < self.speculation_delay:
+                continue
+            if best is None or oldest < best[0]:
+                best = (oldest, position)
+        return best[1] if best is not None else None
+
+    async def _handle_request(self, conn: _WorkerConn) -> None:
+        pushes: List[Tuple[_WorkerConn, Dict[str, object]]] = []
         with self._lock:
             campaign = self._campaign
-            position: Optional[int] = None
-            if campaign is not None:
-                while campaign.pending:
-                    candidate = campaign.pending.popleft()
-                    if candidate not in campaign.done:
-                        position = candidate
-                        break
-            if position is None:
-                reply = {"op": "idle", "delay": IDLE_DELAY}
-            else:
-                campaign.attempts[position] = campaign.attempts.get(position, 0) + 1
-                conn.inflight = (campaign.campaign_id, position)
+            batch: List[Dict[str, object]] = []
+            if campaign is not None and not conn.evicted:
+                while len(batch) < self.prefetch and campaign.pending:
+                    position = campaign.pending.popleft()
+                    if position in campaign.done or position in conn.assignments:
+                        continue
+                    batch.append(self._assign(campaign, conn, position, speculative=False))
+                if not batch and self.steal:
+                    push = self._request_steal(campaign, conn)
+                    if push is not None:
+                        pushes.append(push)
+                if not batch and not pushes and self.speculate:
+                    position = self._speculative_candidate(campaign, conn)
+                    if position is not None:
+                        batch.append(
+                            self._assign(campaign, conn, position, speculative=True)
+                        )
+                        self.stats.speculations += 1
+            if batch:
                 reply = {
                     "op": "task",
                     "campaign": campaign.campaign_id,
-                    "index": position,
-                    "cell": protocol.encode_payload(campaign.cells[position]),
+                    **batch[0],
                 }
+                if len(batch) > 1:
+                    reply["extra"] = batch[1:]
                 if conn.fn_campaign != campaign.campaign_id:
                     reply["fn"] = campaign.fn_payload
                     conn.fn_campaign = campaign.campaign_id
-        protocol.send_message(conn.sock, reply)
+            else:
+                reply = {"op": "idle", "delay": IDLE_DELAY}
+        for victim, message in pushes:
+            try:
+                await victim.comm.send(message)
+            except (CommError, OSError):
+                pass  # the victim is dying; its cleanup path covers the cells
+        await conn.comm.send(reply)
 
-    def _handle_result(self, conn: _WorkerConn, message: Dict[str, object]) -> None:
+    # -- results ------------------------------------------------------------
+
+    async def _handle_result(self, conn: _WorkerConn, message: Dict[str, object]) -> None:
         outcome = protocol.decode_payload(str(message.get("outcome")))
-        position = int(message.get("index", -1))
+        position = int(message.get("index", -1))  # type: ignore[arg-type]
         record = None
+        cancels: List[Tuple[_WorkerConn, Dict[str, object]]] = []
         with self._lock:
             campaign = self._campaign
-            if conn.inflight == (message.get("campaign"), position):
-                conn.inflight = None
+            # This connection's bookkeeping for the cell is settled either way.
+            assignment = conn.assignments.pop(position, None)
+            if assignment is not None:
+                try:
+                    conn.lease.remove(position)
+                except ValueError:
+                    pass
             if (
                 campaign is None
                 or campaign.campaign_id != message.get("campaign")
@@ -414,59 +736,92 @@ class Scheduler:
             campaign.done.add(position)
             campaign.results[position] = outcome
             self.stats.results += 1
+            # First result wins: cancel every other live attempt of the cell.
+            for loser in campaign.running.pop(position, []):
+                if loser is assignment:
+                    continue
+                loser.conn.assignments.pop(position, None)
+                try:
+                    loser.conn.lease.remove(position)
+                except ValueError:
+                    pass
+                self.stats.cancels += 1
+                cancels.append(
+                    (
+                        loser.conn,
+                        {
+                            "op": "cancel",
+                            "campaign": campaign.campaign_id,
+                            "index": position,
+                            "attempt": loser.attempt,
+                        },
+                    )
+                )
             if self.journal is not None and not outcome.failed:
                 record = (campaign.cells[position], outcome, campaign.version)
             self._lock.notify_all()
+        for loser_conn, cancel in cancels:
+            try:
+                await loser_conn.comm.send(cancel)
+            except (CommError, OSError):
+                pass
         if record is not None:
             self.journal.record(*record)
 
+    # -- connection loss ----------------------------------------------------
+
     def _forget_connection(self, conn: _WorkerConn) -> None:
-        """Drop a dead connection and requeue (or fail) its in-flight cell."""
+        """Drop a dead connection and requeue (or fail) its in-flight cells."""
 
         with self._lock:
             if self._conns.get(conn.worker_id) is conn:
                 del self._conns[conn.worker_id]
-            if conn.inflight is None:
-                return
-            campaign_id, position = conn.inflight
-            conn.inflight = None
+            positions = list(conn.lease)
+            for position in conn.assignments:
+                if position not in positions:
+                    positions.append(position)
+            conn.lease.clear()
+            conn.assignments.clear()
             campaign = self._campaign
-            if (
-                campaign is None
-                or campaign.campaign_id != campaign_id
-                or position in campaign.done
-            ):
+            if campaign is None or not positions:
+                self._lock.notify_all()
                 return
-            attempts = campaign.attempts.get(position, 1)
-            if attempts > self.max_retries:
-                cell = campaign.cells[position]
-                campaign.done.add(position)
-                campaign.results[position] = CellOutcome(
-                    cell=cell,
-                    error=(
-                        f"cell {cell.describe()} lost with worker "
-                        f"{conn.worker_id!r} (connection dropped or heartbeat "
-                        f"timed out) on attempt {attempts}; retry budget of "
-                        f"{self.max_retries} exhausted"
-                    ),
-                    error_type=WORKER_LOST,
-                )
-                self.stats.worker_lost_failures += 1
-            else:
-                # Front of the queue: a retried cell is the oldest submission
-                # still outstanding, so finishing it first keeps the ordered
-                # result stream moving.
+            requeue: List[int] = []
+            for position in positions:
+                if position in campaign.done:
+                    continue
+                live = campaign.running.get(position)
+                if live is not None:
+                    live = [a for a in live if a.conn is not conn]
+                    if live:
+                        # A speculative (or stolen) attempt is still running
+                        # elsewhere; the cell stays covered without a retry.
+                        campaign.running[position] = live
+                        continue
+                    del campaign.running[position]
+                losses = campaign.loss_retries.get(position, 0) + 1
+                campaign.loss_retries[position] = losses
+                if losses > self.max_retries:
+                    cell = campaign.cells[position]
+                    campaign.done.add(position)
+                    campaign.results[position] = CellOutcome(
+                        cell=cell,
+                        error=(
+                            f"cell {cell.describe()} lost with worker "
+                            f"{conn.worker_id!r} (connection dropped or heartbeat "
+                            f"timed out) on attempt "
+                            f"{campaign.attempts.get(position, losses)}; retry "
+                            f"budget of {self.max_retries} exhausted"
+                        ),
+                        error_type=WORKER_LOST,
+                    )
+                    self.stats.worker_lost_failures += 1
+                else:
+                    requeue.append(position)
+                    self.stats.retries += 1
+            # Front of the queue, oldest first: a retried cell is the oldest
+            # submission still outstanding, so finishing it first keeps the
+            # ordered result stream moving.
+            for position in reversed(requeue):
                 campaign.pending.appendleft(position)
-                self.stats.retries += 1
             self._lock.notify_all()
-
-
-def _close_socket(sock: socket.socket) -> None:
-    try:
-        sock.shutdown(socket.SHUT_RDWR)
-    except OSError:
-        pass
-    try:
-        sock.close()
-    except OSError:
-        pass

@@ -1,51 +1,67 @@
 """The campaign worker: connect, register, heartbeat, pull cells, stream results.
 
-A worker is a small state machine around one TCP connection to the
+A worker is an asyncio state machine around one comm connection to the
 scheduler (:mod:`repro.distributed.scheduler`):
 
 * connect and ``hello``, read the ``welcome`` (which advertises the
   heartbeat interval);
-* loop: ``request`` a cell; on ``task`` execute the shipped cell function
-  and send the ``result`` back; on ``idle`` sleep briefly and re-request;
-* while a cell executes, a daemon thread sends ``heartbeat`` frames on the
-  same socket (writes are serialised behind a lock; idle re-requests double
-  as heartbeats, so the thread only matters during long cells).
+* loop: ``request`` work; a ``task`` reply may carry several assignments
+  (the *lease* -- prefetched cells executed locally without further round
+  trips), an ``idle`` reply means sleep briefly and re-request;
+* pushed frames arrive at any time: ``revoke`` asks for lease entries back
+  for an idle worker to steal -- the worker drops the ones still queued and
+  confirms with a ``revoked`` frame (cells it already started stay its own,
+  which is what keeps stealing duplicate-free); ``cancel`` marks an
+  assignment that lost a speculative race (its result is not worth
+  sending);
+* a heartbeat task keeps ``heartbeat`` frames flowing on the same comm
+  while a cell executes (cells run in a thread via ``run_in_executor``, so
+  the event loop -- and with it heartbeats and cancellation -- stays live
+  during long cells).
 
 The cell function travels pickled inside the first ``task`` of each
 campaign and is cached for the campaign's duration, so it must either be
 importable from the worker process (module-level functions,
 ``functools.partial`` of them -- true for every registered scenario and
-bench case) or the worker must have been forked from the submitting process
-(how :class:`~repro.distributed.executor.DistributedExecutor` spawns its
-local mini-cluster, which keeps even test-local functions picklable by
-reference).
+bench case) or the worker must share the submitting process: forked, as
+:class:`~repro.distributed.executor.DistributedExecutor` spawns its local
+``tcp://`` mini-cluster, or literally the same process, as ``inproc://``
+fleets are -- both keep even test-local functions picklable by reference.
 
 When the scheduler goes away the worker loops back to reconnecting, so one
 long-lived worker serves any number of consecutive campaigns; ``max_idle``
 bounds how long it lingers without useful work (connection attempts
 included) before exiting -- the knob CI uses to make workers self-reap.
+
+:class:`AsyncWorker` is the state machine itself (1000 of them fit on one
+event loop -- see :meth:`Scheduler.spawn_local_worker`); :class:`Worker`
+wraps it behind the old synchronous ``run()`` surface for worker processes
+and the CLI.
 """
 
 from __future__ import annotations
 
+import asyncio
 import os
 import socket
-import threading
 import time
 import uuid
-from typing import Callable, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from repro.distributed import protocol
+from repro.distributed.comm import core as comm_core
+from repro.distributed.comm.core import Comm, CommError
 from repro.experiments.grid import Cell, CellOutcome
 
 #: How long a worker waits between connection attempts while the scheduler
 #: is down (e.g. between two campaigns bound to the same address).
 RECONNECT_DELAY = 0.2
 
-#: How long a worker waits for the scheduler's reply to a frame it sent
-#: before declaring the connection (or its host) dead.  Replies are
-#: immediate in a healthy system; only the worker's own cell execution is
-#: slow, and no recv happens during it.
+#: How long a worker waits for the scheduler's reply to a work request (or
+#: the welcome) before declaring the connection -- or its host -- dead.
+#: Replies are immediate in a healthy system; only the worker's own cell
+#: execution is slow, and requests are only sent between cells.
 REPLY_TIMEOUT = 30.0
 
 
@@ -53,8 +69,8 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
 
 
-class Worker:
-    """One worker process' connect-and-serve loop."""
+class AsyncWorker:
+    """One worker's connect-and-serve state machine (runs on any event loop)."""
 
     def __init__(
         self,
@@ -65,40 +81,52 @@ class Worker:
         reconnect_delay: float = RECONNECT_DELAY,
         once: bool = False,
         log: Optional[Callable[[str], None]] = None,
+        reply_timeout: float = REPLY_TIMEOUT,
+        inline: bool = False,
     ) -> None:
-        self.host, self.port = protocol.parse_address(address)
-        self.address = protocol.format_address(self.host, self.port)
+        comm_core.validate_address(address)
+        self.address = str(address).strip()
         self.worker_id = worker_id or default_worker_id()
         self.max_idle = max_idle
         self.reconnect_delay = reconnect_delay
         self.once = once
         self.log = log or (lambda message: None)
+        self.reply_timeout = reply_timeout
+        #: Execute cells inline on the event loop instead of a thread.  Only
+        #: sensible for simulated fleets with cheap cells: it skips the
+        #: executor hop but blocks the loop for the cell's duration.
+        self.inline = inline
         self.cells_executed = 0
+        self.cells_cancelled = 0
+        self.cells_revoked = 0
         self._last_useful = time.monotonic()
+        # Per-connection state (reset by _serve).
+        self._backlog: Deque[Dict[str, Any]] = deque()
+        self._cancelled: Set[Tuple[str, int, int]] = set()
+        self._fn: Tuple[Optional[str], Optional[Callable[[Cell], CellOutcome]]] = (None, None)
+        self._idle_delay: Optional[float] = None
+        self._wake: Optional[asyncio.Event] = None
 
     # -- outer loop ---------------------------------------------------------
 
-    def run(self) -> int:
+    async def run(self) -> int:
         """Serve campaigns until idle for too long; returns cells executed."""
 
         while True:
             try:
-                sock = socket.create_connection((self.host, self.port), timeout=5.0)
-            except OSError:
+                comm = await comm_core.connect(self.address)
+            except (CommError, OSError):
                 if self._idled_out():
                     return self.cells_executed
-                time.sleep(self.reconnect_delay)
+                await asyncio.sleep(self.reconnect_delay)
                 continue
             self._mark_useful()
             try:
-                self._serve(sock)
-            except (protocol.ProtocolError, OSError):
+                await self._serve(comm)
+            except (CommError, OSError, asyncio.TimeoutError):
                 pass  # scheduler went away; reconnect (or idle out) below
             finally:
-                try:
-                    sock.close()
-                except OSError:
-                    pass
+                await comm.close()
             if self.once or self._idled_out():
                 return self.cells_executed
 
@@ -113,103 +141,240 @@ class Worker:
 
     # -- one connection -----------------------------------------------------
 
-    def _serve(self, sock: socket.socket) -> None:
-        # The scheduler answers every request immediately (task or idle), so
-        # a reply that takes this long means the peer host died without a
-        # FIN/RST (power loss, partition).  The timeout surfaces as an
-        # OSError, dropping us back to the reconnect loop where --max-idle
-        # can fire -- without it a worker would block in recv forever.
-        sock.settimeout(REPLY_TIMEOUT)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        send_lock = threading.Lock()
+    async def _serve(self, comm: Comm) -> None:
+        self._backlog = deque()
+        self._cancelled = set()
+        self._fn = (None, None)
+        self._idle_delay = None
+        self._wake = asyncio.Event()
 
-        def send(message: dict) -> None:
-            with send_lock:
-                protocol.send_message(sock, message)
-
-        send({"op": "hello", "worker": self.worker_id})
-        welcome = protocol.recv_message(sock)
+        await comm.send({"op": "hello", "worker": self.worker_id})
+        welcome = await asyncio.wait_for(comm.recv(), timeout=self.reply_timeout)
         if welcome.get("op") != "welcome":
             raise protocol.ProtocolError(f"expected welcome, got {welcome!r}")
         heartbeat_interval = float(welcome.get("heartbeat_interval", 1.0))
         self.log(f"worker {self.worker_id} connected to {self.address}")
 
-        stop = threading.Event()
-        beat = threading.Thread(
-            target=self._heartbeat_loop,
-            args=(send, stop, heartbeat_interval),
-            name="repro-worker-heartbeat",
-            daemon=True,
-        )
-        beat.start()
-        fn_cache: Tuple[Optional[str], Optional[Callable[[Cell], CellOutcome]]] = (None, None)
+        reader = asyncio.create_task(self._reader(comm))
+        # A dying reader (the scheduler closed the connection, e.g. between
+        # two campaigns) must wake a blocked _pull immediately -- otherwise
+        # the worker wedges for the full reply timeout on a dead comm, and a
+        # max_idle near that timeout makes it exit instead of reconnecting.
+        wake = self._wake
+        reader.add_done_callback(lambda _task: wake.set())
+        beat = asyncio.create_task(self._heartbeat(comm, heartbeat_interval))
         try:
             while True:
-                send({"op": "request"})
-                message = protocol.recv_message(sock)
-                op = message.get("op")
-                if op == "task":
-                    fn_cache = self._execute(send, message, fn_cache)
-                    self._mark_useful()
-                elif op == "idle":
-                    if self._idled_out():
-                        send({"op": "bye", "worker": self.worker_id})
-                        return
-                    time.sleep(float(message.get("delay", 0.05)))
-                else:
-                    raise protocol.ProtocolError(f"unexpected op {op!r} from scheduler")
+                if self._backlog:
+                    await self._execute(comm, self._backlog.popleft())
+                    continue
+                if not await self._pull(comm, reader):
+                    return  # idled out; bye already sent
         finally:
-            stop.set()
+            for task in (reader, beat):
+                task.cancel()
+            for task in (reader, beat):
+                try:
+                    await task
+                except (asyncio.CancelledError, CommError, OSError):
+                    pass
 
-    def _heartbeat_loop(
-        self, send: Callable[[dict], None], stop: threading.Event, interval: float
-    ) -> None:
-        while not stop.wait(interval):
+    async def _pull(self, comm: Comm, reader: "asyncio.Task") -> bool:
+        """Request work until the backlog is non-empty; False = disconnect."""
+
+        assert self._wake is not None
+        while not self._backlog:
+            self._raise_if_dead(reader)
+            self._wake.clear()
+            if self._backlog:  # arrived between the check and the clear
+                return True
+            await comm.send({"op": "request"})
             try:
-                send({"op": "heartbeat", "worker": self.worker_id})
-            except (protocol.ProtocolError, OSError):
-                return  # main loop will observe the dead socket itself
+                await asyncio.wait_for(self._wake.wait(), timeout=self.reply_timeout)
+            except asyncio.TimeoutError:
+                raise protocol.ConnectionClosed(
+                    f"scheduler at {self.address} did not answer a work request "
+                    f"within {self.reply_timeout:.0f}s"
+                ) from None
+            self._raise_if_dead(reader)
+            if self._backlog:
+                return True
+            if self._idle_delay is not None:
+                delay, self._idle_delay = self._idle_delay, None
+                if self._idled_out():
+                    await comm.send({"op": "bye", "worker": self.worker_id})
+                    return False
+                await asyncio.sleep(delay)
+        return True
 
-    def _execute(
-        self,
-        send: Callable[[dict], None],
-        message: dict,
-        fn_cache: Tuple[Optional[str], Optional[Callable[[Cell], CellOutcome]]],
-    ) -> Tuple[str, Callable[[Cell], CellOutcome]]:
-        campaign = str(message.get("campaign"))
-        cell: Cell = protocol.decode_payload(str(message.get("cell")))
-        cached_campaign, fn = fn_cache
-        if "fn" in message:
-            fn = protocol.decode_payload(str(message["fn"]))
-        elif cached_campaign != campaign or fn is None:
+    @staticmethod
+    def _raise_if_dead(reader: "asyncio.Task") -> None:
+        if reader.done():
+            error = reader.exception()
+            if error is not None:
+                raise error
+            raise protocol.ConnectionClosed("scheduler connection reader exited")
+
+    async def _reader(self, comm: Comm) -> None:
+        """Dispatch every inbound frame: replies and pushes alike."""
+
+        assert self._wake is not None
+        while True:
+            message = await comm.recv()
+            op = message.get("op")
+            if op == "task":
+                campaign = str(message.get("campaign"))
+                if "fn" in message:
+                    self._fn = (campaign, protocol.decode_payload(str(message["fn"])))
+                entries = [message] + list(message.get("extra") or [])
+                for entry in entries:
+                    self._backlog.append(
+                        {
+                            "campaign": campaign,
+                            "index": int(entry.get("index", -1)),
+                            "attempt": int(entry.get("attempt", 0)),
+                            "cell": entry.get("cell"),
+                        }
+                    )
+                self._wake.set()
+            elif op == "idle":
+                self._idle_delay = float(message.get("delay", 0.05))
+                self._wake.set()
+            elif op == "revoke":
+                campaign = str(message.get("campaign"))
+                requested = [int(index) for index in (message.get("indices") or [])]
+                drop = set(requested)
+                removed: Set[int] = set()
+                kept_backlog: Deque[Dict[str, Any]] = deque()
+                for entry in self._backlog:
+                    if entry["campaign"] == campaign and entry["index"] in drop:
+                        removed.add(entry["index"])
+                    else:
+                        kept_backlog.append(entry)
+                self._backlog = kept_backlog
+                self.cells_revoked += len(removed)
+                # Confirm what was actually still queued; anything already
+                # started (or finished) stays this worker's.
+                await comm.send(
+                    {
+                        "op": "revoked",
+                        "worker": self.worker_id,
+                        "campaign": campaign,
+                        "indices": sorted(removed),
+                        "kept": [i for i in requested if i not in removed],
+                    }
+                )
+            elif op == "cancel":
+                self._cancelled.add(
+                    (
+                        str(message.get("campaign")),
+                        int(message.get("index", -1)),
+                        int(message.get("attempt", 0)),
+                    )
+                )
+            else:
+                raise protocol.ProtocolError(f"unexpected op {op!r} from scheduler")
+
+    async def _heartbeat(self, comm: Comm, interval: float) -> None:
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                await comm.send({"op": "heartbeat", "worker": self.worker_id})
+        except (CommError, OSError):
+            return  # main loop will observe the dead comm itself
+
+    # -- cell execution -----------------------------------------------------
+
+    async def _execute(self, comm: Comm, item: Dict[str, Any]) -> None:
+        campaign = item["campaign"]
+        key = (campaign, item["index"], item["attempt"])
+        if key in self._cancelled:
+            self._cancelled.discard(key)
+            self.cells_cancelled += 1
+            return
+        cell: Cell = protocol.decode_payload(str(item["cell"]))
+        fn_campaign, fn = self._fn
+        if fn_campaign != campaign or fn is None:
             raise protocol.ProtocolError(
                 f"task for campaign {campaign} arrived without a cell function"
             )
-        try:
-            outcome = fn(cell)
-        except Exception as error:  # fn is CellFunction, but be safe
-            import traceback
-
-            outcome = CellOutcome(
-                cell=cell,
-                error=traceback.format_exc(),
-                error_type=type(error).__name__,
+        if self.inline:
+            outcome = self._call(fn, cell)
+        else:
+            outcome = await asyncio.get_running_loop().run_in_executor(
+                None, self._call, fn, cell
             )
-        # KeyboardInterrupt/SystemExit deliberately propagate: the
-        # connection drops and the scheduler's worker-loss path retries the
-        # cell elsewhere -- Ctrl-C on one worker must cost a retry, never
-        # poison the campaign with a fake cell failure.
-        send(
+        self.cells_executed += 1
+        self._mark_useful()
+        if key in self._cancelled:
+            # The speculative race was lost while the cell executed; the
+            # result is settled elsewhere and not worth a frame.
+            self._cancelled.discard(key)
+            self.cells_cancelled += 1
+            return
+        await comm.send(
             {
                 "op": "result",
                 "worker": self.worker_id,
                 "campaign": campaign,
-                "index": int(message.get("index", -1)),
+                "index": item["index"],
+                "attempt": item["attempt"],
                 "outcome": protocol.encode_payload(outcome),
             }
         )
-        self.cells_executed += 1
-        return campaign, fn
+
+    @staticmethod
+    def _call(fn: Callable[[Cell], CellOutcome], cell: Cell) -> CellOutcome:
+        try:
+            return fn(cell)
+        except (KeyboardInterrupt, SystemExit):
+            # Deliberately propagate: the connection drops and the
+            # scheduler's worker-loss path retries the cell elsewhere --
+            # Ctrl-C on one worker must cost a retry, never poison the
+            # campaign with a fake cell failure.
+            raise
+        except Exception as error:
+            import traceback
+
+            return CellOutcome(
+                cell=cell,
+                error=traceback.format_exc(),
+                error_type=type(error).__name__,
+            )
+
+
+class Worker:
+    """The synchronous facade: one worker process' connect-and-serve loop."""
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        worker_id: Optional[str] = None,
+        max_idle: Optional[float] = None,
+        reconnect_delay: float = RECONNECT_DELAY,
+        once: bool = False,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._worker = AsyncWorker(
+            address,
+            worker_id=worker_id,
+            max_idle=max_idle,
+            reconnect_delay=reconnect_delay,
+            once=once,
+            log=log,
+        )
+        self.address = self._worker.address
+        self.worker_id = self._worker.worker_id
+
+    @property
+    def cells_executed(self) -> int:
+        return self._worker.cells_executed
+
+    def run(self) -> int:
+        """Serve campaigns until idle for too long; returns cells executed."""
+
+        return asyncio.run(self._worker.run())
 
 
 def run_worker(

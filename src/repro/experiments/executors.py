@@ -14,15 +14,17 @@ bit-identical rows in the same order; the pool only changes the wall clock.
 
 The default backend is selected by the ``REPRO_JOBS`` environment variable:
 unset or ``1`` means serial, an integer ``N > 1`` means a pool of ``N``
-workers, and ``0`` or ``auto`` means one worker per CPU.  Two further forms
-select the socket-based distributed runtime of :mod:`repro.distributed`
+workers, and ``0`` or ``auto`` means one worker per CPU.  Further forms
+select the comm-based distributed runtime of :mod:`repro.distributed`
 (resolved lazily, so this module stays import-light):
 ``REPRO_JOBS=tcp://host:port`` binds a campaign scheduler at that address
-and waits for externally started workers, and ``distributed`` self-spawns a
-local mini-cluster on an ephemeral loopback port.  Every backend honours
-the same contract -- outcomes stream back in submission order and, because
-each cell carries its own deterministic seed, rows are bit-identical across
-backends.
+and waits for externally started workers, ``distributed`` self-spawns a
+local mini-cluster on an ephemeral loopback port, and any other registered
+comm scheme address -- e.g. ``inproc://`` for a socketless in-process
+fleet -- runs the same scheduler over that backend with one self-spawned
+worker per CPU.  Every backend honours the same contract -- outcomes stream
+back in submission order and, because each cell carries its own
+deterministic seed, rows are bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -42,8 +44,9 @@ ExecutorSpec = Union[None, str, int, "Executor"]
 #: One-line summary of every accepted executor spec, reused by error messages.
 SPEC_FORMS = (
     "'serial' (or 1), 'process'/'auto' (or 0), an integer job count, "
-    "'distributed' (local mini-cluster), or 'tcp://HOST:PORT' (bind a "
-    "distributed campaign scheduler there for external workers)"
+    "'distributed' (local mini-cluster), 'tcp://HOST:PORT' (bind a "
+    "distributed campaign scheduler there for external workers), or "
+    "'inproc://NAME' (socketless in-process fleet)"
 )
 
 
@@ -212,6 +215,10 @@ def _resolve_distributed(spec: str, source: str, jobs: Optional[int]) -> Executo
     if spec.lower() == "distributed":
         return local_mini_cluster(jobs)
     try:
+        if spec.lower().startswith("inproc://"):
+            # No way to attach external workers to an in-process fleet, so
+            # the executor must raise its own -- one per CPU by default.
+            return DistributedExecutor(spec, workers=jobs or cpu_count())
         return DistributedExecutor(spec, workers=0)
     except ValueError as error:
         raise ExecutorSpecError(

@@ -173,10 +173,18 @@ class TestJournalResume:
 
 
 class TestScenarioDigests:
-    def test_registered_scenario_smoke_digest_matches_serial(self):
+    @pytest.mark.parametrize("backend", ["tcp", "inproc"])
+    def test_registered_scenario_smoke_digest_matches_serial(self, backend):
         from repro.scenarios import get, run_scenario
 
         spec = get("fig2.bicriteria")
         serial = run_scenario(spec, smoke=True, executor="serial")
-        distributed = run_scenario(spec, smoke=True, executor=fast_executor(workers=2))
+        if backend == "tcp":
+            executor = fast_executor(workers=2)
+        else:
+            executor = DistributedExecutor("inproc://", workers=4, stall_timeout=30.0)
+        # Stealing and speculation are the executor's defaults -- the digest
+        # must not depend on which attempt of a cell wins.
+        assert executor.steal and executor.speculate
+        distributed = run_scenario(spec, smoke=True, executor=executor)
         assert rows_digest(distributed.rows) == rows_digest(serial.rows)

@@ -214,3 +214,56 @@ class TestStallGuard:
                 worker.close()
             scheduler.close()
             consumer.join(timeout=5.0)
+
+
+class TestWorkerReconnectPromptness:
+    def test_connection_closed_mid_request_does_not_wedge_the_worker(self):
+        """A scheduler vanishing between campaigns must not cost reply_timeout.
+
+        Regression: the worker sends ``request`` and the scheduler closes the
+        connection before replying (exactly what happens when consecutive
+        scenarios tear one scheduler down and bind the next).  The reader's
+        death has to wake the blocked pull immediately -- a worker that sits
+        out the full reply timeout on the dead comm eats into ``max_idle``
+        and self-reaps instead of serving the next campaign.
+        """
+
+        import asyncio
+
+        from repro.distributed.comm import core as comm_core
+        from repro.distributed.worker import AsyncWorker
+
+        async def scenario():
+            slammed = asyncio.Event()
+
+            async def slam_after_request(comm):
+                message = await comm.recv()
+                if message["op"] != "hello":  # a post-slam reconnect raced in
+                    await comm.close()
+                    return
+                await comm.send({"op": "welcome", "heartbeat_interval": 0.2})
+                message = await comm.recv()
+                assert message["op"] == "request"
+                await comm.close()  # no reply: the campaign is over
+                slammed.set()
+
+            lst = comm_core.listener("inproc://", slam_after_request)
+            await lst.start()
+            worker = AsyncWorker(
+                lst.address,
+                max_idle=0.5,
+                reconnect_delay=0.05,
+                reply_timeout=5.0,
+            )
+            run = asyncio.create_task(worker.run())
+            await asyncio.wait_for(slammed.wait(), timeout=5.0)
+            started = time.monotonic()
+            # The scheduler is gone for good: reconnects now fail, so the
+            # worker must notice the dead comm, retry, and idle out.
+            await lst.stop()
+            await asyncio.wait_for(run, timeout=10.0)
+            return time.monotonic() - started
+
+        elapsed = asyncio.run(scenario())
+        # max_idle (0.5s) plus slack; a wedge would take reply_timeout (5s).
+        assert elapsed < 3.0, f"worker wedged on a dead connection ({elapsed:.1f}s)"
