@@ -19,6 +19,10 @@
 #                              (coroutine fleet, no sockets or forks)
 #   make distributed-stress    stealing/speculation stress smoke: 32-worker
 #                              inproc fleet, 1s speculation delay
+#   make store-smoke           serial + inproc campaigns into one columnar
+#                              store, then SQL compare + validate (mirrors
+#                              the CI store-smoke job; falls back to the
+#                              pure-python engine without duckdb/pyarrow)
 #   make lint                  ruff check (byte-compilation fallback)
 #   make ci                    lint + test + scenario smoke + warn-only perf
 #                              compare (mirrors CI)
@@ -32,7 +36,7 @@ BASELINE ?= benchmarks/baselines/quick.json
 
 BENCH_ENV = $(if $(JOBS),REPRO_JOBS=$(JOBS)) $(if $(CACHE),REPRO_CACHE_DIR=$(CACHE))
 
-.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke distributed-smoke-inproc distributed-stress lint ci clean runtime-check runtime-goldens
+.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke distributed-smoke-inproc distributed-stress store-smoke lint ci clean runtime-check runtime-goldens
 
 # Port the distributed smoke tier binds its campaign schedulers on.
 DIST_PORT ?= 7641
@@ -100,6 +104,26 @@ distributed-stress:
 	PYTHONPATH=src $(PYTHON) -m repro.distributed run --all --smoke \
 		--comm inproc --workers 32 --speculation-delay 1
 
+# Land the same smoke campaigns twice -- once serial, once over inproc://
+# comms -- in ONE columnar store, then prove the two campaigns are
+# cell-for-cell identical with the SQL compare and re-check the paper's
+# ratio bounds with the validation queries.  --engine auto uses DuckDB/
+# Parquet when the [analytics] extra is installed and the pure-python
+# JSONL twin otherwise, so the target works in a bare checkout too.
+STORE_DIR ?= .store-smoke
+STORE_SCENARIOS ?= fig2.bicriteria mix.rigid-moldable
+
+store-smoke:
+	rm -rf $(STORE_DIR)
+	PYTHONPATH=src $(PYTHON) -m repro.scenarios run $(STORE_SCENARIOS) --smoke \
+		--store $(STORE_DIR) --campaign serial
+	PYTHONPATH=src $(PYTHON) -m repro.distributed run $(STORE_SCENARIOS) --smoke \
+		--comm inproc --store $(STORE_DIR) --campaign inproc
+	PYTHONPATH=src $(PYTHON) -m repro.store info --store $(STORE_DIR)
+	PYTHONPATH=src $(PYTHON) -m repro.store compare --store $(STORE_DIR) \
+		--metric cmax_ratio --campaign-a serial --campaign-b inproc
+	PYTHONPATH=src $(PYTHON) -m repro.store validate --store $(STORE_DIR)
+
 # ruff when available (the CI lint job installs it); plain byte-compilation
 # otherwise so the target always catches syntax errors.
 lint:
@@ -117,6 +141,6 @@ ci:
 	$(MAKE) perf-compare
 
 clean:
-	rm -rf .pytest_cache .benchmarks .repro-cache
+	rm -rf .pytest_cache .benchmarks .repro-cache .store-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	find . -name "*.py[co]" -delete

@@ -42,6 +42,32 @@ def journal_key(cell: Cell, version: str) -> str:
     return cell_key(JOURNAL_EXPERIMENT, cell, version)
 
 
+def load_journal_entries(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """All complete entries of a journal file, keyed by cell key.
+
+    Tolerates a missing file and a trailing line truncated by a crash
+    mid-append (everything before it is still recovered).  Shared by
+    :class:`CampaignJournal` and :func:`repro.store.ingest.ingest_journal`.
+    """
+
+    loaded: Dict[str, Dict[str, Any]] = {}
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return loaded
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # a line truncated by a crash mid-append
+        if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+            loaded[entry["key"]] = entry
+    return loaded
+
+
 class CampaignJournal:
     """An on-disk JSONL record of completed campaign cells."""
 
@@ -72,22 +98,7 @@ class CampaignJournal:
             return self._entries
 
     def _load(self) -> Dict[str, Dict[str, Any]]:
-        loaded: Dict[str, Dict[str, Any]] = {}
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except OSError:
-            return loaded
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                continue  # a line truncated by a crash mid-append
-            if isinstance(entry, dict) and isinstance(entry.get("key"), str):
-                loaded[entry["key"]] = entry
-        return loaded
+        return load_journal_entries(self.path)
 
     def __len__(self) -> int:
         return len(self.entries())
@@ -127,3 +138,18 @@ class CampaignJournal:
             if self._entries is not None:
                 self._entries[entry["key"]] = entry
         return True
+
+    # -- unified results API (repro.store.api.RowSink / RowSource) ----------
+    # The journal keys on the run fingerprint alone (JOURNAL_EXPERIMENT is a
+    # constant label), so the protocol adapters ignore ``experiment``.
+
+    def write(self, experiment: str, cell: Cell, outcome: CellOutcome, version: str = "") -> bool:
+        if outcome.failed:
+            return False
+        return self.record(cell, outcome, version)
+
+    def replay(self, experiment: str, cell: Cell, version: str = "") -> Optional[CellOutcome]:
+        return self.lookup(cell, version)
+
+    def flush(self) -> None:
+        """Appends are flushed line-by-line; nothing buffered to push."""

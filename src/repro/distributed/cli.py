@@ -100,6 +100,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="minimum age of a running cell before it is duplicated onto an "
              "idle worker (default: 5)",
     )
+    from repro.scenarios.cli import _add_export_arguments
+
+    _add_export_arguments(common)
 
     scheduler = sub.add_parser(
         "scheduler", parents=[common],
@@ -150,12 +153,19 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _run_scenarios(args: argparse.Namespace, executor: DistributedExecutor) -> int:
-    from repro.scenarios.cli import run_specs, select_specs
+    from repro.scenarios.cli import _open_store, _resolve_out, run_specs, select_specs
+    from repro.scenarios.spec import SpecError
 
     specs = select_specs(args.names, args.all, args.tag)
     if not specs:
         if specs is not None:  # an empty --all/--tag selection
             print("no scenarios matched", file=sys.stderr)
+        return 2
+    try:
+        out = _resolve_out(args)
+        sink = _open_store(args)
+    except SpecError as error:
+        print(error, file=sys.stderr)
         return 2
     print(f"scheduling onto {executor!r}")
     code = run_specs(
@@ -164,6 +174,9 @@ def _run_scenarios(args: argparse.Namespace, executor: DistributedExecutor) -> i
         executor=executor,
         output=args.output,
         schema="repro.distributed/1",
+        sink=sink,
+        out=out,
+        out_format=args.out_format,
     )
     counters = {k: v for k, v in executor.stats.as_dict().items() if v}
     if counters:

@@ -147,6 +147,17 @@ class ResultCache:
         self.stats.stores += 1
         return True
 
+    # -- unified results API (repro.store.api.RowSink / RowSource) ----------
+
+    def write(self, experiment: str, cell: Cell, outcome: CellOutcome, version: str = "") -> bool:
+        return self.store(experiment, cell, outcome, version)
+
+    def replay(self, experiment: str, cell: Cell, version: str = "") -> Optional[CellOutcome]:
+        return self.lookup(experiment, cell, version)
+
+    def flush(self) -> None:
+        """Entries are individually atomic files; nothing buffered to push."""
+
     def clear(self) -> int:
         """Delete every cached entry; returns the number of files removed."""
 

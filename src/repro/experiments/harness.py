@@ -188,6 +188,7 @@ def run_experiment(
     executor: ExecutorSpec = None,
     cache: Union[None, str, Path, ResultCache] = None,
     cache_version: Optional[str] = None,
+    sink: Any = None,
     progress: Optional[Callable[[str], None]] = None,
     on_row: Optional[Callable[[Dict[str, Any]], None]] = None,
     capture_errors: bool = False,
@@ -216,6 +217,11 @@ def run_experiment(
         Optional on-disk cell cache (a directory path or a
         :class:`~repro.experiments.cache.ResultCache`); completed cells are
         skipped on re-runs.
+    sink:
+        Optional :class:`~repro.store.api.RowSink` (or a campaign-store
+        directory path) receiving every completed cell as it streams in --
+        replayed ones included, so a cached re-run still lands a full row
+        set.  Flushed when the sweep finishes, even on error.
     progress:
         Called with a one-line message as each cell completes (unlike the
         historical runner there is no before-run notification: under a
@@ -229,11 +235,14 @@ def run_experiment(
         continues.
     """
 
+    from repro.store.api import coerce_sink, compose_row
+
     cells = expand_grid(parameters, repetitions=repetitions, base_seed=base_seed)
     backend = resolve_executor(executor)
     store = ResultCache.coerce(cache)
+    row_sink = coerce_sink(sink)
     version = cache_version if cache_version is not None else (
-        run_fingerprint(run) if store is not None else ""
+        run_fingerprint(run) if (store is not None or row_sink is not None) else ""
     )
 
     start = time.perf_counter()
@@ -268,13 +277,13 @@ def run_experiment(
                 if progress is not None:
                     progress(f"{name}: {cell.describe()} FAILED ({outcome.error_type})")
                 continue
-            row: Dict[str, Any] = {"experiment": name, "seed": cell.seed}
-            row.update(cell.params_dict)
-            row.update(outcome.metrics or {})
+            row = compose_row(name, cell, outcome)
             result.rows.append(row)
             aggregator.update(row)
             if store is not None and not outcome.cached:
                 store.store(name, cell, outcome, version)
+            if row_sink is not None:
+                row_sink.write(name, cell, outcome, version)
             if on_row is not None:
                 on_row(row)
             if progress is not None:
@@ -291,6 +300,8 @@ def run_experiment(
         close = getattr(live, "close", None)
         if close is not None:
             close()
+        if row_sink is not None:
+            row_sink.flush()
 
     result.elapsed_seconds = time.perf_counter() - start
     return result

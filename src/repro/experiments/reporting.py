@@ -161,13 +161,25 @@ def runs_table(
 
 
 def to_csv(rows: Sequence[Mapping[str, Any]], *, columns: Optional[Sequence[str]] = None) -> str:
-    """Serialise dict rows to CSV text."""
+    """Serialise dict rows to CSV text.
+
+    Columns default to the union of every row's keys in first-seen order,
+    so heterogeneous sweeps (a metric appearing only in later rows) lose
+    nothing.  Values containing the delimiter, quotes or line breaks are
+    quoted per RFC 4180.
+    """
 
     rows = list(rows)
     if not rows:
         return ""
     if columns is None:
-        columns = list(rows[0].keys())
+        seen = set()
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    columns.append(key)
     out = io.StringIO()
     out.write(",".join(str(c) for c in columns) + "\n")
     for row in rows:
@@ -175,7 +187,7 @@ def to_csv(rows: Sequence[Mapping[str, Any]], *, columns: Optional[Sequence[str]
         for column in columns:
             value = row.get(column, "")
             text = str(value)
-            if "," in text or '"' in text:
+            if any(ch in text for ch in (",", '"', "\n", "\r")):
                 text = '"' + text.replace('"', '""') + '"'
             cells.append(text)
         out.write(",".join(cells) + "\n")

@@ -9,11 +9,18 @@
     python -m repro.scenarios run --all --smoke        # CI smoke tier
     python -m repro.scenarios run --all --smoke --executor tcp://127.0.0.1:8765
                                        # ... on external distributed workers
-    python -m repro.scenarios sweep cluster.load-ramp --smoke --csv out.csv
+    python -m repro.scenarios run fig2.bicriteria --store results/ --campaign serial
+                                       # ... streaming rows into a campaign store
+    python -m repro.scenarios sweep cluster.load-ramp --smoke --out out.csv
+    python -m repro.scenarios sweep cluster.load-ramp --smoke --out out.parquet
     python -m repro.scenarios sweep swf.replay --axis policy.kind=fifo,backfill
 
 Exit codes: 0 on success, 1 when any scenario fails to run, 2 on usage
 errors (unknown scenario names, bad axis syntax).
+
+Exports go through ``--out PATH`` (format inferred from the suffix, or
+forced with ``--format csv|jsonl|parquet``); the old ``--csv PATH`` spelling
+still works but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--spec", type=Path, action="append", default=[], dest="spec_files",
         metavar="FILE.toml", help="also run a scenario spec loaded from a TOML file",
     )
+    _add_export_arguments(run)
 
     swp = sub.add_parser("sweep", help="run one scenario sweep and print the rows")
     swp.add_argument("name")
@@ -79,12 +87,65 @@ def _build_parser() -> argparse.ArgumentParser:
         help="executor spec: a job count, 'serial', 'auto', 'distributed', or "
              "tcp://HOST:PORT to schedule cells onto external distributed workers",
     )
-    swp.add_argument("--csv", type=Path, default=None, help="write the rows as CSV")
+    _add_export_arguments(swp)
     swp.add_argument(
         "--group-by", default=None, metavar="COLUMN",
         help="also print per-group means of every numeric metric",
     )
     return parser
+
+
+def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
+    """The unified export/store flags shared by ``run`` and ``sweep``."""
+
+    from repro.store.api import FORMATS
+
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write the result rows to this file (csv/jsonl/parquet, "
+             "inferred from the suffix)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default=None, dest="out_format",
+        help="force the --out format instead of inferring it from the suffix",
+    )
+    parser.add_argument(
+        "--csv", type=Path, default=None, metavar="PATH",
+        help="(deprecated) alias for --out PATH --format csv",
+    )
+    parser.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="stream every completed cell into this campaign store directory "
+             "(query it with python -m repro.store)",
+    )
+    parser.add_argument(
+        "--campaign", default=None, metavar="NAME",
+        help="campaign label inside --store (default: 'default')",
+    )
+
+
+def _resolve_out(args: argparse.Namespace) -> Optional[Path]:
+    """Merge ``--out`` with the deprecated ``--csv`` alias (warns when used)."""
+
+    from repro.store.api import deprecated_csv_flag
+
+    csv_path = deprecated_csv_flag(args.csv)
+    if csv_path is not None:
+        if args.out is not None:
+            raise SpecError("--csv is an alias for --out; give only one of them")
+        args.out_format = "csv"
+        return csv_path
+    return args.out
+
+
+def _open_store(args: argparse.Namespace) -> Optional[Any]:
+    if args.store is None:
+        if args.campaign:
+            raise SpecError("--campaign needs --store DIR")
+        return None
+    from repro.store.columnar import CampaignStore
+
+    return CampaignStore(args.store, campaign=args.campaign or "default")
 
 
 def _executor(spec: Optional[str]) -> Any:
@@ -197,28 +258,38 @@ def run_specs(
     executor: Any = None,
     output: Optional[Path] = None,
     schema: str = "repro.scenarios/1",
+    sink: Any = None,
+    out: Optional[Path] = None,
+    out_format: Optional[str] = None,
 ) -> int:
     """Run scenario specs, print ok/FAIL summary lines, optionally write JSON.
 
     The single implementation behind ``repro.scenarios run`` and the
     ``repro.distributed`` scheduler/run commands, so summary format, failure
-    handling and exit codes cannot drift between the CLIs.  Returns 1 when
-    any scenario failed, else 0.
+    handling and exit codes cannot drift between the CLIs.  Every completed
+    cell streams into ``sink`` (a :class:`~repro.store.api.RowSink`, e.g. a
+    campaign store) when one is given; ``out`` additionally exports the
+    concatenated rows through :func:`repro.store.api.write_rows`.  Returns 1
+    when any scenario failed, else 0.
     """
 
     tier = "smoke" if smoke else "full"
     summaries: List[Dict[str, Any]] = []
+    exported: List[Dict[str, Any]] = []
     failures = 0
     for spec in specs:
         try:
-            result = run_scenario(spec, smoke=smoke, executor=executor)
+            result = run_scenario(spec, smoke=smoke, executor=executor, sink=sink)
         except Exception as error:  # a broken scenario must fail the build, visibly
             failures += 1
             message = f"{type(error).__name__}: {error}"
             print(f"FAIL {spec.name}: {message.splitlines()[0][:160]}")
             summaries.append({"name": spec.name, "tier": tier, "ok": False, "error": message})
             continue
-        outcome = summarize(spec, result)
+        outcome = summarize(spec, result, store=sink)
+        if out is not None:
+            exported.extend(result.rows)
+            outcome.rows_path = str(out)
         # Cache hits cover both the on-disk result cache and, under a
         # distributed executor, campaign-journal replays.
         replayed = f", {outcome.cache_hits} cached" if outcome.cache_hits else ""
@@ -229,6 +300,13 @@ def run_specs(
         )
         summaries.append({"tier": tier, "ok": True, **outcome.to_dict()})
     print(f"\n{len(specs) - failures}/{len(specs)} scenario(s) passed ({tier} tier)")
+    if sink is not None:
+        sink.flush()
+    if out is not None:
+        from repro.store.api import write_rows
+
+        write_rows(exported, out, fmt=out_format)
+        print(f"{len(exported)} row(s) written to {out}")
     if output is not None:
         output.parent.mkdir(parents=True, exist_ok=True)
         output.write_text(json.dumps(
@@ -242,7 +320,9 @@ def run_specs(
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         executor = _executor(args.jobs)
-    except ValueError as error:
+        out = _resolve_out(args)
+        sink = _open_store(args)
+    except (ValueError, SpecError) as error:
         print(error, file=sys.stderr)
         return 2
     if args.all or args.names or not args.spec_files:
@@ -263,16 +343,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not specs:
         print("no scenarios matched", file=sys.stderr)
         return 2
-    return run_specs(specs, smoke=args.smoke, executor=executor, output=args.output)
+    return run_specs(
+        specs, smoke=args.smoke, executor=executor, output=args.output,
+        sink=sink, out=out, out_format=args.out_format,
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.reporting import ascii_table, to_csv
+    from repro.experiments.reporting import ascii_table
 
     try:
         spec = registry.get(args.name)
         axes = _parse_axes(args.axis)
         executor = _executor(args.jobs)
+        out = _resolve_out(args)
+        sink = _open_store(args)
     except (KeyError, SpecError, ValueError) as error:
         print(error, file=sys.stderr)
         return 2
@@ -285,6 +370,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             sweep=sweep,
             repetitions=args.repetitions,
             executor=executor,
+            sink=sink,
         )
     except Exception as error:
         print(f"FAIL {spec.name}: {type(error).__name__}: {error}", file=sys.stderr)
@@ -306,10 +392,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             grouped_rows.append(row)
         print(ascii_table(grouped_rows, title=f"means by {args.group_by}"))
     print(f"digest {rows_digest(result.rows)[:12]}, elapsed {result.elapsed_seconds:.2f}s")
-    if args.csv is not None:
-        args.csv.parent.mkdir(parents=True, exist_ok=True)
-        args.csv.write_text(to_csv(result.rows))
-        print(f"rows written to {args.csv}")
+    if out is not None:
+        from repro.store.api import write_rows
+
+        write_rows(result.rows, out, fmt=args.out_format)
+        print(f"rows written to {out}")
     return 0
 
 

@@ -635,6 +635,7 @@ def run_scenario(
     repetitions: Optional[int] = None,
     executor: ExecutorSpec = None,
     cache: Any = None,
+    sink: Any = None,
     progress: Optional[Callable[[str], None]] = None,
     on_row: Optional[Callable[[Dict[str, Any]], None]] = None,
     capture_errors: bool = False,
@@ -645,7 +646,9 @@ def run_scenario(
     sizes, usually one repetition); ``overrides`` / ``sweep`` /
     ``repetitions`` then adjust the effective spec, in that order.  The
     returned :class:`ExperimentResult` is exactly what the equivalent
-    hand-wired :func:`run_experiment` call would produce.
+    hand-wired :func:`run_experiment` call would produce.  ``sink`` is an
+    optional :class:`~repro.store.api.RowSink` (or campaign-store directory)
+    every completed cell streams into, whatever the executor.
     """
 
     effective = spec.smoke_spec() if smoke else spec
@@ -665,6 +668,7 @@ def run_scenario(
         base_seed=effective.seed,
         executor=executor,
         cache=cache,
+        sink=sink,
         progress=progress,
         on_row=on_row,
         capture_errors=capture_errors,
@@ -692,12 +696,31 @@ class ScenarioOutcome:
     #: Cells replayed from the result cache or a distributed campaign
     #: journal instead of being executed.
     cache_hits: int = 0
+    #: Where the rows were exported (``--out``), empty when not exported.
+    rows_path: str = ""
+    #: The campaign store the rows streamed into (``--store``), or ``None``.
+    #: A live handle, not data -- excluded from :meth:`to_dict`.
+    store: Any = dataclasses.field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        # Not dataclasses.asdict: the store handle is neither serialisable
+        # nor part of the outcome's value.
+        return {
+            "name": self.name,
+            "rows": self.rows,
+            "elapsed_seconds": self.elapsed_seconds,
+            "digest": self.digest,
+            "executor": self.executor,
+            "errors": self.errors,
+            "error": self.error,
+            "cache_hits": self.cache_hits,
+            "rows_path": self.rows_path,
+        }
 
 
-def summarize(spec: ScenarioSpec, result: ExperimentResult) -> ScenarioOutcome:
+def summarize(
+    spec: ScenarioSpec, result: ExperimentResult, *, store: Any = None
+) -> ScenarioOutcome:
     return ScenarioOutcome(
         name=spec.name,
         rows=len(result.rows),
@@ -706,4 +729,5 @@ def summarize(spec: ScenarioSpec, result: ExperimentResult) -> ScenarioOutcome:
         executor=result.executor,
         errors=len(result.errors),
         cache_hits=result.cache_hits,
+        store=store,
     )

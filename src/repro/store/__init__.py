@@ -1,0 +1,57 @@
+"""Columnar campaign store: the unified results API and SQL analytics layer.
+
+The package has four layers, importable a la carte:
+
+* :mod:`repro.store.api` -- the :class:`RowSink`/:class:`RowSource`
+  protocols every row store implements, plus :func:`write_rows`, the single
+  export entry point behind the CLIs' ``--out`` flags.
+* :mod:`repro.store.columnar` -- :class:`CampaignStore`, Parquet (or JSONL
+  fallback) partitions published through an atomic manifest.
+* :mod:`repro.store.queries` / :mod:`repro.store.analytics` -- named SQL
+  queries over a DuckDB view of the store, each with a pure-python twin.
+* :mod:`repro.store.validate` -- the paper's ratio bounds as validation
+  queries; :mod:`repro.store.ingest` -- legacy journal/CSV import.
+
+Only the standard library and numpy are required; duckdb and pyarrow are
+the optional ``[analytics]`` extra and every entry point degrades to a
+pure-python path without them.
+"""
+
+from repro.store.api import (
+    FORMATS,
+    RowSink,
+    RowSource,
+    StoreUnavailableError,
+    compose_row,
+    infer_format,
+    read_rows,
+    union_columns,
+    write_rows,
+)
+from repro.store.columnar import CampaignStore, Partition, StoreStats
+from repro.store.queries import QUERIES, Query, QueryError, get_query, run_query
+from repro.store.validate import RULES, RuleResult, ValidationRule, validate_store
+
+__all__ = [
+    "FORMATS",
+    "QUERIES",
+    "Query",
+    "QueryError",
+    "RULES",
+    "RowSink",
+    "RowSource",
+    "RuleResult",
+    "CampaignStore",
+    "Partition",
+    "StoreStats",
+    "StoreUnavailableError",
+    "ValidationRule",
+    "compose_row",
+    "get_query",
+    "infer_format",
+    "read_rows",
+    "run_query",
+    "union_columns",
+    "validate_store",
+    "write_rows",
+]

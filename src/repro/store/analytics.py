@@ -1,0 +1,97 @@
+"""DuckDB SQL layer over a campaign store (optional ``[analytics]`` extra).
+
+DuckDB reads the store's Parquet partitions natively (and the JSONL
+fallback partitions through ``read_json``), so a store written by a machine
+with pyarrow can be queried on another with only duckdb -- and vice versa.
+:func:`connect` builds an in-memory connection exposing one view, ``rows``,
+that unions every manifest-referenced part file *by name*: heterogeneous
+sweeps whose later parts carry extra columns simply surface NULLs in the
+earlier ones.
+
+Everything in this module degrades loudly, not silently: when duckdb is
+missing, :class:`~repro.store.api.StoreUnavailableError` names the extra to
+install; the named queries themselves keep working through their
+pure-python twins (:mod:`repro.store.queries`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.store.api import StoreUnavailableError
+from repro.store.columnar import CampaignStore
+
+
+def duckdb_available() -> bool:
+    try:
+        import duckdb  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def _file_list(paths: List[Any]) -> str:
+    quoted = ", ".join("'" + str(path).replace("'", "''") + "'" for path in paths)
+    return f"[{quoted}]"
+
+
+def rows_view_sql(store: CampaignStore) -> str:
+    """The SELECT unioning every part file of the store, by column name."""
+
+    selects: List[str] = []
+    by_format = store.files_by_format()
+    parquet = by_format.get("parquet")
+    if parquet:
+        selects.append(
+            f"SELECT * FROM read_parquet({_file_list(parquet)}, union_by_name=true)"
+        )
+    jsonl = by_format.get("jsonl")
+    if jsonl:
+        selects.append(
+            f"SELECT * FROM read_json({_file_list(jsonl)}, "
+            "format='newline_delimited', union_by_name=true)"
+        )
+    if not selects:
+        raise StoreEmptyError(store)
+    return " UNION ALL BY NAME ".join(selects)
+
+
+class StoreEmptyError(RuntimeError):
+    """The store has no landed partitions yet (nothing to query)."""
+
+    def __init__(self, store: CampaignStore) -> None:
+        super().__init__(
+            f"store {store.root} has no landed partitions; run a sweep with "
+            "--store/--out or `python -m repro.store ingest` first"
+        )
+
+
+def connect(store: CampaignStore) -> Any:
+    """An in-memory DuckDB connection with the ``rows`` view installed."""
+
+    try:
+        import duckdb
+    except ImportError:
+        raise StoreUnavailableError("SQL analytics", "duckdb") from None
+    connection = duckdb.connect(":memory:")
+    connection.execute(f"CREATE VIEW rows AS {rows_view_sql(store)}")
+    return connection
+
+
+def fetch_dicts(connection: Any, sql: str) -> List[Dict[str, Any]]:
+    """Execute ``sql`` and return the result set as a list of dict rows."""
+
+    cursor = connection.execute(sql)
+    columns = [description[0] for description in cursor.description]
+    return [dict(zip(columns, values)) for values in cursor.fetchall()]
+
+
+def run_sql_query(store: CampaignStore, sql: str) -> List[Dict[str, Any]]:
+    """One-shot: connect, install the ``rows`` view, run ``sql``, close."""
+
+    connection = connect(store)
+    try:
+        return fetch_dicts(connection, sql)
+    finally:
+        connection.close()

@@ -1,0 +1,252 @@
+"""The unified results API: one protocol for every row producer.
+
+Historically the repository persisted sweep rows through three unrelated
+code paths -- the on-disk :class:`~repro.experiments.cache.ResultCache`,
+the distributed :class:`~repro.distributed.campaign.CampaignJournal` and
+ad-hoc ``reporting.to_csv`` calls -- each with its own encoding.  This
+module defines the single contract they all speak now:
+
+* :class:`RowSink` -- anything that accepts completed cells.  The harness
+  (:func:`repro.experiments.harness.run_experiment`) streams every finished
+  cell into its ``sink=``, whatever executor produced it (serial, pool,
+  ``tcp://``, ``inproc://``).
+* :class:`RowSource` -- anything that can replay a previously persisted
+  cell, keyed by :func:`repro.experiments.grid.cell_key` plus the run
+  fingerprint, exactly like the cache and the journal.
+* :func:`write_rows` -- the one export entry point behind every CLI
+  ``--out`` flag: CSV, JSONL or Parquet, inferred from the file suffix.
+
+All three row stores (cache, journal and the columnar
+:class:`~repro.store.columnar.CampaignStore`) implement both protocols and
+share the :func:`~repro.experiments.cache.encode_replayable` /
+:func:`~repro.experiments.cache.decode_replayed` codec, so a row replayed
+from any of them is bit-identical to a freshly computed one.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro.experiments.grid import Cell, CellOutcome
+
+try:  # typing.Protocol: py >= 3.8, runtime_checkable for isinstance tests
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - very old interpreters
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+class StoreUnavailableError(RuntimeError):
+    """An operation needs an optional analytics dependency that is absent.
+
+    Raised instead of a bare ``ImportError`` so the message can say *what to
+    install* (``pip install 'repro-dutot-emt04[analytics]'``) and callers can
+    catch one exception type for every missing-backend case.
+    """
+
+    def __init__(self, feature: str, dependency: str) -> None:
+        super().__init__(
+            f"{feature} needs the optional dependency {dependency!r}; "
+            f"install the analytics extra: pip install 'repro-dutot-emt04[analytics]'"
+        )
+        self.dependency = dependency
+
+
+@runtime_checkable
+class RowSink(Protocol):
+    """Accepts completed sweep cells; the write half of the results API."""
+
+    def write(self, experiment: str, cell: Cell, outcome: CellOutcome, version: str = "") -> bool:
+        """Persist one completed cell; False when the outcome is not persistable."""
+        ...
+
+    def flush(self) -> None:
+        """Make every accepted cell durable (no-op for line-buffered sinks)."""
+        ...
+
+
+@runtime_checkable
+class RowSource(Protocol):
+    """Replays persisted cells; the read half of the results API."""
+
+    def replay(self, experiment: str, cell: Cell, version: str = "") -> Optional[CellOutcome]:
+        """The persisted outcome of ``cell`` (``cached=True``), or ``None``."""
+        ...
+
+
+def compose_row(experiment: str, cell: Cell, outcome: CellOutcome) -> Dict[str, Any]:
+    """The flat result row of one completed cell.
+
+    The single definition of a row's shape and key order -- experiment,
+    seed, sweep parameters, then metrics -- shared by the harness and every
+    store, so re-exported rows are bit-identical to streamed ones.
+    """
+
+    row: Dict[str, Any] = {"experiment": experiment, "seed": cell.seed}
+    row.update(cell.params_dict)
+    row.update(outcome.metrics or {})
+    return row
+
+
+def json_stable(value: Any) -> bool:
+    """True when ``value`` survives a JSON round-trip unchanged."""
+
+    try:
+        return json.loads(json.dumps(value)) == value
+    except (TypeError, ValueError):
+        return False
+
+
+def coerce_sink(sink: Union[None, str, Path, RowSink]) -> Optional[RowSink]:
+    """Accept a sink object or a store directory path (coerced to a store)."""
+
+    if sink is None or isinstance(sink, RowSink):
+        return sink
+    from repro.store.columnar import CampaignStore
+
+    return CampaignStore(sink)
+
+
+# ---------------------------------------------------------------------------
+# write_rows: the one export entry point (--out on every CLI)
+# ---------------------------------------------------------------------------
+
+#: Formats accepted by :func:`write_rows` / the CLIs' ``--format`` flags.
+FORMATS = ("csv", "jsonl", "parquet")
+
+_SUFFIXES = {
+    ".csv": "csv",
+    ".jsonl": "jsonl",
+    ".ndjson": "jsonl",
+    ".parquet": "parquet",
+    ".pq": "parquet",
+}
+
+
+def infer_format(path: Union[str, Path], fmt: Optional[str] = None) -> str:
+    """Resolve an export format from an explicit flag or the file suffix."""
+
+    if fmt is not None:
+        if fmt not in FORMATS:
+            raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+        return fmt
+    suffix = Path(path).suffix.lower()
+    resolved = _SUFFIXES.get(suffix)
+    if resolved is None:
+        raise ValueError(
+            f"cannot infer a format from {str(path)!r} (suffix {suffix!r}); "
+            f"use a {'/'.join(sorted(set(_SUFFIXES)))} suffix or pass --format"
+        )
+    return resolved
+
+
+def union_columns(rows: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Union of every row's keys, in first-seen order (heterogeneous sweeps)."""
+
+    columns: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
+    return columns
+
+
+def _rows_to_jsonl(rows: Sequence[Mapping[str, Any]]) -> str:
+    return "".join(json.dumps(dict(row), default=repr) + "\n" for row in rows)
+
+
+def _write_parquet(rows: Sequence[Mapping[str, Any]], path: Path,
+                   columns: Sequence[str]) -> None:
+    try:
+        import pyarrow as pa
+        import pyarrow.parquet as pq
+    except ImportError:
+        raise StoreUnavailableError("parquet export", "pyarrow") from None
+    from repro.store.columnar import normalize_columns
+
+    flat = [
+        {column: row.get(column) for column in columns}
+        for row in rows
+    ]
+    table = pa.Table.from_pylist(normalize_columns(flat, columns))
+    pq.write_table(table, str(path))
+
+
+def write_rows(
+    rows: Sequence[Mapping[str, Any]],
+    path: Union[str, Path],
+    *,
+    fmt: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write result rows to ``path`` as CSV, JSONL or Parquet.
+
+    The format is taken from ``fmt`` when given, otherwise inferred from the
+    file suffix.  Columns default to the union of every row's keys in
+    first-seen order.  Returns the path written.
+    """
+
+    from repro.experiments.reporting import to_csv
+
+    path = Path(path)
+    resolved = infer_format(path, fmt)
+    if columns is None:
+        columns = union_columns(rows)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if resolved == "csv":
+        path.write_text(to_csv(rows, columns=columns), encoding="utf-8")
+    elif resolved == "jsonl":
+        path.write_text(_rows_to_jsonl(rows), encoding="utf-8")
+    else:
+        _write_parquet(rows, path, columns)
+    return path
+
+
+def read_rows(path: Union[str, Path], *, fmt: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Read back rows written by :func:`write_rows` (tests, round-trips)."""
+
+    path = Path(path)
+    resolved = infer_format(path, fmt)
+    if resolved == "jsonl":
+        return [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+    if resolved == "parquet":
+        try:
+            import pyarrow.parquet as pq
+        except ImportError:
+            raise StoreUnavailableError("parquet import", "pyarrow") from None
+        return pq.read_table(str(path)).to_pylist()
+    import csv as _csv
+    import io
+
+    with io.StringIO(path.read_text(encoding="utf-8")) as handle:
+        return [dict(row) for row in _csv.DictReader(handle)]
+
+
+def deprecated_csv_flag(csv_path: Optional[Path]) -> Optional[Path]:
+    """Handle a legacy ``--csv PATH`` flag: warn once, return it as ``--out``."""
+
+    if csv_path is not None:
+        warnings.warn(
+            "--csv is deprecated; use --out PATH (format inferred from the "
+            "suffix, or forced with --format csv)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return csv_path
+
+
+def iter_source_rows(source: Any) -> Iterator[Dict[str, Any]]:
+    """Iterate the decoded rows of any store exposing ``rows()`` (sugar)."""
+
+    return iter(source.rows())

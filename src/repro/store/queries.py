@@ -1,0 +1,436 @@
+"""Named, individually tested analytics queries over a campaign store.
+
+Each query exists twice, by design:
+
+* as **SQL** over the DuckDB view ``rows`` (one record per landed cell,
+  promoted scalar columns; see :mod:`repro.store.analytics`) -- the fast
+  path for millions-of-cells stores, and
+* as a **pure-python** twin operating on :meth:`CampaignStore.records`
+  output -- the dependency-free fallback, and the oracle the SQL is tested
+  against (which in turn matches the
+  :class:`~repro.metrics.aggregate.StreamingAggregator` numbers).
+
+:func:`run_query` picks the engine (``auto`` prefers SQL when duckdb is
+importable) and always returns a list of plain dict rows, so CLI export and
+tests treat both engines identically.
+
+Queries never interpolate raw user input: column names are validated
+against an identifier grammar before quoting, values go through a literal
+escaper.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.metrics.aggregate import summarize
+from repro.store.columnar import CampaignStore
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+class QueryError(ValueError):
+    """Unknown query, missing parameter or invalid identifier."""
+
+
+def quote_ident(name: str) -> str:
+    """Validate and double-quote a column identifier for SQL interpolation."""
+
+    if not _IDENT.match(name or ""):
+        raise QueryError(f"invalid column identifier {name!r}")
+    return f'"{name}"'
+
+
+def sql_literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def _metric_expr(metric: str) -> str:
+    """A numeric view of a possibly VARCHAR-unioned column."""
+
+    return f"try_cast({quote_ident(metric)} AS DOUBLE)"
+
+
+def _where(filters: Mapping[str, Any], extra: Sequence[str] = ()) -> str:
+    clauses = [f"{quote_ident(k)} = {sql_literal(v)}" for k, v in sorted(filters.items())
+               if v is not None]
+    clauses.extend(extra)
+    return (" WHERE " + " AND ".join(clauses)) if clauses else ""
+
+
+def _scoped(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {k: params.get(k) for k in ("campaign", "scenario") if params.get(k) is not None}
+
+
+def _match(record: Mapping[str, Any], filters: Mapping[str, Any]) -> bool:
+    return all(record.get(k) == v for k, v in filters.items())
+
+
+def _numeric(value: Any) -> Optional[float]:
+    """The float() view a record column shares with the SQL ``try_cast``."""
+
+    if value is None or isinstance(value, bool):
+        return 1.0 if value is True else (0.0 if value is False else None)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class Query:
+    """One named analytics query: SQL text + pure-python twin."""
+
+    name: str
+    description: str
+    required: Tuple[str, ...]
+    optional: Tuple[str, ...]
+    sql_builder: Callable[[Dict[str, Any]], str]
+    py_runner: Callable[[List[Dict[str, Any]], Dict[str, Any]], List[Dict[str, Any]]]
+    #: SQL results carry a ``row_json`` column to decode into the output rows.
+    decodes_rows: bool = False
+
+    def check_params(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        missing = [name for name in self.required if params.get(name) in (None, "")]
+        if missing:
+            raise QueryError(
+                f"query {self.name!r} needs parameter(s) {missing} "
+                f"(pass --param name=value)"
+            )
+        unknown = sorted(set(params) - set(self.required) - set(self.optional))
+        if unknown:
+            raise QueryError(
+                f"query {self.name!r} does not take parameter(s) {unknown}; "
+                f"accepted: {sorted(self.required + self.optional)}"
+            )
+        return dict(params)
+
+    def sql(self, **params: Any) -> str:
+        return self.sql_builder(self.check_params(params))
+
+    def run_py(self, records: List[Dict[str, Any]], **params: Any) -> List[Dict[str, Any]]:
+        return self.py_runner(records, self.check_params(params))
+
+
+# ---------------------------------------------------------------------------
+# rows: the exact result rows (bit-identical re-export channel)
+# ---------------------------------------------------------------------------
+
+
+def _rows_sql(params: Dict[str, Any]) -> str:
+    return (
+        "SELECT campaign, scenario, row_index, row_json FROM rows"
+        + _where(_scoped(params))
+        + " ORDER BY campaign, scenario, row_index"
+    )
+
+
+def _rows_py(records: List[Dict[str, Any]], params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    scoped = _scoped(params)
+    return [
+        json.loads(record["row_json"])
+        for record in records
+        if _match(record, scoped)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# metric-summary: StreamingAggregator-equivalent per-scenario statistics
+# ---------------------------------------------------------------------------
+
+
+def _metric_summary_sql(params: Dict[str, Any]) -> str:
+    m = _metric_expr(params["metric"])
+    return (
+        f"SELECT campaign, scenario, {sql_literal(params['metric'])} AS metric, "
+        f"count({m}) AS count, avg({m}) AS mean, "
+        f"coalesce(stddev_samp({m}), 0.0) AS std, "
+        f"min({m}) AS min, median({m}) AS median, "
+        f"quantile_cont({m}, 0.9) AS p90, max({m}) AS max, "
+        f"CASE WHEN count({m}) > 1 THEN 1.96 * coalesce(stddev_samp({m}), 0.0) "
+        f"/ sqrt(count({m})) ELSE 0.0 END AS ci95 "
+        "FROM rows"
+        + _where(_scoped(params), (f"{m} IS NOT NULL",))
+        + " GROUP BY campaign, scenario ORDER BY campaign, scenario"
+    )
+
+
+def _metric_summary_py(records: List[Dict[str, Any]], params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    metric = params["metric"]
+    scoped = _scoped(params)
+    groups: Dict[Tuple[str, str], List[float]] = {}
+    for record in records:
+        if not _match(record, scoped):
+            continue
+        value = _numeric(json.loads(record["row_json"]).get(metric))
+        if value is None:
+            continue
+        groups.setdefault((record["campaign"], record["scenario"]), []).append(value)
+    out = []
+    for (campaign, scenario), values in sorted(groups.items()):
+        summary = summarize(metric, values).as_dict()
+        out.append({"campaign": campaign, "scenario": scenario, **summary})
+    return out
+
+
+# ---------------------------------------------------------------------------
+# policy-compare: X vs Y across every scenario and seed
+# ---------------------------------------------------------------------------
+
+
+def _policy_compare_sql(params: Dict[str, Any]) -> str:
+    m = _metric_expr(params["metric"])
+    axis = quote_ident(params.get("axis") or "policy_name")
+    return (
+        f"SELECT campaign, scenario, seed, {axis} AS axis_value, "
+        f"count({m}) AS count, avg({m}) AS mean "
+        "FROM rows"
+        + _where(_scoped(params), (f"{m} IS NOT NULL", f"{axis} IS NOT NULL"))
+        + f" GROUP BY campaign, scenario, seed, {axis}"
+        " ORDER BY campaign, scenario, seed, axis_value"
+    )
+
+
+def _policy_compare_py(records: List[Dict[str, Any]], params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    metric = params["metric"]
+    axis = params.get("axis") or "policy_name"
+    scoped = _scoped(params)
+    groups: Dict[Tuple[str, str, Any, Any], List[float]] = {}
+    for record in records:
+        if not _match(record, scoped):
+            continue
+        row = json.loads(record["row_json"])
+        value = _numeric(row.get(metric))
+        axis_value = row.get(axis)
+        if value is None or axis_value is None:
+            continue
+        slot = (record["campaign"], record["scenario"], record.get("seed"), axis_value)
+        groups.setdefault(slot, []).append(value)
+    out = []
+    for (campaign, scenario, seed, axis_value), values in sorted(
+        groups.items(), key=lambda item: (item[0][0], item[0][1], item[0][2], str(item[0][3]))
+    ):
+        out.append({
+            "campaign": campaign, "scenario": scenario, "seed": seed,
+            "axis_value": axis_value, "count": len(values),
+            "mean": sum(values) / len(values),
+        })
+    return out
+
+
+# ---------------------------------------------------------------------------
+# compare: the same cells across two campaigns, value against value
+# ---------------------------------------------------------------------------
+
+
+def _compare_sql(params: Dict[str, Any]) -> str:
+    m_a = f"try_cast(a.{quote_ident(params['metric'])} AS DOUBLE)"
+    m_b = f"try_cast(b.{quote_ident(params['metric'])} AS DOUBLE)"
+    scenario = ""
+    if params.get("scenario"):
+        scenario = f" AND a.scenario = {sql_literal(params['scenario'])}"
+    return (
+        f"SELECT a.scenario AS scenario, a.row_index AS row_index, a.seed AS seed, "
+        f"{m_a} AS a_value, {m_b} AS b_value, "
+        f"({m_a} = {m_b}) AS equal, ({m_b} - {m_a}) AS diff "
+        "FROM rows a JOIN rows b ON a.scenario = b.scenario AND a.key = b.key "
+        f"WHERE a.campaign = {sql_literal(params['campaign_a'])} "
+        f"AND b.campaign = {sql_literal(params['campaign_b'])}"
+        + scenario
+        + " ORDER BY scenario, row_index"
+    )
+
+
+def _compare_py(records: List[Dict[str, Any]], params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    metric = params["metric"]
+    scenario = params.get("scenario")
+    b_side = {
+        (r["scenario"], r["key"]): r
+        for r in records
+        if r["campaign"] == params["campaign_b"]
+    }
+    out = []
+    for record in records:
+        if record["campaign"] != params["campaign_a"]:
+            continue
+        if scenario is not None and record["scenario"] != scenario:
+            continue
+        other = b_side.get((record["scenario"], record["key"]))
+        if other is None:
+            continue
+        a_value = _numeric(json.loads(record["row_json"]).get(metric))
+        b_value = _numeric(json.loads(other["row_json"]).get(metric))
+        out.append({
+            "scenario": record["scenario"],
+            "row_index": record["row_index"],
+            "seed": record.get("seed"),
+            "a_value": a_value,
+            "b_value": b_value,
+            "equal": (a_value == b_value) if (a_value is not None and b_value is not None) else None,
+            "diff": (b_value - a_value) if (a_value is not None and b_value is not None) else None,
+        })
+    out.sort(key=lambda r: (r["scenario"], r["row_index"]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# cell-timing: per-cell wall-clock percentiles
+# ---------------------------------------------------------------------------
+
+
+def _cell_timing_sql(params: Dict[str, Any]) -> str:
+    e = "try_cast(elapsed_seconds AS DOUBLE)"
+    return (
+        f"SELECT campaign, scenario, count(*) AS cells, sum({e}) AS total_seconds, "
+        f"avg({e}) AS mean_seconds, quantile_cont({e}, 0.5) AS p50_seconds, "
+        f"quantile_cont({e}, 0.9) AS p90_seconds, max({e}) AS max_seconds, "
+        "sum(CASE WHEN replayed THEN 1 ELSE 0 END) AS replayed "
+        "FROM rows"
+        + _where(_scoped(params))
+        + " GROUP BY campaign, scenario ORDER BY campaign, scenario"
+    )
+
+
+def _cell_timing_py(records: List[Dict[str, Any]], params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    scoped = _scoped(params)
+    groups: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+    for record in records:
+        if _match(record, scoped):
+            groups.setdefault((record["campaign"], record["scenario"]), []).append(record)
+    out = []
+    for (campaign, scenario), members in sorted(groups.items()):
+        elapsed = [float(r.get("elapsed_seconds") or 0.0) for r in members]
+        summary = summarize("elapsed_seconds", elapsed)
+        out.append({
+            "campaign": campaign, "scenario": scenario, "cells": len(members),
+            "total_seconds": sum(elapsed), "mean_seconds": summary.mean,
+            "p50_seconds": summary.median, "p90_seconds": summary.p90,
+            "max_seconds": summary.maximum,
+            "replayed": sum(1 for r in members if r.get("replayed")),
+        })
+    return out
+
+
+# ---------------------------------------------------------------------------
+# cache-accounting: replayed vs computed cells, dedup coverage
+# ---------------------------------------------------------------------------
+
+
+def _cache_accounting_sql(params: Dict[str, Any]) -> str:
+    return (
+        "SELECT campaign, scenario, fingerprint, count(*) AS rows, "
+        "sum(CASE WHEN replayed THEN 1 ELSE 0 END) AS replayed, "
+        "sum(CASE WHEN replayed THEN 0 ELSE 1 END) AS computed, "
+        "count(DISTINCT key) AS distinct_keys "
+        "FROM rows"
+        + _where(_scoped(params))
+        + " GROUP BY campaign, scenario, fingerprint "
+        "ORDER BY campaign, scenario, fingerprint"
+    )
+
+
+def _cache_accounting_py(records: List[Dict[str, Any]], params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    scoped = _scoped(params)
+    groups: Dict[Tuple[str, str, str], List[Dict[str, Any]]] = {}
+    for record in records:
+        if _match(record, scoped):
+            slot = (record["campaign"], record["scenario"], record.get("fingerprint") or "")
+            groups.setdefault(slot, []).append(record)
+    out = []
+    for (campaign, scenario, fingerprint), members in sorted(groups.items()):
+        replayed = sum(1 for r in members if r.get("replayed"))
+        out.append({
+            "campaign": campaign, "scenario": scenario, "fingerprint": fingerprint,
+            "rows": len(members), "replayed": replayed,
+            "computed": len(members) - replayed,
+            "distinct_keys": len({r["key"] for r in members}),
+        })
+    return out
+
+
+QUERIES: Dict[str, Query] = {
+    query.name: query
+    for query in (
+        Query(
+            name="rows",
+            description="the exact result rows, in append order (re-export channel)",
+            required=(), optional=("campaign", "scenario"),
+            sql_builder=_rows_sql, py_runner=_rows_py, decodes_rows=True,
+        ),
+        Query(
+            name="metric-summary",
+            description="per-campaign/scenario summary statistics of one metric "
+                        "(matches StreamingAggregator)",
+            required=("metric",), optional=("campaign", "scenario"),
+            sql_builder=_metric_summary_sql, py_runner=_metric_summary_py,
+        ),
+        Query(
+            name="policy-compare",
+            description="mean metric per (campaign, scenario, seed, axis value): "
+                        "policy X vs Y across every scenario and seed",
+            required=("metric",), optional=("axis", "campaign", "scenario"),
+            sql_builder=_policy_compare_sql, py_runner=_policy_compare_py,
+        ),
+        Query(
+            name="compare",
+            description="join the same cells across two campaigns and diff one metric",
+            required=("metric", "campaign_a", "campaign_b"), optional=("scenario",),
+            sql_builder=_compare_sql, py_runner=_compare_py,
+        ),
+        Query(
+            name="cell-timing",
+            description="per-cell wall-clock percentiles per campaign/scenario",
+            required=(), optional=("campaign", "scenario"),
+            sql_builder=_cell_timing_sql, py_runner=_cell_timing_py,
+        ),
+        Query(
+            name="cache-accounting",
+            description="replayed vs computed cells and dedup coverage per partition",
+            required=(), optional=("campaign", "scenario"),
+            sql_builder=_cache_accounting_sql, py_runner=_cache_accounting_py,
+        ),
+    )
+}
+
+
+def get_query(name: str) -> Query:
+    query = QUERIES.get(name)
+    if query is None:
+        raise QueryError(f"unknown query {name!r}; known: {sorted(QUERIES)}")
+    return query
+
+
+def run_query(
+    store: CampaignStore,
+    name: str,
+    params: Optional[Mapping[str, Any]] = None,
+    *,
+    engine: str = "auto",
+) -> List[Dict[str, Any]]:
+    """Run a named query and return plain dict rows.
+
+    ``engine`` is ``"sql"`` (DuckDB; raises
+    :class:`~repro.store.api.StoreUnavailableError` when absent), ``"py"``
+    (pure python) or ``"auto"`` (SQL when duckdb is importable, else python).
+    Both engines return the same rows.
+    """
+
+    from repro.store.analytics import duckdb_available, run_sql_query
+
+    query = get_query(name)
+    params = dict(params or {})
+    if engine not in ("auto", "sql", "py"):
+        raise QueryError(f"unknown engine {engine!r}; expected auto, sql or py")
+    if engine == "sql" or (engine == "auto" and duckdb_available()):
+        results = run_sql_query(store, query.sql(**params))
+        if query.decodes_rows:
+            return [json.loads(result["row_json"]) for result in results]
+        return results
+    return query.run_py(store.records(), **params)

@@ -57,6 +57,38 @@ class TestHarness:
         with pytest.raises(ValueError):
             runner.execute()
 
+    def test_sink_receives_every_row_including_cache_replays(self, tmp_path):
+        from repro.experiments.harness import run_experiment
+        from repro.store.columnar import CampaignStore
+
+        def run(seed, n):
+            return {"value": float(n)}
+
+        store = CampaignStore(tmp_path / "store", campaign="c", fmt="jsonl")
+        first = run_experiment("demo", run, {"n": [1, 2]}, repetitions=1,
+                               cache=tmp_path / "cache", sink=store)
+        assert len(store) == 2
+        assert store.rows() == first.rows
+
+        # A cached re-run streams the replayed rows into a second campaign.
+        rerun_store = CampaignStore(tmp_path / "store", campaign="rerun", fmt="jsonl")
+        second = run_experiment("demo", run, {"n": [1, 2]}, repetitions=1,
+                                cache=tmp_path / "cache", sink=rerun_store)
+        assert all(outcome.cached for outcome in second.outcomes)
+        merged = CampaignStore(tmp_path / "store")
+        assert merged.campaigns() == ["c", "rerun"]
+        assert merged.rows(campaign="rerun") == first.rows
+
+    def test_sink_accepts_a_bare_path(self, tmp_path):
+        from repro.experiments.harness import run_experiment
+        from repro.store.columnar import CampaignStore
+
+        def run(seed):
+            return {"v": 1.0}
+
+        run_experiment("demo", run, {}, repetitions=2, sink=tmp_path / "store")
+        assert len(CampaignStore(tmp_path / "store")) == 2
+
 
 class TestFigure2:
     def test_single_point_has_sane_ratios(self):
@@ -160,3 +192,21 @@ class TestReporting:
         assert lines[0] == "a,b"
         assert '"x,y"' in lines[1]
         assert to_csv([]) == ""
+
+    def test_to_csv_quotes_embedded_newlines(self):
+        import csv
+        import io
+
+        rows = [{"a": "line1\nline2", "b": "cr\rhere", "c": "plain"}]
+        text = to_csv(rows)
+        # A conforming reader must recover the original values exactly.
+        (parsed,) = csv.DictReader(io.StringIO(text))
+        assert parsed == {"a": "line1\nline2", "b": "cr\rhere", "c": "plain"}
+
+    def test_to_csv_columns_are_the_union_of_all_rows(self):
+        rows = [{"a": 1, "b": 2}, {"b": 3, "c": 4}, {"d": 5}]
+        lines = to_csv(rows).strip().splitlines()
+        assert lines[0] == "a,b,c,d"
+        assert lines[1] == "1,2,,"
+        assert lines[2] == ",3,4,"
+        assert lines[3] == ",,,5"

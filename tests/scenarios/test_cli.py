@@ -129,3 +129,74 @@ class TestSweep:
 
     def test_unknown_scenario_exits_two(self, capsys):
         assert main(["sweep", "no.such.scenario"]) == 2
+
+
+class TestExportSurface:
+    def test_sweep_out_csv(self, capsys, tmp_path):
+        out = tmp_path / "rows.csv"
+        assert main(["sweep", "fig2.bicriteria", "--smoke", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert "cmax_ratio" in out.read_text().splitlines()[0]
+
+    def test_sweep_out_jsonl(self, capsys, tmp_path):
+        import json as _json
+
+        out = tmp_path / "rows.jsonl"
+        assert main(["sweep", "fig2.bicriteria", "--smoke", "--out", str(out)]) == 0
+        capsys.readouterr()
+        rows = [_json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 2 and all("cmax_ratio" in row for row in rows)
+
+    def test_sweep_out_unknown_suffix_needs_format(self, capsys, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="infer"):
+            main(["sweep", "fig2.bicriteria", "--smoke",
+                  "--out", str(tmp_path / "rows.dat")])
+
+    def test_csv_flag_is_a_deprecated_alias(self, capsys, tmp_path):
+        import pytest
+
+        legacy = tmp_path / "legacy.csv"
+        with pytest.warns(DeprecationWarning, match="--out"):
+            assert main(["sweep", "fig2.bicriteria", "--smoke",
+                         "--csv", str(legacy)]) == 0
+        capsys.readouterr()
+        modern = tmp_path / "modern.csv"
+        assert main(["sweep", "fig2.bicriteria", "--smoke", "--out", str(modern)]) == 0
+        capsys.readouterr()
+        assert legacy.read_bytes() == modern.read_bytes()
+
+    def test_csv_and_out_together_exit_two(self, capsys, tmp_path):
+        import pytest
+
+        with pytest.warns(DeprecationWarning):
+            code = main(["sweep", "fig2.bicriteria", "--smoke",
+                         "--csv", str(tmp_path / "a.csv"),
+                         "--out", str(tmp_path / "b.csv")])
+        assert code == 2
+        assert "only one" in capsys.readouterr().err
+
+    def test_run_streams_into_a_campaign_store(self, capsys, tmp_path):
+        from repro.store.columnar import CampaignStore
+
+        store_dir = tmp_path / "store"
+        assert main(["run", "fig2.bicriteria", "--smoke",
+                     "--store", str(store_dir), "--campaign", "smoke"]) == 0
+        capsys.readouterr()
+        store = CampaignStore(store_dir)
+        assert store.campaigns() == ["smoke"]
+        assert len(store) == 2
+        rows = store.rows()
+        assert all(row["experiment"] == "fig2.bicriteria" for row in rows)
+
+    def test_run_out_concatenates_scenario_rows(self, capsys, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        assert main(["run", "fig2.bicriteria", "--smoke", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "2 row(s) written" in output
+        assert len(out.read_text().splitlines()) == 2
+
+    def test_campaign_without_store_exits_two(self, capsys):
+        assert main(["run", "fig2.bicriteria", "--smoke", "--campaign", "x"]) == 2
+        assert "--store" in capsys.readouterr().err

@@ -1,0 +1,156 @@
+"""Named queries: py twins against StreamingAggregator, SQL parity via DuckDB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.aggregate import StreamingAggregator
+from repro.store.columnar import CampaignStore
+from repro.store.queries import (
+    QUERIES,
+    QueryError,
+    get_query,
+    quote_ident,
+    run_query,
+    sql_literal,
+)
+
+
+def has_duckdb():
+    try:
+        import duckdb  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+@pytest.fixture()
+def seeded_store(tmp_path):
+    """Two campaigns of the fig2 smoke scenario landed in one store."""
+
+    from repro.scenarios.composer import run_scenario
+    from repro.scenarios.registry import get
+
+    spec = get("fig2.bicriteria")
+    root = tmp_path / "store"
+    for campaign in ("serial", "rerun"):
+        sink = CampaignStore(root, campaign=campaign, fmt="jsonl")
+        run_scenario(spec, smoke=True, sink=sink)
+    return CampaignStore(root)
+
+
+class TestGuards:
+    def test_quote_ident_rejects_injection(self):
+        assert quote_ident("cmax_ratio") == '"cmax_ratio"'
+        assert quote_ident("utilization.grappe1") == '"utilization.grappe1"'
+        for bad in ('x"; DROP TABLE rows; --', "a b", "", '"', "1x"):
+            with pytest.raises(QueryError):
+                quote_ident(bad)
+
+    def test_sql_literal_escapes(self):
+        assert sql_literal("o'brien") == "'o''brien'"
+        assert sql_literal(3) == "3"
+        assert sql_literal(True) == "TRUE"
+
+    def test_unknown_query_and_params(self, seeded_store):
+        with pytest.raises(QueryError, match="unknown query"):
+            get_query("nope")
+        with pytest.raises(QueryError, match="needs parameter"):
+            get_query("metric-summary").sql()
+        with pytest.raises(QueryError, match="does not take"):
+            get_query("rows").sql(bogus=1)
+        with pytest.raises(QueryError, match="engine"):
+            run_query(seeded_store, "rows", engine="spark")
+
+    def test_every_query_builds_sql(self):
+        params = {"metric": "cmax_ratio", "campaign_a": "a", "campaign_b": "b"}
+        for name, query in QUERIES.items():
+            needed = {k: params[k] for k in query.required}
+            sql = query.sql(**needed)
+            assert "FROM rows" in sql, name
+
+
+class TestPyEngine:
+    def test_rows_query_is_the_bit_identity_channel(self, seeded_store):
+        rows = run_query(seeded_store, "rows", {"campaign": "serial"}, engine="py")
+        assert rows == seeded_store.rows(campaign="serial")
+        assert len(rows) == 2
+
+    def test_metric_summary_matches_streaming_aggregator(self, seeded_store):
+        results = run_query(
+            seeded_store, "metric-summary",
+            {"metric": "cmax_ratio", "campaign": "serial"}, engine="py",
+        )
+        aggregator = StreamingAggregator()
+        for row in seeded_store.rows(campaign="serial"):
+            aggregator.update(row)
+        expected = aggregator.summaries()["cmax_ratio"].as_dict()
+        (result,) = results
+        for field, value in expected.items():
+            assert result[field] == value, field
+
+    def test_compare_joins_identical_campaigns_as_equal(self, seeded_store):
+        results = run_query(
+            seeded_store, "compare",
+            {"metric": "cmax_ratio", "campaign_a": "serial", "campaign_b": "rerun"},
+            engine="py",
+        )
+        assert len(results) == 2
+        assert all(r["equal"] is True for r in results)
+        assert all(r["diff"] == 0.0 for r in results)
+        assert all(r["a_value"] == r["b_value"] for r in results)
+
+    def test_cell_timing_and_cache_accounting(self, seeded_store):
+        (timing,) = run_query(
+            seeded_store, "cell-timing", {"campaign": "serial"}, engine="py"
+        )
+        assert timing["cells"] == 2
+        assert timing["total_seconds"] >= timing["max_seconds"] >= 0.0
+        (accounting,) = run_query(
+            seeded_store, "cache-accounting", {"campaign": "serial"}, engine="py"
+        )
+        assert accounting["rows"] == 2
+        assert accounting["computed"] == 2
+        assert accounting["distinct_keys"] == 2
+
+    def test_policy_compare_uses_the_axis_column(self, tmp_path):
+        store = CampaignStore(tmp_path / "s", campaign="c", fmt="jsonl")
+        for seed, policy, value in ((1, "lpt", 2.0), (1, "wspt", 3.0), (2, "lpt", 4.0)):
+            store.append_row(
+                {"experiment": "e", "seed": seed, "policy_name": policy, "m": value},
+                scenario="sc", seed=seed,
+            )
+        store.flush()
+        results = run_query(store, "policy-compare", {"metric": "m"}, engine="py")
+        assert [(r["seed"], r["axis_value"], r["mean"]) for r in results] == [
+            (1, "lpt", 2.0), (1, "wspt", 3.0), (2, "lpt", 4.0),
+        ]
+
+
+@pytest.mark.skipif(not has_duckdb(), reason="duckdb not installed")
+class TestSqlParity:
+    """Every named query returns the same result set on both engines."""
+
+    PARAMS = {
+        "rows": {},
+        "metric-summary": {"metric": "cmax_ratio"},
+        "policy-compare": {"metric": "cmax_ratio", "axis": "family"},
+        "compare": {"metric": "cmax_ratio", "campaign_a": "serial", "campaign_b": "rerun"},
+        "cell-timing": {},
+        "cache-accounting": {},
+    }
+
+    @pytest.mark.parametrize("name", sorted(PARAMS))
+    def test_sql_matches_py(self, seeded_store, name):
+        params = self.PARAMS[name]
+        sql_rows = run_query(seeded_store, name, params, engine="sql")
+        py_rows = run_query(seeded_store, name, params, engine="py")
+        assert len(sql_rows) == len(py_rows)
+        for sql_row, py_row in zip(sql_rows, py_rows):
+            for field, expected in py_row.items():
+                got = sql_row[field]
+                if isinstance(expected, float) and expected != int(expected):
+                    assert got == pytest.approx(expected, rel=1e-12), (name, field)
+                else:
+                    assert got == expected or got == pytest.approx(expected), (name, field)
