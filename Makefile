@@ -23,6 +23,10 @@
 #                              store, then SQL compare + validate (mirrors
 #                              the CI store-smoke job; falls back to the
 #                              pure-python engine without duckdb/pyarrow)
+#   make dashboard-smoke       run a campaign under a live dashboard with
+#                              concurrent pollers, check every endpoint and
+#                              prove the row digest identical to a serial,
+#                              unobserved baseline (mirrors the CI job)
 #   make lint                  ruff check (byte-compilation fallback)
 #   make ci                    lint + test + scenario smoke + warn-only perf
 #                              compare (mirrors CI)
@@ -36,7 +40,7 @@ BASELINE ?= benchmarks/baselines/quick.json
 
 BENCH_ENV = $(if $(JOBS),REPRO_JOBS=$(JOBS)) $(if $(CACHE),REPRO_CACHE_DIR=$(CACHE))
 
-.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke distributed-smoke-inproc distributed-stress store-smoke lint ci clean runtime-check runtime-goldens
+.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke distributed-smoke-inproc distributed-stress store-smoke dashboard-smoke lint ci clean runtime-check runtime-goldens
 
 # Port the distributed smoke tier binds its campaign schedulers on.
 DIST_PORT ?= 7641
@@ -123,6 +127,14 @@ store-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.store compare --store $(STORE_DIR) \
 		--metric cmax_ratio --campaign-a serial --campaign-b inproc
 	PYTHONPATH=src $(PYTHON) -m repro.store validate --store $(STORE_DIR)
+
+# Observation must not perturb results: run one scenario through an inproc
+# fleet while HTTP pollers hammer a live dashboard, check every endpoint
+# (status, topics, events, scenario index, Gantt SVG), and require the row
+# digest to be bit-identical to a serial, unobserved baseline.  Mirrors
+# the CI dashboard-smoke job.
+dashboard-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.dashboard smoke
 
 # ruff when available (the CI lint job installs it); plain byte-compilation
 # otherwise so the target always catches syntax errors.

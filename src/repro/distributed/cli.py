@@ -83,6 +83,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSON summary (per-scenario rows/digest/elapsed) to this file",
     )
     common.add_argument(
+        "--dashboard", type=int, default=None, metavar="PORT",
+        help="serve the live telemetry dashboard on this port while the "
+             "campaigns run (0 picks a free port; the URL goes to stderr)",
+    )
+    common.add_argument(
         "--prefetch", type=int, default=2, metavar="N",
         help="assignments per task reply; extras form the worker's stealable "
              "lease (default: 2)",
@@ -168,17 +173,21 @@ def _run_scenarios(args: argparse.Namespace, executor: DistributedExecutor) -> i
         print(error, file=sys.stderr)
         return 2
     print(f"scheduling onto {executor!r}")
-    code = run_specs(
-        specs,
-        smoke=args.smoke,
-        executor=executor,
-        output=args.output,
-        schema="repro.distributed/1",
-        sink=sink,
-        out=out,
-        out_format=args.out_format,
-    )
-    counters = {k: v for k, v in executor.stats.as_dict().items() if v}
+    from repro.scenarios.cli import serve_dashboard
+
+    with serve_dashboard(args.dashboard):
+        code = run_specs(
+            specs,
+            smoke=args.smoke,
+            executor=executor,
+            output=args.output,
+            schema="repro.distributed/1",
+            sink=sink,
+            out=out,
+            out_format=args.out_format,
+        )
+    # One payload shape for the CLI line, the dashboard endpoint and tests.
+    counters = {k: v for k, v in executor.stats.to_payload()["counters"].items() if v}
     if counters:
         summary = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
         print(f"scheduler stats: {summary}", file=sys.stderr)

@@ -48,6 +48,7 @@ from repro.distributed.scheduler import Scheduler, SchedulerStats
 from repro.distributed.worker import run_worker
 from repro.experiments.executors import Executor, cpu_count
 from repro.experiments.grid import Cell, CellOutcome
+from repro.telemetry import TelemetryBus
 
 #: Environment variable naming the campaign journal file (JSONL).
 JOURNAL_ENV_VAR = "REPRO_JOURNAL"
@@ -94,6 +95,12 @@ class DistributedExecutor(Executor):
         workers.  ``None`` prefers ``fork`` where available, keeping cell
         functions defined in non-importable modules (pytest test files)
         picklable by reference.
+    telemetry:
+        Where each campaign scheduler publishes its events: ``None``
+        (default) uses the process-wide :func:`repro.telemetry.get_bus`,
+        a :class:`~repro.telemetry.TelemetryBus` targets that bus,
+        ``False`` disables publishing.  Observation only -- rows are
+        bit-identical either way.
     """
 
     name = "distributed"
@@ -114,6 +121,7 @@ class DistributedExecutor(Executor):
         speculation_delay: float = 5.0,
         max_speculative: int = 1,
         start_method: Optional[str] = None,
+        telemetry: Union[None, bool, TelemetryBus] = None,
     ) -> None:
         comm_core.validate_address(address)  # fail early, with the friendly message
         if workers < 0:
@@ -136,6 +144,7 @@ class DistributedExecutor(Executor):
         self.speculation_delay = speculation_delay
         self.max_speculative = max_speculative
         self.start_method = start_method
+        self.telemetry = telemetry
         #: Counters of the most recently finished campaign, and their
         #: accumulation across every campaign this executor ran.
         self.last_stats: Optional[SchedulerStats] = None
@@ -173,6 +182,7 @@ class DistributedExecutor(Executor):
                 speculate=self.speculate,
                 speculation_delay=self.speculation_delay,
                 max_speculative=self.max_speculative,
+                telemetry=self.telemetry,
             )
             scheduler.start()
             self.scheduler = scheduler

@@ -55,15 +55,26 @@ import asyncio
 import threading
 import time
 import uuid
+import warnings
 from collections import deque
-from dataclasses import asdict, dataclass, field
-from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.distributed import protocol
 from repro.distributed.campaign import CampaignJournal
 from repro.distributed.comm import core as comm_core
 from repro.distributed.comm.core import Comm, CommError
 from repro.experiments.grid import Cell, CellOutcome
+from repro.telemetry import (
+    TOPIC_ASSIGNMENTS,
+    TOPIC_QUEUE,
+    TOPIC_SCHEDULER,
+    TOPIC_STATS,
+    TOPIC_WORKERS,
+    TelemetryBus,
+    get_bus,
+)
+from repro.telemetry.events import SCHEMA_VERSION
 
 #: ``error_type`` recorded on a cell whose retry budget was exhausted by
 #: worker deaths (connection drops / heartbeat timeouts).
@@ -75,7 +86,14 @@ IDLE_DELAY = 0.05
 
 @dataclass
 class SchedulerStats:
-    """Counters exposed for tests, logs and CLI summaries."""
+    """Monotonic scheduling counters with one versioned export shape.
+
+    :meth:`to_payload` is the single snapshot format consumed by the CLI
+    stderr summary, the dashboard's stats endpoint and the tests; it pairs
+    the raw counters with derived rates so consumers never re-implement the
+    arithmetic.  :meth:`counters` is the plain name-to-count mapping, and
+    :meth:`as_dict` survives as a deprecated alias of it.
+    """
 
     workers_joined: int = 0
     evictions: int = 0
@@ -88,11 +106,51 @@ class SchedulerStats:
     speculations: int = 0
     cancels: int = 0
 
+    def counters(self) -> Dict[str, int]:
+        """The raw monotonic counters, in declaration order."""
+
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    def to_payload(self, *, elapsed_seconds: Optional[float] = None) -> Dict[str, Any]:
+        """Versioned stats snapshot: ``schema_version`` + counters + rates.
+
+        ``elapsed_seconds`` (when the caller tracked a campaign wall clock)
+        adds a ``results_per_second`` throughput rate.
+        """
+
+        counters = self.counters()
+        delivered = counters["results"]
+        attempts = delivered + counters["duplicates"]
+        rates: Dict[str, float] = {
+            "steal_fraction": counters["steals"] / delivered if delivered else 0.0,
+            "speculation_fraction": (
+                counters["speculations"] / delivered if delivered else 0.0
+            ),
+            "duplicate_fraction": counters["duplicates"] / attempts if attempts else 0.0,
+            "retry_fraction": counters["retries"] / delivered if delivered else 0.0,
+        }
+        if elapsed_seconds is not None and elapsed_seconds > 0:
+            rates["results_per_second"] = delivered / elapsed_seconds
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "scheduler-stats",
+            "counters": counters,
+            "rates": rates,
+        }
+
     def as_dict(self) -> Dict[str, int]:
-        return asdict(self)
+        """Deprecated alias of :meth:`counters`."""
+
+        warnings.warn(
+            "SchedulerStats.as_dict() is deprecated; use counters() for the "
+            "raw counts or to_payload() for the versioned snapshot",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.counters()
 
     def add(self, other: "SchedulerStats") -> None:
-        for key, value in other.as_dict().items():
+        for key, value in other.counters().items():
             setattr(self, key, getattr(self, key) + value)
 
 
@@ -186,6 +244,14 @@ class Scheduler:
         a straggler worth duplicating.
     max_speculative:
         Extra concurrent attempts allowed per cell on top of the primary.
+    telemetry:
+        Where scheduling events (worker membership, assignments, steals,
+        speculation, queue depth, stats snapshots) are published: ``None``
+        (default) uses the process-wide bus from
+        :func:`repro.telemetry.get_bus`, a :class:`TelemetryBus` targets
+        that bus, ``False`` disables publishing entirely.  Telemetry is
+        observation only and cannot change scheduling decisions or row
+        contents.
     """
 
     def __init__(
@@ -202,6 +268,7 @@ class Scheduler:
         speculate: bool = True,
         speculation_delay: float = 5.0,
         max_speculative: int = 1,
+        telemetry: Union[None, bool, TelemetryBus] = None,
     ) -> None:
         if heartbeat_timeout <= heartbeat_interval:
             raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
@@ -226,6 +293,12 @@ class Scheduler:
         self.speculation_delay = speculation_delay
         self.max_speculative = max_speculative
         self.stats = SchedulerStats()
+        if telemetry is False:
+            self._bus: Optional[TelemetryBus] = None
+        elif telemetry is None or telemetry is True:
+            self._bus = get_bus()
+        else:
+            self._bus = telemetry
 
         self._lock = threading.Condition()
         self._conns: Dict[str, _WorkerConn] = {}
@@ -282,10 +355,15 @@ class Scheduler:
         self._listener = listener
         self._last_worker_seen = time.monotonic()
         self._started.set()
+        source_name = f"scheduler@{self.address}"
+        if self._bus is not None:
+            self._bus.add_snapshot_source(source_name, self.telemetry_snapshot)
         monitor = asyncio.create_task(self._monitor())
         try:
             await self._shutdown.wait()
         finally:
+            if self._bus is not None:
+                self._bus.remove_snapshot_source(source_name)
             monitor.cancel()
             await listener.stop()
             with self._lock:
@@ -390,6 +468,12 @@ class Scheduler:
             self._campaign = campaign
             self._last_worker_seen = time.monotonic()
             self._lock.notify_all()
+        started_at = time.monotonic()
+        self._emit(
+            TOPIC_SCHEDULER, "campaign-start", campaign=campaign.campaign_id,
+            cells=len(cells), pending=len(campaign.pending),
+            journal_hits=len(campaign.done),
+        )
         try:
             for position in range(len(cells)):
                 with self._lock:
@@ -403,7 +487,20 @@ class Scheduler:
         finally:
             with self._lock:
                 self._campaign = None
+                done = len(campaign.done)
                 self._lock.notify_all()
+            elapsed = time.monotonic() - started_at
+            self._emit(
+                TOPIC_SCHEDULER, "campaign-end", campaign=campaign.campaign_id,
+                cells=len(cells), done=done, elapsed_seconds=elapsed,
+            )
+            if self._bus is not None:
+                # to_payload() is already a complete versioned payload
+                # (schema_version + kind); publish it as-is, tagged with
+                # the campaign it summarizes.
+                body = self.stats.to_payload(elapsed_seconds=elapsed)
+                body["campaign"] = campaign.campaign_id
+                self._bus.publish(TOPIC_STATS, body)
 
     @staticmethod
     def _fingerprint(fn: Callable[[Cell], CellOutcome]) -> str:
@@ -457,6 +554,10 @@ class Scheduler:
                         conn.evicted = True
                 for conn in stale:
                     self.stats.evictions += 1
+                    self._emit(
+                        TOPIC_WORKERS, "worker-evicted", worker=conn.worker_id,
+                        silent_seconds=now - conn.last_seen,
+                    )
                     # Closing the comm unblocks the connection's serve task,
                     # whose cleanup path requeues the in-flight cells.
                     await conn.comm.close()
@@ -488,8 +589,13 @@ class Scheduler:
                 self._conns[worker_id] = conn
                 self.stats.workers_joined += 1
                 self._last_worker_seen = time.monotonic()
+                workers = len(self._conns)
                 self._lock.notify_all()
             self._monitor_wake_up()
+            self._emit(
+                TOPIC_WORKERS, "worker-joined", worker=worker_id, workers=workers,
+                reconnect=previous is not None,
+            )
             if previous is not None:
                 await previous.comm.close()
             await comm.send(
@@ -527,6 +633,55 @@ class Scheduler:
     def _monitor_wake_up(self) -> None:
         if self._monitor_wake is not None:
             self._monitor_wake.set()
+
+    # -- telemetry (observation only: no scheduling decision reads the bus) --
+
+    def _emit(self, topic: str, kind: str, **fields: Any) -> None:
+        bus = self._bus
+        if bus is not None:
+            bus.emit(topic, kind, **fields)
+
+    def _queue_sample(self, campaign: "_Campaign") -> Dict[str, Any]:
+        """A compact queue-depth payload (lock held)."""
+
+        return {
+            "campaign": campaign.campaign_id,
+            "total": len(campaign.cells),
+            "pending": len(campaign.pending),
+            "running": len(campaign.running),
+            "done": len(campaign.done),
+            "workers": len(self._conns),
+        }
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """Live occupancy view served through the bus snapshot registry.
+
+        Queue depth, per-worker occupancy (live assignments and lease
+        backlog) and the current stats payload, all JSON-safe.
+        """
+
+        with self._lock:
+            now = time.monotonic()
+            workers = {
+                conn.worker_id: {
+                    "assignments": len(conn.assignments),
+                    "lease": len(conn.lease),
+                    "evicted": conn.evicted,
+                    "last_seen_age": now - conn.last_seen,
+                }
+                for conn in self._conns.values()
+            }
+            campaign = self._campaign
+            queue = self._queue_sample(campaign) if campaign is not None else None
+            stats = self.stats.to_payload()
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "scheduler-snapshot",
+            "address": self.address,
+            "workers": workers,
+            "queue": queue,
+            "stats": stats,
+        }
 
     # -- assignment: queue, steal, speculate --------------------------------
 
@@ -602,6 +757,8 @@ class Scheduler:
     def _handle_revoked(self, conn: _WorkerConn, message: Dict[str, object]) -> None:
         """Phase two of a steal: requeue the cells the victim confirmed."""
 
+        stolen: List[int] = []
+        campaign_id = ""
         with self._lock:
             removed = [int(i) for i in (message.get("indices") or [])]  # type: ignore[union-attr]
             kept = [int(i) for i in (message.get("kept") or [])]  # type: ignore[union-attr]
@@ -644,7 +801,14 @@ class Scheduler:
             # IDLE_DELAY, so they move immediately.
             for position in reversed(requeue):
                 campaign.pending.appendleft(position)
+            stolen = requeue
+            campaign_id = campaign.campaign_id
             self._lock.notify_all()
+        if stolen:
+            self._emit(
+                TOPIC_ASSIGNMENTS, "steal", campaign=campaign_id,
+                victim=conn.worker_id, positions=stolen,
+            )
 
     def _speculative_candidate(
         self, campaign: _Campaign, conn: _WorkerConn
@@ -669,6 +833,9 @@ class Scheduler:
 
     async def _handle_request(self, conn: _WorkerConn) -> None:
         pushes: List[Tuple[_WorkerConn, Dict[str, object]]] = []
+        assigned: List[Tuple[int, int, bool]] = []  # (position, attempt, speculative)
+        steal_victim: Optional[str] = None
+        queue_sample: Optional[Dict[str, Any]] = None
         with self._lock:
             campaign = self._campaign
             batch: List[Dict[str, object]] = []
@@ -678,17 +845,22 @@ class Scheduler:
                     if position in campaign.done or position in conn.assignments:
                         continue
                     batch.append(self._assign(campaign, conn, position, speculative=False))
+                    assigned.append((position, campaign.attempts[position], False))
                 if not batch and self.steal:
                     push = self._request_steal(campaign, conn)
                     if push is not None:
                         pushes.append(push)
+                        steal_victim = push[0].worker_id
                 if not batch and not pushes and self.speculate:
                     position = self._speculative_candidate(campaign, conn)
                     if position is not None:
                         batch.append(
                             self._assign(campaign, conn, position, speculative=True)
                         )
+                        assigned.append((position, campaign.attempts[position], True))
                         self.stats.speculations += 1
+                if assigned:
+                    queue_sample = self._queue_sample(campaign)
             if batch:
                 reply = {
                     "op": "task",
@@ -702,6 +874,20 @@ class Scheduler:
                     conn.fn_campaign = campaign.campaign_id
             else:
                 reply = {"op": "idle", "delay": IDLE_DELAY}
+        for position, attempt, speculative in assigned:
+            self._emit(
+                TOPIC_ASSIGNMENTS,
+                "speculate" if speculative else "assign",
+                campaign=campaign.campaign_id, position=position,
+                attempt=attempt, worker=conn.worker_id, speculative=speculative,
+            )
+        if steal_victim is not None:
+            self._emit(
+                TOPIC_ASSIGNMENTS, "steal-requested", campaign=campaign.campaign_id,
+                thief=conn.worker_id, victim=steal_victim,
+            )
+        if queue_sample is not None:
+            self._emit(TOPIC_QUEUE, "queue-sample", **queue_sample)
         for victim, message in pushes:
             try:
                 await victim.comm.send(message)
@@ -716,6 +902,7 @@ class Scheduler:
         position = int(message.get("index", -1))  # type: ignore[arg-type]
         record = None
         cancels: List[Tuple[_WorkerConn, Dict[str, object]]] = []
+        queue_sample: Optional[Dict[str, Any]] = None
         with self._lock:
             campaign = self._campaign
             # This connection's bookkeeping for the cell is settled either way.
@@ -732,6 +919,11 @@ class Scheduler:
                 or not 0 <= position < len(campaign.cells)
             ):
                 self.stats.duplicates += 1
+                self._emit(
+                    TOPIC_ASSIGNMENTS, "duplicate-result",
+                    campaign=str(message.get("campaign") or ""),
+                    position=position, worker=conn.worker_id,
+                )
                 return
             campaign.done.add(position)
             campaign.results[position] = outcome
@@ -759,7 +951,15 @@ class Scheduler:
                 )
             if self.journal is not None and not outcome.failed:
                 record = (campaign.cells[position], outcome, campaign.version)
+            queue_sample = self._queue_sample(campaign)
             self._lock.notify_all()
+        self._emit(
+            TOPIC_ASSIGNMENTS, "result", campaign=campaign.campaign_id,
+            position=position, worker=conn.worker_id,
+            failed=bool(outcome.failed), cancelled_attempts=len(cancels),
+        )
+        if queue_sample is not None:
+            self._emit(TOPIC_QUEUE, "queue-sample", **queue_sample)
         for loser_conn, cancel in cancels:
             try:
                 await loser_conn.comm.send(cancel)
@@ -776,6 +976,8 @@ class Scheduler:
         with self._lock:
             if self._conns.get(conn.worker_id) is conn:
                 del self._conns[conn.worker_id]
+            workers = len(self._conns)
+            lost_before = self.stats.worker_lost_failures
             positions = list(conn.lease)
             for position in conn.assignments:
                 if position not in positions:
@@ -785,6 +987,10 @@ class Scheduler:
             campaign = self._campaign
             if campaign is None or not positions:
                 self._lock.notify_all()
+                self._emit(
+                    TOPIC_WORKERS, "worker-left", worker=conn.worker_id,
+                    workers=workers, requeued=0, failed=0,
+                )
                 return
             requeue: List[int] = []
             for position in positions:
@@ -824,4 +1030,9 @@ class Scheduler:
             # ordered result stream moving.
             for position in reversed(requeue):
                 campaign.pending.appendleft(position)
+            failed = self.stats.worker_lost_failures - lost_before
             self._lock.notify_all()
+            self._emit(
+                TOPIC_WORKERS, "worker-left", worker=conn.worker_id,
+                workers=workers, requeued=len(requeue), failed=failed,
+            )

@@ -189,6 +189,7 @@ def run_experiment(
     cache: Union[None, str, Path, ResultCache] = None,
     cache_version: Optional[str] = None,
     sink: Any = None,
+    listener: Any = None,
     progress: Optional[Callable[[str], None]] = None,
     on_row: Optional[Callable[[Dict[str, Any]], None]] = None,
     capture_errors: bool = False,
@@ -222,12 +223,19 @@ def run_experiment(
         directory path) receiving every completed cell as it streams in --
         replayed ones included, so a cached re-run still lands a full row
         set.  Flushed when the sweep finishes, even on error.
+    listener:
+        Optional :class:`repro.telemetry.listener.SweepListener` receiving
+        typed cell-lifecycle notifications (on_sweep_start / on_cell_start /
+        on_row / on_error / on_sweep_end).  The process-wide telemetry bus
+        is always notified as well, so the dashboard observes every sweep.
     progress:
-        Called with a one-line message as each cell completes (unlike the
-        historical runner there is no before-run notification: under a
-        pool the parent cannot observe a cell start).
+        Deprecated (emits ``DeprecationWarning``): called with a one-line
+        message as each cell completes.  Use
+        ``listener=CallbackListener(progress=...)`` instead.
     on_row:
-        Called with each finished row, in order, as results stream in.
+        Deprecated (emits ``DeprecationWarning``): called with each
+        finished row, in order.  Use
+        ``listener=CallbackListener(on_row=...)`` instead.
     capture_errors:
         When false (default) a failing cell raises
         :class:`CellExecutionError` with the failing configuration attached;
@@ -236,11 +244,14 @@ def run_experiment(
     """
 
     from repro.store.api import coerce_sink, compose_row
+    from repro.telemetry import FanoutListener, get_bus, listener_with_callbacks
 
     cells = expand_grid(parameters, repetitions=repetitions, base_seed=base_seed)
     backend = resolve_executor(executor)
     store = ResultCache.coerce(cache)
     row_sink = coerce_sink(sink)
+    caller_listener = listener_with_callbacks(listener, progress, on_row)
+    notify = FanoutListener([get_bus(), caller_listener])
     version = cache_version if cache_version is not None else (
         run_fingerprint(run) if (store is not None or row_sink is not None) else ""
     )
@@ -262,10 +273,12 @@ def run_experiment(
         pending = list(cells)
 
     live = backend.map(CellFunction(run), pending)
+    notify.on_sweep_start(name, len(cells))
     try:
         for cell in cells:
             outcome = cached.get(cell.index)
             if outcome is None:
+                notify.on_cell_start(name, cell)
                 outcome = next(live)
             result.outcomes.append(outcome)
             if outcome.cached:
@@ -274,8 +287,7 @@ def run_experiment(
                 if not capture_errors:
                     raise CellExecutionError(name, outcome)
                 result.errors.append(outcome)
-                if progress is not None:
-                    progress(f"{name}: {cell.describe()} FAILED ({outcome.error_type})")
+                notify.on_error(name, cell, outcome)
                 continue
             row = compose_row(name, cell, outcome)
             result.rows.append(row)
@@ -284,11 +296,7 @@ def run_experiment(
                 store.store(name, cell, outcome, version)
             if row_sink is not None:
                 row_sink.write(name, cell, outcome, version)
-            if on_row is not None:
-                on_row(row)
-            if progress is not None:
-                suffix = " [cached]" if outcome.cached else f" [{outcome.elapsed_seconds:.3f}s]"
-                progress(f"{name}: {cell.describe()}{suffix}")
+            notify.on_row(name, cell, row, outcome)
     finally:
         # Release the executor deterministically: generator-based backends
         # hold real resources at their final yield (a bound TCP port and
@@ -302,8 +310,9 @@ def run_experiment(
             close()
         if row_sink is not None:
             row_sink.flush()
+        result.elapsed_seconds = time.perf_counter() - start
+        notify.on_sweep_end(name, result)
 
-    result.elapsed_seconds = time.perf_counter() - start
     return result
 
 
@@ -325,6 +334,7 @@ class ExperimentRunner:
     def execute(
         self,
         *,
+        listener: Any = None,
         progress: Optional[Callable[[str], None]] = None,
         executor: ExecutorSpec = None,
         cache: Union[None, str, Path, ResultCache] = None,
@@ -337,6 +347,7 @@ class ExperimentRunner:
             base_seed=self.base_seed,
             executor=executor,
             cache=cache,
+            listener=listener,
             progress=progress,
         )
 

@@ -33,6 +33,7 @@ from repro.platform.cluster import Cluster
 from repro.simulation.engine import Simulator
 from repro.simulation.resources import ProcessorPool
 from repro.simulation.tracing import Trace
+from repro.telemetry import TOPIC_RUNTIME, get_bus
 
 
 class ClusterNode:
@@ -203,6 +204,17 @@ class SchedulingRuntime:
             raise ValueError(f"submissions reference unknown clusters: {unknown}")
         for node in self.node_list:
             node.policy.reset()
+        # Telemetry is per-run (not per-event): two bus publishes bracket the
+        # whole event loop, so the hot path stays untouched.
+        job_count = sum(len(jobs) for jobs in submissions.values())
+        get_bus().emit(
+            TOPIC_RUNTIME,
+            "run-start",
+            nodes=len(self.node_list),
+            machines=sum(node.machine_count for node in self.node_list),
+            jobs=job_count,
+            hooks=[type(hook).__name__ for hook in self.hooks],
+        )
         labels = self.trace_labels
         sim = self.sim
         for cluster_name, jobs in submissions.items():
@@ -223,6 +235,14 @@ class SchedulingRuntime:
                         name=node.name, count=len(node.queue), policy=node.policy.name
                     )
                 )
+        get_bus().emit(
+            TOPIC_RUNTIME,
+            "run-end",
+            nodes=len(self.node_list),
+            jobs=job_count,
+            horizon=sim.now,
+            trace_events=len(self.trace),
+        )
         return sim.now
 
     def _submit(self, node: ClusterNode, job: Job) -> None:

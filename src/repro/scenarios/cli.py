@@ -26,14 +26,38 @@ still works but emits a :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.scenarios import registry
 from repro.scenarios.composer import rows_digest, run_scenario, summarize
 from repro.scenarios.spec import ScenarioSpec, SpecError
+
+
+@contextlib.contextmanager
+def serve_dashboard(port: Optional[int]) -> Iterator[Any]:
+    """Serve the live telemetry dashboard while the body runs.
+
+    ``port=None`` (the flag's default) is a no-op, so callers wrap their
+    run unconditionally; ``0`` binds a free port.  The URL goes to stderr
+    -- stdout stays reserved for the ok/FAIL summary lines.  Shared by
+    ``repro.scenarios`` and the ``repro.distributed`` scheduler/run CLIs.
+    """
+
+    if port is None:
+        yield None
+        return
+    from repro.dashboard.app import DashboardServer
+
+    server = DashboardServer(port=port).start()
+    print(f"dashboard serving on {server.url}", file=sys.stderr, flush=True)
+    try:
+        yield server
+    finally:
+        server.stop()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--spec", type=Path, action="append", default=[], dest="spec_files",
         metavar="FILE.toml", help="also run a scenario spec loaded from a TOML file",
     )
+    run.add_argument(
+        "--dashboard", type=int, default=None, metavar="PORT",
+        help="serve the live telemetry dashboard on this port while the "
+             "scenarios run (0 picks a free port; the URL goes to stderr)",
+    )
     _add_export_arguments(run)
 
     swp = sub.add_parser("sweep", help="run one scenario sweep and print the rows")
@@ -86,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--executor", "--jobs", default=None, dest="jobs", metavar="SPEC",
         help="executor spec: a job count, 'serial', 'auto', 'distributed', or "
              "tcp://HOST:PORT to schedule cells onto external distributed workers",
+    )
+    swp.add_argument(
+        "--dashboard", type=int, default=None, metavar="PORT",
+        help="serve the live telemetry dashboard on this port while the "
+             "sweep runs (0 picks a free port; the URL goes to stderr)",
     )
     _add_export_arguments(swp)
     swp.add_argument(
@@ -343,10 +377,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not specs:
         print("no scenarios matched", file=sys.stderr)
         return 2
-    return run_specs(
-        specs, smoke=args.smoke, executor=executor, output=args.output,
-        sink=sink, out=out, out_format=args.out_format,
-    )
+    with serve_dashboard(args.dashboard):
+        return run_specs(
+            specs, smoke=args.smoke, executor=executor, output=args.output,
+            sink=sink, out=out, out_format=args.out_format,
+        )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -364,14 +399,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = dict(spec.smoke_spec().sweep if args.smoke else spec.sweep)
     sweep.update(axes)
     try:
-        result = run_scenario(
-            spec,
-            smoke=args.smoke,
-            sweep=sweep,
-            repetitions=args.repetitions,
-            executor=executor,
-            sink=sink,
-        )
+        with serve_dashboard(args.dashboard):
+            result = run_scenario(
+                spec,
+                smoke=args.smoke,
+                sweep=sweep,
+                repetitions=args.repetitions,
+                executor=executor,
+                sink=sink,
+            )
     except Exception as error:
         print(f"FAIL {spec.name}: {type(error).__name__}: {error}", file=sys.stderr)
         return 1

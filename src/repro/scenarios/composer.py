@@ -379,7 +379,9 @@ def _run_offline(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
     return metrics
 
 
-def _run_cluster_online(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
+def _cluster_online_record(spec: ScenarioSpec, seed: int) -> Tuple[Any, List[Any], int]:
+    """Drive the cluster simulator for one cell: (record, jobs, machine_count)."""
+
     from repro.core.policies.base import MoldableAllocator
     from repro.simulation.cluster_sim import ClusterSimulator
 
@@ -406,7 +408,11 @@ def _run_cluster_online(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
         allocator=MoldableAllocator(allocator) if allocator else None,
         policy_switches=switches,
     )
-    result = simulator.run(jobs)
+    return simulator.run(jobs), jobs, machine_count
+
+
+def _run_cluster_online(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
+    result, jobs, machine_count = _cluster_online_record(spec, seed)
     metrics = _ratio_metrics(result.schedule, jobs, machine_count)
     metrics["policy_name"] = result.policy
     metrics["trace_events"] = len(result.trace)
@@ -471,7 +477,9 @@ def _grid_submissions(
     return local, bags
 
 
-def _run_grid_centralized(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
+def _grid_centralized_record(spec: ScenarioSpec, seed: int) -> Tuple[Any, Any, List[Any]]:
+    """Drive the centralized grid simulator: (record, grid, bags)."""
+
     from repro.simulation.grid_sim import CentralizedGridSimulator
 
     rng = np.random.default_rng(seed)
@@ -482,7 +490,11 @@ def _run_grid_centralized(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
         local_policy=spec.policy.params.get("local_policy", "backfill"),
         best_effort_enabled=bool(spec.policy.params.get("best_effort_enabled", True)),
     )
-    result = simulator.run(local, bags)
+    return simulator.run(local, bags), grid, bags
+
+
+def _run_grid_centralized(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
+    result, grid, bags = _grid_centralized_record(spec, seed)
     metrics: Dict[str, Any] = {
         "node_count": grid.node_count,
         "processor_count": grid.processor_count,
@@ -517,7 +529,9 @@ def _run_grid_centralized(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
     return metrics
 
 
-def _run_grid_decentralized(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
+def _grid_decentralized_record(spec: ScenarioSpec, seed: int) -> Tuple[Any, Any]:
+    """Drive the decentralized grid simulator: (record, grid)."""
+
     from repro.simulation.decentralized import DecentralizedGridSimulator
 
     rng = np.random.default_rng(seed)
@@ -529,7 +543,11 @@ def _run_grid_decentralized(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
         imbalance_threshold=float(spec.policy.params.get("imbalance_threshold", 2.0)),
         exchange_enabled=bool(spec.policy.params.get("exchange_enabled", True)),
     )
-    result = simulator.run(local)
+    return simulator.run(local), grid
+
+
+def _run_grid_decentralized(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
+    result, _grid = _grid_decentralized_record(spec, seed)
     metrics: Dict[str, Any] = {
         "makespan": result.makespan,
         "horizon": result.horizon,
@@ -591,6 +609,51 @@ MODEL_RUNNERS: Dict[str, Callable[[ScenarioSpec, int], Dict[str, Any]]] = {
     "dlt": _run_dlt,
 }
 
+#: Models whose runner drives an event simulator and therefore has a
+#: :class:`~repro.runtime.record.SimulationRecord` to render as a Gantt.
+RECORD_MODELS = ("cluster-online", "grid-centralized", "grid-decentralized")
+
+
+def build_simulation_record(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    *,
+    smoke: bool = True,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """The :class:`~repro.runtime.record.SimulationRecord` of one scenario cell.
+
+    This is what the Gantt explorer renders: the smoke tier is applied by
+    default (explorer-sized schedules), the *first* value of every sweep
+    axis is folded in (a representative cell), and the model's event
+    simulator runs with the cell's deterministic seed.  Only the models in
+    :data:`RECORD_MODELS` have a record; anything else raises
+    :class:`SpecError`.
+    """
+
+    effective = spec.smoke_spec() if smoke else spec
+    if overrides:
+        effective = effective.with_overrides(overrides)
+    if effective.sweep:
+        effective = effective.with_overrides(
+            {axis: values[0] for axis, values in effective.sweep.items() if values}
+        )
+    cell_seed = effective.seed if seed is None else int(seed)
+    model = effective.model
+    if model == "cluster-online":
+        record, _jobs, _machine_count = _cluster_online_record(effective, cell_seed)
+        return record
+    if model == "grid-centralized":
+        record, _grid, _bags = _grid_centralized_record(effective, cell_seed)
+        return record
+    if model == "grid-decentralized":
+        record, _grid = _grid_decentralized_record(effective, cell_seed)
+        return record
+    raise SpecError(
+        f"scenario {spec.name!r} uses model {model!r}, which produces no "
+        f"SimulationRecord; Gantt rendering supports: {', '.join(RECORD_MODELS)}"
+    )
+
 
 # ---------------------------------------------------------------------------
 # The cell function and the scenario runner
@@ -636,6 +699,7 @@ def run_scenario(
     executor: ExecutorSpec = None,
     cache: Any = None,
     sink: Any = None,
+    listener: Any = None,
     progress: Optional[Callable[[str], None]] = None,
     on_row: Optional[Callable[[Dict[str, Any]], None]] = None,
     capture_errors: bool = False,
@@ -648,9 +712,14 @@ def run_scenario(
     returned :class:`ExperimentResult` is exactly what the equivalent
     hand-wired :func:`run_experiment` call would produce.  ``sink`` is an
     optional :class:`~repro.store.api.RowSink` (or campaign-store directory)
-    every completed cell streams into, whatever the executor.
+    every completed cell streams into, whatever the executor.  ``listener``
+    is an optional :class:`~repro.telemetry.listener.SweepListener`;
+    ``progress=`` / ``on_row=`` are deprecated shims around it.
     """
 
+    from repro.telemetry import listener_with_callbacks
+
+    listener = listener_with_callbacks(listener, progress, on_row)
     effective = spec.smoke_spec() if smoke else spec
     if overrides:
         effective = effective.with_overrides(overrides)
@@ -669,8 +738,7 @@ def run_scenario(
         executor=executor,
         cache=cache,
         sink=sink,
-        progress=progress,
-        on_row=on_row,
+        listener=listener,
         capture_errors=capture_errors,
     )
 

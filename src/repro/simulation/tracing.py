@@ -9,9 +9,8 @@ and the traces can be exported to CSV-style records or converted into a
 
 from __future__ import annotations
 
-import csv
-import io
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 EVENT_KINDS = (
     "submit",
@@ -28,6 +27,30 @@ EVENT_KINDS = (
 
 #: Internal set for O(1) kind validation on the per-event hot path.
 _EVENT_KIND_SET = frozenset(EVENT_KINDS)
+
+#: Process-wide trace tap picked up by every Trace constructed afterwards.
+_TRACE_TAP: Optional[Callable[["TraceEvent"], None]] = None
+
+
+def set_trace_tap(tap: Optional[Callable[["TraceEvent"], None]]) -> Optional[Callable]:
+    """Install a process-wide tap receiving every event of traces created
+    from now on (``None`` uninstalls).  Returns the previous tap.
+
+    The tap is observation only: it must not mutate the event and it runs
+    on the simulation hot path, so keep it cheap (the telemetry bus's
+    :func:`repro.telemetry.trace_tap` qualifies).  Live :class:`Trace`
+    instances keep the tap they were built with; per-instance ``tap=``
+    overrides the global.
+    """
+
+    global _TRACE_TAP
+    previous = _TRACE_TAP
+    _TRACE_TAP = tap
+    return previous
+
+
+def get_trace_tap() -> Optional[Callable[["TraceEvent"], None]]:
+    return _TRACE_TAP
 
 
 class TraceEvent:
@@ -80,10 +103,11 @@ class TraceEvent:
 class Trace:
     """Append-only list of simulation events with query helpers."""
 
-    __slots__ = ("_events",)
+    __slots__ = ("_events", "tap")
 
-    def __init__(self) -> None:
+    def __init__(self, tap: Optional[Callable[[TraceEvent], None]] = None) -> None:
         self._events: List[TraceEvent] = []
+        self.tap = tap if tap is not None else _TRACE_TAP
 
     def record(
         self,
@@ -104,6 +128,8 @@ class Trace:
             info=info,
         )
         self._events.append(event)
+        if self.tap is not None:
+            self.tap(event)
         return event
 
     # -- queries -------------------------------------------------------------
@@ -168,6 +194,9 @@ class Trace:
         return busy / (machine_count * horizon)
 
     # -- export ----------------------------------------------------------------
+    #: Fixed column order of the flat export row (and the CSV header).
+    EXPORT_COLUMNS = ("time", "kind", "job", "cluster", "processors", "info")
+
     def to_records(self) -> List[Dict[str, object]]:
         return [
             {
@@ -181,13 +210,47 @@ class Trace:
             for e in self._events
         ]
 
+    def flat_records(self) -> List[Dict[str, object]]:
+        """JSON/SQL-safe flat rows: scalar columns only, one row per event.
+
+        This is the shape the unified results API persists -- processors are
+        space-joined, a missing cluster is the empty string -- so trace rows
+        can land in any :func:`repro.store.api.write_rows` target or in a
+        :class:`~repro.store.columnar.CampaignStore` partition next to
+        result rows.
+        """
+
+        return [
+            {
+                "time": e.time,
+                "kind": e.kind,
+                "job": e.job,
+                "cluster": e.cluster or "",
+                "processors": " ".join(map(str, e.processors)),
+                "info": e.info,
+            }
+            for e in self._events
+        ]
+
     def to_csv(self) -> str:
-        buffer = io.StringIO()
-        writer = csv.writer(buffer)
-        writer.writerow(["time", "kind", "job", "cluster", "processors", "info"])
-        for e in self._events:
-            writer.writerow(
-                [f"{e.time:.6f}", e.kind, e.job, e.cluster or "",
-                 " ".join(map(str, e.processors)), e.info]
-            )
-        return buffer.getvalue()
+        from repro.experiments.reporting import to_csv
+
+        rows = [dict(record, time=f"{record['time']:.6f}") for record in self.flat_records()]
+        header = ",".join(self.EXPORT_COLUMNS) + "\n"
+        if not rows:
+            return header
+        return to_csv(rows, columns=self.EXPORT_COLUMNS)
+
+    def write(self, path: Union[str, Path], *, fmt: Optional[str] = None) -> Path:
+        """Persist the trace through :func:`repro.store.api.write_rows`.
+
+        Same entry point as every result-row export: CSV, JSONL or Parquet
+        by suffix (or forced with ``fmt``), fixed trace columns.
+        """
+
+        from repro.store.api import write_rows
+
+        rows = self.flat_records()
+        if fmt == "csv" or (fmt is None and str(path).lower().endswith(".csv")):
+            rows = [dict(record, time=f"{record['time']:.6f}") for record in rows]
+        return write_rows(rows, path, fmt=fmt, columns=self.EXPORT_COLUMNS)

@@ -1,0 +1,316 @@
+"""In-process telemetry bus: versioned events, ring history, cheap fan-out.
+
+One :class:`TelemetryBus` instance (usually the process-wide default from
+:func:`get_bus`) connects every producer -- the asyncio scheduler, the sweep
+harness, the simulation trace tap -- to any number of consumers: dashboard
+HTTP handlers, tests, row sinks.  The design constraints, in order:
+
+1. **Producers never block and never fail.**  ``publish`` takes one short
+   lock, appends to a bounded ring and to bounded subscriber queues, and
+   returns.  A slow or dead consumer loses old events (counted in
+   ``Subscription.dropped``), it cannot stall a scheduler heartbeat.
+2. **Observation must not perturb runs.**  The bus never calls back into
+   producers and holds no references to live scheduler state beyond what
+   snapshot providers expose; result rows are derived from cell seeds alone,
+   so digests are bit-identical with zero or many subscribers.
+3. **Payloads are versioned.**  Everything carries
+   ``schema_version`` (:data:`repro.telemetry.events.SCHEMA_VERSION`); the
+   dashboard, the CLIs and the tests all consume the same payload shapes.
+
+The bus doubles as a :class:`~repro.telemetry.listener.SweepListener`:
+the harness notifies it directly, and it turns lifecycle calls into
+``sweep`` topic events plus a per-experiment progress table served by
+:meth:`snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.telemetry.events import SCHEMA_VERSION, TOPIC_SWEEP, payload
+from repro.telemetry.listener import SweepListener
+
+
+class TelemetryEvent:
+    """One published event: topic + per-topic sequence number + payload."""
+
+    __slots__ = ("topic", "seq", "time", "payload")
+
+    def __init__(self, topic: str, seq: int, time: float, payload: Mapping[str, Any]) -> None:
+        self.topic = topic
+        self.seq = seq
+        self.time = time
+        self.payload = payload
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "topic": self.topic,
+            "seq": self.seq,
+            "time": self.time,
+            "payload": dict(self.payload),
+        }
+
+    def __repr__(self) -> str:
+        return f"TelemetryEvent(topic={self.topic!r}, seq={self.seq}, payload={self.payload!r})"
+
+
+class Subscription:
+    """A bounded pull-queue of events; oldest events drop when it overflows."""
+
+    def __init__(self, bus: "TelemetryBus", topics: Optional[Iterable[str]], maxlen: int) -> None:
+        self._bus = bus
+        self.topics = frozenset(topics) if topics is not None else None
+        self._queue: deque = deque(maxlen=maxlen)
+        self.dropped = 0
+
+    def _offer(self, event: TelemetryEvent) -> None:
+        # Called with the bus lock held.
+        if self.topics is not None and event.topic not in self.topics:
+            return
+        if len(self._queue) == self._queue.maxlen:
+            self.dropped += 1
+        self._queue.append(event)
+
+    def poll(self, limit: Optional[int] = None) -> List[TelemetryEvent]:
+        """Drain up to ``limit`` queued events (all of them by default)."""
+
+        with self._bus._lock:
+            count = len(self._queue) if limit is None else min(limit, len(self._queue))
+            return [self._queue.popleft() for _ in range(count)]
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class TelemetryBus(SweepListener):
+    """Thread-safe publish/subscribe hub with per-topic ring history."""
+
+    def __init__(self, history: int = 1024, subscriber_buffer: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._history = history
+        self._subscriber_buffer = subscriber_buffer
+        self._rings: Dict[str, deque] = {}
+        self._seq: Dict[str, int] = {}
+        self._subscribers: List[Subscription] = []
+        self._snapshot_sources: Dict[str, Callable[[], Mapping[str, Any]]] = {}
+        self._sweeps: Dict[str, Dict[str, Any]] = {}
+        self.published = 0
+
+    # -- publishing ---------------------------------------------------------
+    def publish(self, topic: str, body: Mapping[str, Any]) -> TelemetryEvent:
+        """Publish ``body`` (a versioned payload dict) on ``topic``.
+
+        Never blocks and never raises for full consumers; returns the
+        stamped event.
+        """
+
+        with self._lock:
+            seq = self._seq.get(topic, 0) + 1
+            self._seq[topic] = seq
+            event = TelemetryEvent(topic, seq, time.time(), body)
+            ring = self._rings.get(topic)
+            if ring is None:
+                ring = self._rings[topic] = deque(maxlen=self._history)
+            ring.append(event)
+            self.published += 1
+            for subscription in self._subscribers:
+                subscription._offer(event)
+        return event
+
+    def emit(self, topic: str, kind: str, **fields: Any) -> TelemetryEvent:
+        """Shorthand for ``publish(topic, payload(kind, **fields))``."""
+
+        return self.publish(topic, payload(kind, **fields))
+
+    # -- history + subscriptions -------------------------------------------
+    def events(
+        self,
+        topic: str,
+        *,
+        since: int = 0,
+        limit: Optional[int] = None,
+    ) -> List[TelemetryEvent]:
+        """Ring-buffered history of ``topic`` with ``seq > since``, oldest first."""
+
+        with self._lock:
+            ring = self._rings.get(topic)
+            if not ring:
+                return []
+            out = [event for event in ring if event.seq > since]
+        if limit is not None and len(out) > limit:
+            out = out[-limit:]
+        return out
+
+    def topics(self) -> Dict[str, int]:
+        """Mapping of topic name to its latest sequence number."""
+
+        with self._lock:
+            return dict(self._seq)
+
+    def subscribe(
+        self,
+        topics: Optional[Iterable[str]] = None,
+        *,
+        buffer: Optional[int] = None,
+    ) -> Subscription:
+        subscription = Subscription(self, topics, buffer or self._subscriber_buffer)
+        with self._lock:
+            self._subscribers.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                pass
+
+    # -- snapshot providers --------------------------------------------------
+    def add_snapshot_source(self, name: str, provider: Callable[[], Mapping[str, Any]]) -> None:
+        """Register a pull-style state provider (scheduler occupancy, ...)."""
+
+        with self._lock:
+            self._snapshot_sources[name] = provider
+
+    def remove_snapshot_source(self, name: str) -> None:
+        with self._lock:
+            self._snapshot_sources.pop(name, None)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-safe view of everything live: sweeps, sources, topics."""
+
+        with self._lock:
+            sources = dict(self._snapshot_sources)
+            sweeps = {name: dict(state) for name, state in self._sweeps.items()}
+            topics = dict(self._seq)
+            published = self.published
+        now = time.time()
+        for state in sweeps.values():
+            end = state["finished"] if state["finished"] is not None else now
+            elapsed = max(end - state["started"], 1e-9)
+            state["elapsed_seconds"] = end - state["started"]
+            state["cells_per_second"] = state["done"] / elapsed
+        rendered: Dict[str, Any] = {}
+        for name, provider in sources.items():
+            try:
+                rendered[name] = dict(provider())
+            except Exception as error:  # a dying source must not kill /api/status
+                rendered[name] = {"error": repr(error)}
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "time": now,
+            "published": published,
+            "topics": topics,
+            "sweeps": sweeps,
+            "sources": rendered,
+        }
+
+    # -- SweepListener: the harness publishes through these ------------------
+    def on_sweep_start(self, experiment: str, total_cells: int) -> None:
+        with self._lock:
+            self._sweeps[experiment] = {
+                "experiment": experiment,
+                "total": total_cells,
+                "done": 0,
+                "errors": 0,
+                "cached": 0,
+                "started": time.time(),
+                "finished": None,
+            }
+        self.emit(TOPIC_SWEEP, "sweep-start", experiment=experiment, total_cells=total_cells)
+
+    def on_cell_start(self, experiment: str, cell: Any) -> None:
+        self.emit(
+            TOPIC_SWEEP,
+            "cell-start",
+            experiment=experiment,
+            index=getattr(cell, "index", None),
+            seed=getattr(cell, "seed", None),
+            cell=cell.describe(),
+        )
+
+    def on_row(self, experiment: str, cell: Any, row: Dict[str, Any], outcome: Any) -> None:
+        with self._lock:
+            state = self._sweeps.get(experiment)
+            if state is not None:
+                state["done"] += 1
+                if outcome.cached:
+                    state["cached"] += 1
+        self.emit(
+            TOPIC_SWEEP,
+            "cell-row",
+            experiment=experiment,
+            index=getattr(cell, "index", None),
+            seed=getattr(cell, "seed", None),
+            cached=bool(outcome.cached),
+            elapsed_seconds=outcome.elapsed_seconds,
+            columns=len(row),
+        )
+
+    def on_error(self, experiment: str, cell: Any, outcome: Any) -> None:
+        with self._lock:
+            state = self._sweeps.get(experiment)
+            if state is not None:
+                state["done"] += 1
+                state["errors"] += 1
+        self.emit(
+            TOPIC_SWEEP,
+            "cell-error",
+            experiment=experiment,
+            index=getattr(cell, "index", None),
+            seed=getattr(cell, "seed", None),
+            error_type=outcome.error_type,
+        )
+
+    def on_sweep_end(self, experiment: str, result: Any) -> None:
+        with self._lock:
+            state = self._sweeps.get(experiment)
+            if state is not None:
+                state["finished"] = time.time()
+        self.emit(
+            TOPIC_SWEEP,
+            "sweep-end",
+            experiment=experiment,
+            rows=len(getattr(result, "rows", ()) or ()),
+            errors=len(getattr(result, "errors", ()) or ()),
+            cache_hits=getattr(result, "cache_hits", 0),
+            executor=getattr(result, "executor", ""),
+            elapsed_seconds=getattr(result, "elapsed_seconds", 0.0),
+        )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            topics = len(self._seq)
+            subs = len(self._subscribers)
+        return f"TelemetryBus(topics={topics}, subscribers={subs}, published={self.published})"
+
+
+_default_bus = TelemetryBus()
+_default_lock = threading.Lock()
+
+
+def get_bus() -> TelemetryBus:
+    """The process-wide default bus every producer publishes into."""
+
+    return _default_bus
+
+
+def set_bus(bus: TelemetryBus) -> TelemetryBus:
+    """Swap the default bus (tests, embedding); returns the previous one."""
+
+    global _default_bus
+    if bus is None:
+        raise ValueError("the default telemetry bus cannot be None; pass a TelemetryBus")
+    with _default_lock:
+        previous = _default_bus
+        _default_bus = bus
+    return previous

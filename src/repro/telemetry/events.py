@@ -1,0 +1,53 @@
+"""Topic names and versioned payload construction for the telemetry bus.
+
+Every payload published on the bus is a flat, JSON-safe ``dict`` carrying a
+``schema_version`` and a ``kind``; consumers (dashboard endpoints, the store,
+tests) dispatch on ``kind`` and may reject versions they do not understand.
+Bumping :data:`SCHEMA_VERSION` is an API change: document it in CHANGES.md
+and keep the dashboard able to render the previous version.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+#: Version stamped into every event payload and every bus snapshot.
+SCHEMA_VERSION = 1
+
+# -- topics -----------------------------------------------------------------
+#: Sweep-harness cell lifecycle (sweep-start/cell-start/cell-row/cell-error/
+#: sweep-end), published by :func:`repro.experiments.harness.run_experiment`.
+TOPIC_SWEEP = "sweep"
+#: Campaign lifecycle of the distributed scheduler (campaign-start/-end).
+TOPIC_SCHEDULER = "scheduler"
+#: Worker membership: worker-joined / worker-evicted / worker-left.
+TOPIC_WORKERS = "scheduler.workers"
+#: Cell assignments, steals and speculative duplicates.
+TOPIC_ASSIGNMENTS = "scheduler.assignments"
+#: Compact queue-depth samples (pending/running/done) for timelines.
+TOPIC_QUEUE = "scheduler.queue"
+#: Full :meth:`SchedulerStats.to_payload` snapshots.
+TOPIC_STATS = "scheduler.stats"
+#: Simulator trace events forwarded through the trace tap.
+TOPIC_TRACE = "trace"
+#: Scheduling-runtime run lifecycle (run-start / run-end).
+TOPIC_RUNTIME = "runtime"
+
+ALL_TOPICS = (
+    TOPIC_SWEEP,
+    TOPIC_SCHEDULER,
+    TOPIC_WORKERS,
+    TOPIC_ASSIGNMENTS,
+    TOPIC_QUEUE,
+    TOPIC_STATS,
+    TOPIC_TRACE,
+    TOPIC_RUNTIME,
+)
+
+
+def payload(kind: str, **fields: Any) -> Dict[str, Any]:
+    """A versioned event payload: ``schema_version`` + ``kind`` + fields."""
+
+    body: Dict[str, Any] = {"schema_version": SCHEMA_VERSION, "kind": kind}
+    body.update(fields)
+    return body

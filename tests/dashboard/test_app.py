@@ -1,0 +1,96 @@
+"""The dashboard HTTP server: endpoints, errors, isolation from producers."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.dashboard.app import DashboardServer
+from repro.telemetry import TelemetryBus
+
+
+@pytest.fixture
+def bus():
+    return TelemetryBus()
+
+
+@pytest.fixture
+def server(bus):
+    with DashboardServer(port=0, bus=bus) as running:
+        yield running
+
+
+def fetch(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.read()
+
+
+def fetch_json(url: str):
+    return json.loads(fetch(url))
+
+
+class TestEndpoints:
+    def test_root_serves_the_html_view(self, server):
+        page = fetch(server.url + "/")
+        assert b"<!doctype html>" in page.lower()
+        assert b"/api/status" in page
+
+    def test_status_returns_the_bus_snapshot(self, server, bus):
+        bus.add_snapshot_source("probe", lambda: {"value": 42})
+        status = fetch_json(server.url + "/api/status")
+        assert status["sources"]["probe"] == {"value": 42}
+        assert "schema_version" in status
+
+    def test_topics_and_events_serve_ring_history(self, server, bus):
+        bus.emit("demo", "tick", n=1)
+        bus.emit("demo", "tick", n=2)
+        topics = fetch_json(server.url + "/api/topics")["topics"]
+        assert topics["demo"] == 2
+        data = fetch_json(server.url + "/api/events?topic=demo&since=1")
+        assert [event["seq"] for event in data["events"]] == [2]
+        assert data["events"][0]["payload"]["n"] == 2
+
+    def test_events_without_topic_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server.url + "/api/events")
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_scenarios_lists_gantt_capability(self, server):
+        scenarios = fetch_json(server.url + "/api/scenarios")["scenarios"]
+        by_name = {entry["name"]: entry for entry in scenarios}
+        assert by_name["cluster.policy-panel"]["gantt"] is True
+        assert by_name["fig2.bicriteria"]["gantt"] is False
+
+    def test_gantt_endpoint_renders_svg(self, server):
+        svg = fetch(server.url + "/gantt.svg?scenario=cluster.policy-panel")
+        assert svg.startswith(b"<svg")
+
+    def test_gantt_unknown_scenario_is_404_and_bad_model_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server.url + "/gantt.svg?scenario=no.such")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server.url + "/gantt.svg?scenario=fig2.bicriteria")
+        assert excinfo.value.code == 400
+
+
+class TestServerLifecycle:
+    def test_port_zero_binds_a_free_port_and_stop_is_idempotent(self, bus):
+        server = DashboardServer(port=0, bus=bus).start()
+        assert server.port != 0
+        assert server.url.startswith("http://127.0.0.1:")
+        server.stop()
+        server.stop()  # second stop is a no-op
+
+    def test_double_start_is_rejected(self, bus):
+        with DashboardServer(port=0, bus=bus) as server:
+            with pytest.raises(RuntimeError):
+                server.start()

@@ -1,0 +1,59 @@
+"""Observation must not perturb results: digests with 0/1/5 live pollers.
+
+This is the PR's core invariant -- result rows derive only from cell
+seeds, the telemetry bus and dashboard are read-only observers -- pinned
+down end to end: an inproc distributed fleet runs a scenario while N
+concurrent HTTP pollers hammer the dashboard, and the row digest must be
+bit-identical to a serial, unobserved baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.dashboard.app import DashboardServer
+from repro.distributed.executor import DistributedExecutor
+from repro.scenarios import registry
+from repro.scenarios.composer import rows_digest, run_scenario
+
+SCENARIO = "cluster.policy-panel"
+
+
+@pytest.fixture(scope="module")
+def serial_digest():
+    result = run_scenario(registry.get(SCENARIO), smoke=True)
+    return rows_digest(result.rows)
+
+
+@pytest.mark.parametrize("pollers", [0, 1, 5])
+def test_digest_is_bit_identical_under_dashboard_observation(pollers, serial_digest):
+    spec = registry.get(SCENARIO)
+    with DashboardServer(port=0) as server:
+        stop = threading.Event()
+
+        def poll() -> None:
+            while not stop.is_set():
+                for path in ("/api/status", "/api/events?topic=sweep", "/api/topics"):
+                    try:
+                        with urllib.request.urlopen(
+                            server.url + path, timeout=5.0
+                        ) as response:
+                            response.read()
+                    except urllib.error.URLError:
+                        pass
+
+        threads = [threading.Thread(target=poll, daemon=True) for _ in range(pollers)]
+        for thread in threads:
+            thread.start()
+        try:
+            executor = DistributedExecutor("inproc://", workers=2)
+            observed = run_scenario(spec, smoke=True, executor=executor)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+    assert rows_digest(observed.rows) == serial_digest

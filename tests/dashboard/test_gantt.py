@@ -1,0 +1,84 @@
+"""The Gantt explorer: record rendering and trace-to-schedule conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dashboard.gantt import (
+    CATEGORICAL,
+    FOLD_COLOR,
+    _contiguous_groups,
+    cluster_color,
+    render_gantt_svg,
+    render_scenario_gantt,
+    schedule_from_trace,
+)
+from repro.scenarios import registry
+from repro.scenarios.composer import RECORD_MODELS, build_simulation_record
+from repro.simulation.tracing import Trace
+
+
+class TestHelpers:
+    def test_contiguous_processor_indices_merge_into_rects(self):
+        assert _contiguous_groups([0, 1, 2, 5, 7, 8]) == [(0, 3), (5, 1), (7, 2)]
+        assert _contiguous_groups([3, 1, 2]) == [(1, 3)]
+        assert _contiguous_groups([]) == []
+
+    def test_cluster_colors_fold_past_the_fixed_slots(self):
+        assert [cluster_color(i) for i in range(8)] == list(CATEGORICAL)
+        assert cluster_color(8) == FOLD_COLOR
+        assert cluster_color(23) == FOLD_COLOR
+
+
+class TestScheduleFromTrace:
+    def test_round_trip_from_simulator_trace(self):
+        record = build_simulation_record(registry.get("cluster.policy-panel"))
+        schedule = schedule_from_trace(record.trace, record.machine_count)
+        assert len(schedule) == len(record.trace.events("complete"))
+        schedule.validate(check_release_dates=False)
+
+    def test_killed_and_resubmitted_jobs_get_suffixed_names(self):
+        trace = Trace()
+        trace.record(0.0, "start", "run", cluster="c", processors=(0,))
+        trace.record(1.0, "kill", "run", cluster="c")
+        trace.record(2.0, "start", "run", cluster="c", processors=(1,))
+        trace.record(3.0, "complete", "run", cluster="c")
+        schedule = schedule_from_trace(trace, 2)
+        assert sorted(entry.job.name for entry in schedule) == ["run", "run#2"]
+
+    def test_starts_without_processors_are_skipped(self):
+        trace = Trace()
+        trace.record(0.0, "start", "ghost", cluster="c")
+        trace.record(1.0, "complete", "ghost", cluster="c")
+        assert len(schedule_from_trace(trace, 4)) == 0
+
+
+class TestRenderers:
+    @pytest.mark.parametrize("scenario", [
+        "cluster.policy-panel",          # cluster-online
+        "grid.decentralized.exchange",   # grid-decentralized
+    ])
+    def test_record_models_render_standalone_svg(self, scenario):
+        svg = render_scenario_gantt(scenario)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "<title>" in svg  # hover tooltips on run rectangles
+
+    def test_best_effort_runs_are_hatched(self):
+        record = build_simulation_record(registry.get("fig3.ciment.centralized"))
+        assert any(run.kind == "best-effort" for run in record.runs())
+        svg = render_gantt_svg(record, title="t")
+        assert "url(#hatch" in svg
+
+    def test_non_record_models_raise_spec_error(self):
+        from repro.scenarios.spec import SpecError
+
+        spec = registry.get("fig2.bicriteria")
+        assert spec.model not in RECORD_MODELS
+        with pytest.raises(SpecError, match="no\\s+SimulationRecord|produces no"):
+            build_simulation_record(spec)
+
+    def test_seed_changes_the_rendered_schedule(self):
+        first = render_scenario_gantt("cluster.policy-panel", seed=1)
+        second = render_scenario_gantt("cluster.policy-panel", seed=2)
+        assert first != second

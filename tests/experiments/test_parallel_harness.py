@@ -193,11 +193,15 @@ class TestParallelIdentity:
         assert pooled.elapsed_seconds < serial.elapsed_seconds * 0.7
 
     def test_progress_and_timing_capture(self):
+        # progress=/on_row= are deprecated shims around listener=; they
+        # must still deliver the exact legacy callbacks while they warn.
         messages = []
         streamed = []
-        result = run_experiment("progress", seeded_metrics, {"a": [1], "b": [2, 3]},
-                                repetitions=2, progress=messages.append,
-                                on_row=streamed.append)
+        with pytest.warns(DeprecationWarning, match="progress= and on_row="):
+            result = run_experiment("progress", seeded_metrics,
+                                    {"a": [1], "b": [2, 3]},
+                                    repetitions=2, progress=messages.append,
+                                    on_row=streamed.append)
         assert len(messages) == 4
         assert streamed == result.rows
         assert len(result.cell_seconds) == 4

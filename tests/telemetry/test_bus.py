@@ -1,0 +1,167 @@
+"""The telemetry bus: publishing, history, fan-out, snapshots."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    TOPIC_SWEEP,
+    TelemetryBus,
+    get_bus,
+    payload,
+    set_bus,
+    trace_tap,
+)
+
+
+class TestPayload:
+    def test_payload_is_versioned_and_kinded(self):
+        body = payload("thing-happened", value=3)
+        assert body == {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "thing-happened",
+            "value": 3,
+        }
+
+
+class TestPublishing:
+    def test_per_topic_sequence_numbers_are_independent(self):
+        bus = TelemetryBus()
+        first = bus.emit("a", "x")
+        second = bus.emit("a", "x")
+        other = bus.emit("b", "x")
+        assert (first.seq, second.seq, other.seq) == (1, 2, 1)
+        assert bus.published == 3
+        assert bus.topics() == {"a": 2, "b": 1}
+
+    def test_ring_history_is_bounded_and_since_filters(self):
+        bus = TelemetryBus(history=4)
+        for index in range(10):
+            bus.emit("t", "tick", index=index)
+        events = bus.events("t")
+        assert [event.seq for event in events] == [7, 8, 9, 10]
+        assert [event.seq for event in bus.events("t", since=8)] == [9, 10]
+        assert [event.seq for event in bus.events("t", limit=2)] == [9, 10]
+        assert bus.events("unknown") == []
+
+    def test_event_as_dict_round_trips_payload(self):
+        bus = TelemetryBus()
+        event = bus.emit("t", "tick", n=1)
+        data = event.as_dict()
+        assert data["topic"] == "t"
+        assert data["seq"] == 1
+        assert data["payload"]["kind"] == "tick"
+        assert data["payload"]["schema_version"] == SCHEMA_VERSION
+
+
+class TestSubscriptions:
+    def test_subscription_receives_only_its_topics(self):
+        bus = TelemetryBus()
+        with bus.subscribe(["a"]) as sub:
+            bus.emit("a", "x")
+            bus.emit("b", "x")
+            events = sub.poll()
+        assert [event.topic for event in events] == ["a"]
+
+    def test_slow_subscriber_drops_oldest_and_counts(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe(buffer=3)
+        for index in range(5):
+            bus.emit("t", "tick", index=index)
+        assert sub.dropped == 2
+        assert [event.seq for event in sub.poll()] == [3, 4, 5]
+        sub.close()
+        bus.emit("t", "tick")
+        assert sub.poll() == []  # closed: no longer offered events
+
+    def test_publishing_is_thread_safe(self):
+        bus = TelemetryBus()
+
+        def hammer() -> None:
+            for _ in range(200):
+                bus.emit("t", "tick")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert bus.topics()["t"] == 800
+        assert bus.published == 800
+
+
+class TestSnapshot:
+    def test_snapshot_merges_sources_and_survives_dying_ones(self):
+        bus = TelemetryBus()
+        bus.add_snapshot_source("good", lambda: {"value": 1})
+
+        def dying():
+            raise RuntimeError("gone")
+
+        bus.add_snapshot_source("bad", dying)
+        snap = bus.snapshot()
+        assert snap["schema_version"] == SCHEMA_VERSION
+        assert snap["sources"]["good"] == {"value": 1}
+        assert "RuntimeError" in snap["sources"]["bad"]["error"]
+        bus.remove_snapshot_source("good")
+        assert "good" not in bus.snapshot()["sources"]
+
+    def test_sweep_listener_side_builds_progress_table(self):
+        bus = TelemetryBus()
+
+        class Outcome:
+            cached = False
+            elapsed_seconds = 0.01
+
+        class Cell:
+            index = 0
+            seed = 7
+
+            def describe(self) -> str:
+                return "seed=7"
+
+        bus.on_sweep_start("exp", 2)
+        bus.on_row("exp", Cell(), {"v": 1}, Outcome())
+        state = bus.snapshot()["sweeps"]["exp"]
+        assert state["total"] == 2
+        assert state["done"] == 1
+        assert state["cells_per_second"] > 0
+        assert state["finished"] is None
+        bus.on_sweep_end("exp", None)
+        assert bus.snapshot()["sweeps"]["exp"]["finished"] is not None
+        kinds = [event.payload["kind"] for event in bus.events(TOPIC_SWEEP)]
+        assert kinds == ["sweep-start", "cell-row", "sweep-end"]
+
+
+class TestDefaultBus:
+    def test_set_bus_swaps_and_returns_previous(self):
+        replacement = TelemetryBus()
+        previous = set_bus(replacement)
+        try:
+            assert get_bus() is replacement
+        finally:
+            assert set_bus(previous) is replacement
+        assert get_bus() is previous
+
+    def test_set_bus_rejects_none(self):
+        with pytest.raises(ValueError):
+            set_bus(None)
+
+
+class TestTraceTap:
+    def test_tap_publishes_trace_events_with_label(self):
+        from repro.simulation.tracing import Trace
+
+        bus = TelemetryBus()
+        trace = Trace(tap=trace_tap(bus, label="run-1"))
+        trace.record(1.0, "start", "job-a", cluster="c0", processors=(0, 1))
+        events = bus.events("trace")
+        assert len(events) == 1
+        body = events[0].payload
+        assert body["kind"] == "trace-event"
+        assert body["label"] == "run-1"
+        assert body["event"] == "start"
+        assert body["processors"] == 2  # count, not the index tuple
