@@ -27,6 +27,10 @@
 #                              concurrent pollers, check every endpoint and
 #                              prove the row digest identical to a serial,
 #                              unobserved baseline (mirrors the CI job)
+#   make telemetry-smoke       record a 4-worker tcp fleet with the flight
+#                              recorder, assert digest parity vs serial,
+#                              forwarded worker.* rows landed, and SQL/py
+#                              query agreement (mirrors the CI job)
 #   make lint                  ruff check (byte-compilation fallback)
 #   make ci                    lint + test + scenario smoke + warn-only perf
 #                              compare (mirrors CI)
@@ -40,7 +44,7 @@ BASELINE ?= benchmarks/baselines/quick.json
 
 BENCH_ENV = $(if $(JOBS),REPRO_JOBS=$(JOBS)) $(if $(CACHE),REPRO_CACHE_DIR=$(CACHE))
 
-.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke distributed-smoke-inproc distributed-stress store-smoke dashboard-smoke lint ci clean runtime-check runtime-goldens
+.PHONY: test bench perf perf-compare scenarios scenario-smoke distributed-smoke distributed-smoke-inproc distributed-stress store-smoke dashboard-smoke telemetry-smoke lint ci clean runtime-check runtime-goldens
 
 # Port the distributed smoke tier binds its campaign schedulers on.
 DIST_PORT ?= 7641
@@ -135,6 +139,14 @@ store-smoke:
 # the CI dashboard-smoke job.
 dashboard-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.dashboard smoke
+
+# The distributed telemetry pipeline end to end: a recorded 4-worker tcp
+# fleet must yield the same digest as an unobserved serial run, forwarded
+# worker.* span events must land in the flight-recorder store, and the
+# phase-attribution query must agree across the SQL and python engines.
+# Mirrors the CI telemetry-smoke job.
+telemetry-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.telemetry smoke --workers 4 --comm tcp
 
 # ruff when available (the CI lint job installs it); plain byte-compilation
 # otherwise so the target always catches syntax errors.

@@ -18,6 +18,7 @@ import statistics
 import subprocess
 import sys
 import time
+import dataclasses
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
@@ -46,6 +47,7 @@ class CaseResult:
     cells: Optional[int]
     cells_per_sec: Optional[float]
     digest: str
+    phases: Dict[str, Dict[str, float]] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -60,6 +62,7 @@ class CaseResult:
             "cells": self.cells,
             "cells_per_sec": self.cells_per_sec,
             "digest": self.digest,
+            "phases": self.phases,
         }
 
 
@@ -98,7 +101,11 @@ def time_case(
         raise ValueError("repeats must be >= 1")
     if warmup < 0:
         raise ValueError("warmup must be >= 0")
-    outcome: CaseOutcome = case.run_tier(tier)  # determinism reference run
+    # The determinism reference run doubles as the profiling run: a private
+    # bus with a span subscriber turns the harness/worker spans on for this
+    # run only.  Warmups and timed repeats see the restored bus (and, with
+    # no subscriber, zero-cost NULL spans), so timing stays unperturbed.
+    outcome, phases = _profiled_reference_run(case, tier)
     digest = payload_digest(outcome.payload)
     for _ in range(warmup):
         case.run_tier(tier)
@@ -125,7 +132,43 @@ def time_case(
         cells=outcome.cells,
         cells_per_sec=(outcome.cells / wall) if outcome.cells and wall > 0 else None,
         digest=digest,
+        phases=phases,
     )
+
+
+def _profiled_reference_run(
+    case: BenchCase, tier: str
+) -> "tuple[CaseOutcome, Dict[str, Dict[str, float]]]":
+    """Run the case once with spans enabled; return (outcome, phase summary)."""
+
+    from repro.telemetry.bus import TelemetryBus, set_bus
+    from repro.telemetry.events import TOPIC_SCHEDULER_SPANS, TOPIC_SPANS
+
+    bus = TelemetryBus(history=256, subscriber_buffer=65536)
+    subscription = bus.subscribe([TOPIC_SPANS, TOPIC_SCHEDULER_SPANS])
+    previous = set_bus(bus)
+    try:
+        outcome: CaseOutcome = case.run_tier(tier)
+    finally:
+        set_bus(previous)
+    phases: Dict[str, Dict[str, float]] = {}
+    for event in subscription.poll():
+        body = event.payload
+        name = body.get("name")
+        seconds = body.get("seconds")
+        if body.get("kind") != "span" or not name:
+            continue
+        if not isinstance(seconds, (int, float)):
+            continue
+        bucket = phases.setdefault(
+            str(name), {"count": 0, "total_seconds": 0.0}
+        )
+        bucket["count"] += 1
+        bucket["total_seconds"] += float(seconds)
+    subscription.close()
+    for bucket in phases.values():
+        bucket["mean_seconds"] = bucket["total_seconds"] / bucket["count"]
+    return outcome, phases
 
 
 def run_benchmarks(

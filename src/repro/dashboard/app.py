@@ -11,7 +11,9 @@ Endpoints (all JSON unless noted):
 ``/``                        the live HTML view (:data:`INDEX_HTML`)
 ``/api/status``              :meth:`TelemetryBus.snapshot`
 ``/api/topics``              topic -> latest sequence number
-``/api/events``              ring history; ``?topic=&since=&limit=``
+``/api/events``              ring history; ``?topic=&since=&limit=`` or the
+                             cursor form ``?topics=a,b,worker.*&since_global=``
+                             (returns ``next``, the new cursor)
 ``/api/scenarios``           registered scenarios (+ Gantt capability)
 ``/gantt.svg``               SVG Gantt; ``?scenario=&seed=&full=1``
 ===========================  =============================================
@@ -88,17 +90,7 @@ class _Handler(BaseHTTPRequestHandler):
             elif path == "/api/topics":
                 self._json({"topics": bus.topics()})
             elif path == "/api/events":
-                topic = query.get("topic", "")
-                if not topic:
-                    self._json({"error": "missing ?topic="}, status=400)
-                    return
-                since = int(query.get("since", "0"))
-                limit = min(int(query.get("limit", "256")), 4096)
-                events = bus.events(topic, since=since, limit=limit)
-                self._json({
-                    "topic": topic,
-                    "events": [event.as_dict() for event in events],
-                })
+                self._events(bus, query)
             elif path == "/api/scenarios":
                 self._json(_scenario_index())
             elif path == "/gantt.svg":
@@ -112,6 +104,33 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json({"error": repr(error)}, status=500)
             except Exception:
                 pass
+
+    def _events(self, bus: TelemetryBus, query: Dict[str, str]) -> None:
+        limit = min(int(query.get("limit", "256")), 4096)
+        topic = query.get("topic", "")
+        if topic:
+            # Legacy single-topic form with a per-topic seq cursor.
+            since = int(query.get("since", "0"))
+            events = bus.events(topic, since=since, limit=limit)
+            self._json({
+                "topic": topic,
+                "events": [event.as_dict() for event in events],
+            })
+            return
+        # Cursor form: one request covers every topic of interest.  The
+        # client resends the returned "next" as since_global, so each tick
+        # downloads only new events instead of the full ring history.
+        since_global = int(query.get("since_global", "0"))
+        raw_topics = query.get("topics", "")
+        topics = [t for t in (s.strip() for s in raw_topics.split(",")) if t]
+        events = bus.events_since(
+            since_global, topics=topics or None, limit=limit,
+        )
+        cursor = events[-1].gseq if events else since_global
+        self._json({
+            "events": [event.as_dict() for event in events],
+            "next": cursor,
+        })
 
     def _gantt(self, query: Dict[str, str]) -> None:
         from repro.dashboard.gantt import render_scenario_gantt

@@ -1,7 +1,9 @@
 """The dashboard's single-page HTML view (inline CSS + JS, no assets).
 
 Served verbatim at ``/``; everything live comes from the JSON endpoints
-(``/api/status`` polled at ~1s, ``/api/events`` with a ``since`` cursor).
+(``/api/status`` polled at ~1s, ``/api/events`` with a single bus-wide
+``since_global`` cursor covering the feed topics plus every dynamic
+``worker.*`` topic in one request per tick).
 The palette is expressed as CSS custom properties with a
 ``prefers-color-scheme`` dark variant, so both modes come from the same
 validated steps; text always wears ink tokens, never series colors.
@@ -71,6 +73,17 @@ select {
 #gantt { width: 100%; overflow-x: auto; background: #fcfcfb;
   border-radius: 6px; border: 1px solid var(--grid); }
 .err { color: var(--cat2); font-size: 12px; }
+table { width: 100%; border-collapse: collapse; font-size: 12px;
+  font-variant-numeric: tabular-nums; }
+th { text-align: left; color: var(--ink-2); font-weight: 600;
+  border-bottom: 1px solid var(--baseline); padding: 2px 8px 2px 0; }
+td { border-bottom: 1px dashed var(--grid); padding: 2px 8px 2px 0;
+  color: var(--ink); }
+td.mono { font-family: ui-monospace, 'SF Mono', Menlo, monospace; }
+.occ { display: inline-block; width: 64px; height: 6px; background: var(--grid);
+  border-radius: 3px; overflow: hidden; vertical-align: middle;
+  margin-right: 6px; }
+.occ > div { height: 100%; background: var(--cat3); }
 </style>
 </head>
 <body>
@@ -94,6 +107,11 @@ select {
 </section>
 
 <section>
+  <h2>Workers</h2>
+  <div id="workers"><span class="err" id="noworkers">no workers connected</span></div>
+</section>
+
+<section>
   <h2>Queue depth</h2>
   <svg id="spark" preserveAspectRatio="none" viewBox="0 0 600 64"></svg>
 </section>
@@ -114,10 +132,10 @@ select {
 const $ = id => document.getElementById(id);
 const fmt = v => (v === undefined || v === null) ? "–"
   : (typeof v === "number" && !Number.isInteger(v)) ? v.toFixed(1) : String(v);
-let cursors = {};          // topic -> last seen seq
+let eventCursor = 0;       // bus-wide gseq cursor for /api/events
 const queueDepths = [];    // recent pending+running samples
 const feedTopics = ["scheduler", "scheduler.workers", "scheduler.assignments",
-                    "sweep", "runtime"];
+                    "scheduler.spans", "sweep", "runtime", "worker.*"];
 
 function schedulerSource(status) {
   for (const key of Object.keys(status.sources || {})) {
@@ -135,6 +153,7 @@ function renderStatus(status) {
   const sched = schedulerSource(status);
   if (sched) {
     $("t-workers").textContent = fmt(Object.keys(sched.workers || {}).length);
+    renderWorkers(sched.workers || {});
     const q = sched.queue || {};
     $("t-pending").textContent = fmt(q.pending);
     $("t-running").textContent = fmt(q.running);
@@ -170,6 +189,38 @@ function renderStatus(status) {
   $("t-rate").textContent = rate.toFixed(1);
 }
 
+function renderWorkers(workers) {
+  const names = Object.keys(workers).sort();
+  const box = $("workers");
+  if (!names.length) {
+    box.innerHTML = '<span class="err">no workers connected</span>';
+    return;
+  }
+  const rows = names.map(name => {
+    const w = workers[name];
+    const occ = w.occupancy === null || w.occupancy === undefined
+      ? null : Math.max(0, Math.min(1, w.occupancy));
+    const pct = occ === null ? 0 : Math.round(occ * 100);
+    return "<tr><td class='mono'></td><td>" + fmt(w.assignments) + "</td>" +
+      "<td>" + fmt(w.lease) + "</td>" +
+      "<td>" + (w.busy_seconds || 0).toFixed(2) + "</td>" +
+      "<td>" + (w.idle_seconds || 0).toFixed(2) + "</td>" +
+      "<td><span class='occ'><div style='width:" + pct + "%'></div></span>" +
+      (occ === null ? "–" : pct + "%") + "</td>" +
+      "<td>" + fmt(w.cells) + "</td>" +
+      "<td>" + fmt(w.events_forwarded) +
+      ((w.events_dropped || 0) ? " (" + w.events_dropped + " dropped)" : "") +
+      "</td><td>" + (w.last_seen_age || 0).toFixed(1) + "s</td></tr>";
+  });
+  box.innerHTML = "<table><thead><tr><th>worker</th><th>running</th>" +
+    "<th>lease</th><th>busy s</th><th>idle s</th><th>occupancy</th>" +
+    "<th>cells</th><th>events</th><th>seen</th></tr></thead><tbody>" +
+    rows.join("") + "</tbody></table>";
+  // worker ids are untrusted text: set them via textContent, never innerHTML
+  const cells = box.querySelectorAll("td.mono");
+  names.forEach((name, i) => { cells[i].textContent = name; });
+}
+
 function renderSpark() {
   const svg = $("spark");
   if (!queueDepths.length) return;
@@ -189,27 +240,27 @@ function renderSpark() {
 
 async function pollEvents() {
   const feed = $("feed");
-  for (const topic of feedTopics) {
-    try {
-      const since = cursors[topic] || 0;
-      const res = await fetch("/api/events?topic=" + encodeURIComponent(topic) +
-                              "&since=" + since + "&limit=40");
-      const data = await res.json();
-      for (const ev of data.events || []) {
-        cursors[topic] = Math.max(cursors[topic] || 0, ev.seq);
-        const li = document.createElement("li");
-        const p = ev.payload || {};
-        const extra = Object.keys(p)
-          .filter(k => k !== "schema_version" && k !== "kind")
-          .slice(0, 6).map(k => k + "=" + JSON.stringify(p[k])).join(" ");
-        li.innerHTML = '<span class="t"></span><span class="k"></span> ';
-        li.querySelector(".t").textContent =
-          new Date(ev.time * 1000).toLocaleTimeString() + " " + ev.topic;
-        li.querySelector(".k").textContent = (p.kind || "?") + " " + extra;
-        feed.insertBefore(li, feed.firstChild);
-      }
-    } catch (e) { /* a dead topic never kills the page */ }
-  }
+  try {
+    // One cursor request per tick: only events newer than the last gseq
+    // come back, so a long-running dashboard never re-downloads the ring.
+    const res = await fetch("/api/events?topics=" +
+                            encodeURIComponent(feedTopics.join(",")) +
+                            "&since_global=" + eventCursor + "&limit=120");
+    const data = await res.json();
+    eventCursor = data.next || eventCursor;
+    for (const ev of data.events || []) {
+      const li = document.createElement("li");
+      const p = ev.payload || {};
+      const extra = Object.keys(p)
+        .filter(k => k !== "schema_version" && k !== "kind")
+        .slice(0, 6).map(k => k + "=" + JSON.stringify(p[k])).join(" ");
+      li.innerHTML = '<span class="t"></span><span class="k"></span> ';
+      li.querySelector(".t").textContent =
+        new Date(ev.time * 1000).toLocaleTimeString() + " " + ev.topic;
+      li.querySelector(".k").textContent = (p.kind || "?") + " " + extra;
+      feed.insertBefore(li, feed.firstChild);
+    }
+  } catch (e) { /* a failed poll never kills the page */ }
   while (feed.children.length > 30) feed.removeChild(feed.lastChild);
 }
 

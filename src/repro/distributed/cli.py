@@ -60,6 +60,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="exit after the first connection ends instead of reconnecting",
     )
+    worker.add_argument(
+        "--no-telemetry", action="store_true",
+        help="never capture or forward spans, even when the scheduler asks",
+    )
 
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("names", nargs="*", help="scenario names (or use --all)")
@@ -105,6 +109,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="minimum age of a running cell before it is duplicated onto an "
              "idle worker (default: 5)",
     )
+    common.add_argument(
+        "--record", type=Path, default=None, metavar="DIR",
+        help="attach the telemetry flight recorder: land every bus event "
+             "(forwarded worker.* spans included) in this campaign store",
+    )
+    common.add_argument(
+        "--record-campaign", default=None, metavar="NAME",
+        help="campaign label for recorded telemetry (default: --campaign, "
+             "else 'telemetry')",
+    )
     from repro.scenarios.cli import _add_export_arguments
 
     _add_export_arguments(common)
@@ -147,6 +161,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             max_idle=args.max_idle,
             once=args.once,
             log=log,
+            telemetry=False if args.no_telemetry else None,
         )
     except ValueError as error:  # bad address
         print(error, file=sys.stderr)
@@ -173,9 +188,17 @@ def _run_scenarios(args: argparse.Namespace, executor: DistributedExecutor) -> i
         print(error, file=sys.stderr)
         return 2
     print(f"scheduling onto {executor!r}")
+    from contextlib import nullcontext
+
     from repro.scenarios.cli import serve_dashboard
 
-    with serve_dashboard(args.dashboard):
+    recorder = None
+    if args.record is not None:
+        from repro.telemetry.recorder import TelemetryRecorder
+
+        campaign = args.record_campaign or getattr(args, "campaign", None) or "telemetry"
+        recorder = TelemetryRecorder(args.record, campaign=campaign)
+    with serve_dashboard(args.dashboard), (recorder or nullcontext()):
         code = run_specs(
             specs,
             smoke=args.smoke,
@@ -185,6 +208,12 @@ def _run_scenarios(args: argparse.Namespace, executor: DistributedExecutor) -> i
             sink=sink,
             out=out,
             out_format=args.out_format,
+        )
+    if recorder is not None:
+        print(
+            f"flight recorder: {recorder.recorded} event(s) -> {args.record} "
+            f"(campaign {recorder.campaign}, {recorder.dropped} dropped)",
+            file=sys.stderr,
         )
     # One payload shape for the CLI line, the dashboard endpoint and tests.
     counters = {k: v for k, v in executor.stats.to_payload()["counters"].items() if v}

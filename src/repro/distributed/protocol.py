@@ -24,6 +24,8 @@ op             direction  meaning
 =============  =========  ==================================================
 ``hello``      w -> s     register; carries ``worker`` (the worker's id)
 ``welcome``    s -> w     registration ack; carries ``heartbeat_interval``
+                          and ``telemetry`` (whether the scheduler wants
+                          span capture + forwarding)
 ``request``    w -> s     pull work (also refreshes the heartbeat)
 ``task``       s -> w     a cell assignment: ``campaign``, ``index``,
                           ``attempt``, ``cell`` payload, optional ``extra``
@@ -39,6 +41,11 @@ op             direction  meaning
                           and dropped, ``kept`` had already started
 ``cancel``     s -> w     assignment (``index``, ``attempt``) lost the
                           speculative race; skip it / don't bother replying
+``telemetry``  w -> s     batched local telemetry events: ``worker``,
+                          ``events`` (list of ``{topic, seq, time,
+                          payload}``), ``dropped`` (local overflow count);
+                          additive and fire-and-forget -- re-published on
+                          the scheduler bus under ``worker.<id>.*`` (no ack)
 ``bye``        w -> s     orderly disconnect
 =============  =========  ==================================================
 

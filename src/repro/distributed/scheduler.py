@@ -69,12 +69,13 @@ from repro.telemetry import (
     TOPIC_ASSIGNMENTS,
     TOPIC_QUEUE,
     TOPIC_SCHEDULER,
+    TOPIC_SCHEDULER_SPANS,
     TOPIC_STATS,
     TOPIC_WORKERS,
     TelemetryBus,
     get_bus,
 )
-from repro.telemetry.events import SCHEMA_VERSION
+from repro.telemetry.events import SCHEMA_VERSION, worker_topic
 
 #: ``error_type`` recorded on a cell whose retry budget was exhausted by
 #: worker deaths (connection drops / heartbeat timeouts).
@@ -183,6 +184,16 @@ class _WorkerConn:
     lease: Deque[int] = field(default_factory=deque)
     fn_campaign: Optional[str] = None  # campaign the fn payload was sent for
     evicted: bool = False
+    #: Monotonic stamp of the last ``revoke`` push, for steal round-trip spans.
+    revoke_sent_at: Optional[float] = None
+    # Aggregated from forwarded ``telemetry`` frames (span payloads); feeds
+    # the per-worker occupancy column in :meth:`Scheduler.telemetry_snapshot`.
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+    cells_reported: int = 0
+    events_forwarded: int = 0
+    forward_dropped: int = 0
 
 
 @dataclass
@@ -359,12 +370,17 @@ class Scheduler:
         if self._bus is not None:
             self._bus.add_snapshot_source(source_name, self.telemetry_snapshot)
         monitor = asyncio.create_task(self._monitor())
+        lag_probe: Optional["asyncio.Task"] = None
+        if self._bus is not None:
+            lag_probe = asyncio.create_task(self._lag_probe())
         try:
             await self._shutdown.wait()
         finally:
             if self._bus is not None:
                 self._bus.remove_snapshot_source(source_name)
             monitor.cancel()
+            if lag_probe is not None:
+                lag_probe.cancel()
             await listener.stop()
             with self._lock:
                 conns = list(self._conns.values())
@@ -571,6 +587,27 @@ class Scheduler:
             except asyncio.TimeoutError:
                 pass
 
+    #: Cadence (and baseline) of the event-loop lag probe.
+    LAG_PROBE_INTERVAL = 0.5
+
+    async def _lag_probe(self) -> None:
+        """Sample event-loop lag: how late a timed sleep fires.
+
+        High lag means frame handling or lock-held sections are starving
+        the loop -- heartbeats and steals degrade before anything visibly
+        breaks, so this is the canary.  Runs only when a bus is attached.
+        """
+
+        interval = self.LAG_PROBE_INTERVAL
+        while True:
+            before = time.monotonic()
+            await asyncio.sleep(interval)
+            lag = max(time.monotonic() - before - interval, 0.0)
+            self._emit(
+                TOPIC_SCHEDULER_SPANS, "span", name="scheduler.loop_lag",
+                seconds=lag, interval=interval,
+            )
+
     # -- per-connection protocol handling -----------------------------------
 
     async def _serve_comm(self, comm: Comm) -> None:
@@ -603,6 +640,9 @@ class Scheduler:
                     "op": "welcome",
                     "heartbeat_interval": self.heartbeat_interval,
                     "prefetch": self.prefetch,
+                    # Advertise span capture + forwarding only when there is
+                    # a bus to re-publish on; workers stay zero-cost otherwise.
+                    "telemetry": self._bus is not None,
                 }
             )
             while True:
@@ -616,6 +656,8 @@ class Scheduler:
                     await self._handle_result(conn, message)
                 elif op == "revoked":
                     self._handle_revoked(conn, message)
+                elif op == "telemetry":
+                    self._handle_telemetry(conn, message)
                 elif op == "heartbeat":
                     pass
                 elif op == "bye":
@@ -653,11 +695,77 @@ class Scheduler:
             "workers": len(self._conns),
         }
 
+    #: Upper bound on events accepted per forwarded ``telemetry`` frame; a
+    #: mis-batching worker gets truncated, never buffered without bound.
+    TELEMETRY_FRAME_CAP = 1024
+
+    def _handle_telemetry(self, conn: _WorkerConn, message: Dict[str, object]) -> None:
+        """Re-publish a worker's forwarded events under ``worker.<id>.*``.
+
+        Fire-and-forget in both directions: bad entries are skipped, the
+        frame is capped, and nothing here touches scheduling state beyond
+        the per-worker occupancy aggregates.
+        """
+
+        entries = message.get("events")
+        if not isinstance(entries, list):
+            return
+        truncated = len(entries) > self.TELEMETRY_FRAME_CAP
+        if truncated:
+            entries = entries[: self.TELEMETRY_FRAME_CAP]
+        bus = self._bus
+        busy = idle = overhead = 0.0
+        cells = 0
+        accepted = 0
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            body = entry.get("payload")
+            if not isinstance(body, dict):
+                continue
+            accepted += 1
+            if body.get("kind") == "span":
+                name = body.get("name")
+                try:
+                    seconds = float(body.get("seconds") or 0.0)
+                except (TypeError, ValueError):
+                    seconds = 0.0
+                if name == "cell.execute":
+                    busy += seconds
+                    cells += 1
+                elif name == "worker.idle":
+                    idle += seconds
+                elif name in ("cell.deserialize", "cell.serialize"):
+                    overhead += seconds
+            if bus is not None:
+                topic = str(entry.get("topic") or "events")
+                bus.publish(worker_topic(conn.worker_id, topic), dict(body))
+        dropped = message.get("dropped")
+        with self._lock:
+            conn.busy_seconds += busy
+            conn.idle_seconds += idle
+            conn.overhead_seconds += overhead
+            conn.cells_reported += cells
+            conn.events_forwarded += accepted
+            if isinstance(dropped, int):
+                conn.forward_dropped = dropped
+        if truncated:
+            self._emit(
+                TOPIC_WORKERS, "telemetry-truncated", worker=conn.worker_id,
+                cap=self.TELEMETRY_FRAME_CAP,
+            )
+
+    @staticmethod
+    def _occupancy(conn: _WorkerConn) -> float:
+        total = conn.busy_seconds + conn.idle_seconds + conn.overhead_seconds
+        return conn.busy_seconds / total if total > 0 else 0.0
+
     def telemetry_snapshot(self) -> Dict[str, Any]:
         """Live occupancy view served through the bus snapshot registry.
 
-        Queue depth, per-worker occupancy (live assignments and lease
-        backlog) and the current stats payload, all JSON-safe.
+        Queue depth, per-worker occupancy (live assignments, lease backlog,
+        plus busy/idle seconds aggregated from forwarded worker spans) and
+        the current stats payload, all JSON-safe.
         """
 
         with self._lock:
@@ -668,6 +776,13 @@ class Scheduler:
                     "lease": len(conn.lease),
                     "evicted": conn.evicted,
                     "last_seen_age": now - conn.last_seen,
+                    "busy_seconds": conn.busy_seconds,
+                    "idle_seconds": conn.idle_seconds,
+                    "overhead_seconds": conn.overhead_seconds,
+                    "occupancy": self._occupancy(conn),
+                    "cells": conn.cells_reported,
+                    "events_forwarded": conn.events_forwarded,
+                    "events_dropped": conn.forward_dropped,
                 }
                 for conn in self._conns.values()
             }
@@ -749,6 +864,7 @@ class Scheduler:
         wanted = candidates[-count:]
         for position in wanted:
             victim.assignments[position].revoking = True
+        victim.revoke_sent_at = time.monotonic()
         return (
             victim,
             {"op": "revoke", "campaign": campaign.campaign_id, "indices": wanted},
@@ -759,7 +875,11 @@ class Scheduler:
 
         stolen: List[int] = []
         campaign_id = ""
+        round_trip: Optional[float] = None
         with self._lock:
+            if conn.revoke_sent_at is not None:
+                round_trip = time.monotonic() - conn.revoke_sent_at
+                conn.revoke_sent_at = None
             removed = [int(i) for i in (message.get("indices") or [])]  # type: ignore[union-attr]
             kept = [int(i) for i in (message.get("kept") or [])]  # type: ignore[union-attr]
             for position in kept:
@@ -804,6 +924,12 @@ class Scheduler:
             stolen = requeue
             campaign_id = campaign.campaign_id
             self._lock.notify_all()
+        if round_trip is not None:
+            # Two-phase steal round trip: revoke pushed -> revoked received.
+            self._emit(
+                TOPIC_SCHEDULER_SPANS, "span", name="scheduler.steal",
+                seconds=round_trip, victim=conn.worker_id, stolen=len(stolen),
+            )
         if stolen:
             self._emit(
                 TOPIC_ASSIGNMENTS, "steal", campaign=campaign_id,
@@ -836,6 +962,7 @@ class Scheduler:
         assigned: List[Tuple[int, int, bool]] = []  # (position, attempt, speculative)
         steal_victim: Optional[str] = None
         queue_sample: Optional[Dict[str, Any]] = None
+        assign_started = time.monotonic() if self._bus is not None else None
         with self._lock:
             campaign = self._campaign
             batch: List[Dict[str, object]] = []
@@ -874,6 +1001,14 @@ class Scheduler:
                     conn.fn_campaign = campaign.campaign_id
             else:
                 reply = {"op": "idle", "delay": IDLE_DELAY}
+        if assign_started is not None and assigned:
+            # Lock-held selection latency: how long building this worker's
+            # batch took (queue pops + steal/speculate scans + wire entries).
+            self._emit(
+                TOPIC_SCHEDULER_SPANS, "span", name="scheduler.assign",
+                seconds=time.monotonic() - assign_started,
+                worker=conn.worker_id, cells=len(assigned),
+            )
         for position, attempt, speculative in assigned:
             self._emit(
                 TOPIC_ASSIGNMENTS,

@@ -17,7 +17,15 @@ scheduler (:mod:`repro.distributed.scheduler`):
 * a heartbeat task keeps ``heartbeat`` frames flowing on the same comm
   while a cell executes (cells run in a thread via ``run_in_executor``, so
   the event loop -- and with it heartbeats and cancellation -- stays live
-  during long cells).
+  during long cells);
+* when the ``welcome`` advertises ``telemetry``, the worker times each
+  cell's deserialize / execute / serialize phases plus its own idle waits
+  with monotonic spans on a private local bus, and a pump task batches
+  those events into additive ``telemetry`` frames on the same comm (before
+  each result, and periodically while idle).  The scheduler re-publishes
+  them under ``worker.<id>.*`` topics; see
+  :meth:`Scheduler._handle_telemetry`.  Telemetry frames are fire-and-
+  forget metadata: results and digests are identical with them on or off.
 
 The cell function travels pickled inside the first ``task`` of each
 campaign and is cached for the campaign's duration, so it must either be
@@ -53,10 +61,20 @@ from repro.distributed import protocol
 from repro.distributed.comm import core as comm_core
 from repro.distributed.comm.core import Comm, CommError
 from repro.experiments.grid import Cell, CellOutcome
+from repro.telemetry.bus import Subscription, TelemetryBus
+from repro.telemetry.spans import SpanRecorder
 
 #: How long a worker waits between connection attempts while the scheduler
 #: is down (e.g. between two campaigns bound to the same address).
 RECONNECT_DELAY = 0.2
+
+#: Upper bound on events per ``telemetry`` frame; anything beyond waits for
+#: the next pump tick (the local bus buffer is itself bounded, so a chatty
+#: worker drops oldest events rather than growing frames without bound).
+TELEMETRY_BATCH = 256
+
+#: Ring/buffer size of the worker-local telemetry bus.
+TELEMETRY_BUFFER = 4096
 
 #: How long a worker waits for the scheduler's reply to a work request (or
 #: the welcome) before declaring the connection -- or its host -- dead.
@@ -83,6 +101,7 @@ class AsyncWorker:
         log: Optional[Callable[[str], None]] = None,
         reply_timeout: float = REPLY_TIMEOUT,
         inline: bool = False,
+        telemetry: Optional[bool] = None,
     ) -> None:
         comm_core.validate_address(address)
         self.address = str(address).strip()
@@ -92,6 +111,9 @@ class AsyncWorker:
         self.once = once
         self.log = log or (lambda message: None)
         self.reply_timeout = reply_timeout
+        #: Span capture + forwarding: None follows the scheduler's welcome
+        #: advertisement (on iff the scheduler has a bus), False forces off.
+        self.telemetry = telemetry
         #: Execute cells inline on the event loop instead of a thread.  Only
         #: sensible for simulated fleets with cheap cells: it skips the
         #: executor hop but blocks the loop for the cell's duration.
@@ -99,6 +121,7 @@ class AsyncWorker:
         self.cells_executed = 0
         self.cells_cancelled = 0
         self.cells_revoked = 0
+        self.events_forwarded = 0
         self._last_useful = time.monotonic()
         # Per-connection state (reset by _serve).
         self._backlog: Deque[Dict[str, Any]] = deque()
@@ -106,6 +129,8 @@ class AsyncWorker:
         self._fn: Tuple[Optional[str], Optional[Callable[[Cell], CellOutcome]]] = (None, None)
         self._idle_delay: Optional[float] = None
         self._wake: Optional[asyncio.Event] = None
+        self._spans = SpanRecorder(None)
+        self._telemetry_sub: Optional[Subscription] = None
 
     # -- outer loop ---------------------------------------------------------
 
@@ -147,12 +172,22 @@ class AsyncWorker:
         self._fn = (None, None)
         self._idle_delay = None
         self._wake = asyncio.Event()
+        self._spans = SpanRecorder(None)
+        self._telemetry_sub = None
 
         await comm.send({"op": "hello", "worker": self.worker_id})
         welcome = await asyncio.wait_for(comm.recv(), timeout=self.reply_timeout)
         if welcome.get("op") != "welcome":
             raise protocol.ProtocolError(f"expected welcome, got {welcome!r}")
         heartbeat_interval = float(welcome.get("heartbeat_interval", 1.0))
+        telemetry_on = bool(welcome.get("telemetry")) and self.telemetry is not False
+        if telemetry_on:
+            # A private local bus: spans land here first, the pump batches
+            # them into telemetry frames.  Bounded everywhere -- a burst
+            # beyond the buffer drops oldest events, never blocks a cell.
+            local_bus = TelemetryBus(history=64, subscriber_buffer=TELEMETRY_BUFFER)
+            self._telemetry_sub = local_bus.subscribe()
+            self._spans = SpanRecorder(local_bus, worker=self.worker_id)
         self.log(f"worker {self.worker_id} connected to {self.address}")
 
         reader = asyncio.create_task(self._reader(comm))
@@ -163,17 +198,27 @@ class AsyncWorker:
         wake = self._wake
         reader.add_done_callback(lambda _task: wake.set())
         beat = asyncio.create_task(self._heartbeat(comm, heartbeat_interval))
+        pump: Optional["asyncio.Task"] = None
+        if telemetry_on:
+            pump = asyncio.create_task(
+                self._telemetry_pump(comm, max(heartbeat_interval, 0.1))
+            )
+        tasks = tuple(task for task in (reader, beat, pump) if task is not None)
         try:
             while True:
                 if self._backlog:
                     await self._execute(comm, self._backlog.popleft())
                     continue
-                if not await self._pull(comm, reader):
+                idle_started = time.monotonic() if self._spans.enabled else None
+                pulled = await self._pull(comm, reader)
+                if idle_started is not None:
+                    self._spans.record("worker.idle", time.monotonic() - idle_started)
+                if not pulled:
                     return  # idled out; bye already sent
         finally:
-            for task in (reader, beat):
+            for task in tasks:
                 task.cancel()
-            for task in (reader, beat):
+            for task in tasks:
                 try:
                     await task
                 except (asyncio.CancelledError, CommError, OSError):
@@ -283,6 +328,49 @@ class AsyncWorker:
         except (CommError, OSError):
             return  # main loop will observe the dead comm itself
 
+    # -- telemetry forwarding ------------------------------------------------
+
+    async def _telemetry_pump(self, comm: Comm, interval: float) -> None:
+        """Periodically relay locally-buffered telemetry to the scheduler.
+
+        :meth:`_execute` also forwards right before each result frame, so
+        per-cell spans always reach the scheduler before the campaign can
+        complete; this task covers idle periods and the long tail.  On
+        cancellation (connection teardown) it attempts one final drain.
+        """
+
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                await self._forward_telemetry(comm)
+        except asyncio.CancelledError:
+            try:
+                await self._forward_telemetry(comm)
+            except (CommError, OSError):
+                pass
+            raise
+        except (CommError, OSError):
+            return  # main loop will observe the dead comm itself
+
+    async def _forward_telemetry(self, comm: Comm) -> None:
+        """Send one bounded ``telemetry`` frame if any events are queued."""
+
+        subscription = self._telemetry_sub
+        if subscription is None:
+            return
+        events = subscription.poll(TELEMETRY_BATCH)
+        if not events:
+            return
+        self.events_forwarded += len(events)
+        await comm.send(
+            {
+                "op": "telemetry",
+                "worker": self.worker_id,
+                "events": [event.as_dict() for event in events],
+                "dropped": subscription.dropped,
+            }
+        )
+
     # -- cell execution -----------------------------------------------------
 
     async def _execute(self, comm: Comm, item: Dict[str, Any]) -> None:
@@ -292,18 +380,21 @@ class AsyncWorker:
             self._cancelled.discard(key)
             self.cells_cancelled += 1
             return
-        cell: Cell = protocol.decode_payload(str(item["cell"]))
+        spans = self._spans
+        with spans.span("cell.deserialize", campaign=campaign, index=item["index"]):
+            cell: Cell = protocol.decode_payload(str(item["cell"]))
         fn_campaign, fn = self._fn
         if fn_campaign != campaign or fn is None:
             raise protocol.ProtocolError(
                 f"task for campaign {campaign} arrived without a cell function"
             )
-        if self.inline:
-            outcome = self._call(fn, cell)
-        else:
-            outcome = await asyncio.get_running_loop().run_in_executor(
-                None, self._call, fn, cell
-            )
+        with spans.span("cell.execute", campaign=campaign, index=item["index"]):
+            if self.inline:
+                outcome = self._call(fn, cell)
+            else:
+                outcome = await asyncio.get_running_loop().run_in_executor(
+                    None, self._call, fn, cell
+                )
         self.cells_executed += 1
         self._mark_useful()
         if key in self._cancelled:
@@ -312,6 +403,12 @@ class AsyncWorker:
             self._cancelled.discard(key)
             self.cells_cancelled += 1
             return
+        with spans.span("cell.serialize", campaign=campaign, index=item["index"]):
+            encoded = protocol.encode_payload(outcome)
+        # Telemetry first: the frames are ordered, so this cell's spans are
+        # already scheduler-side when the result lands (a campaign can tear
+        # the scheduler down the instant its last result arrives).
+        await self._forward_telemetry(comm)
         await comm.send(
             {
                 "op": "result",
@@ -319,7 +416,7 @@ class AsyncWorker:
                 "campaign": campaign,
                 "index": item["index"],
                 "attempt": item["attempt"],
-                "outcome": protocol.encode_payload(outcome),
+                "outcome": encoded,
             }
         )
 
@@ -355,6 +452,7 @@ class Worker:
         reconnect_delay: float = RECONNECT_DELAY,
         once: bool = False,
         log: Optional[Callable[[str], None]] = None,
+        telemetry: Optional[bool] = None,
     ) -> None:
         self._worker = AsyncWorker(
             address,
@@ -363,6 +461,7 @@ class Worker:
             reconnect_delay=reconnect_delay,
             once=once,
             log=log,
+            telemetry=telemetry,
         )
         self.address = self._worker.address
         self.worker_id = self._worker.worker_id
@@ -384,9 +483,15 @@ def run_worker(
     max_idle: Optional[float] = None,
     once: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    telemetry: Optional[bool] = None,
 ) -> int:
     """Module-level entry point (picklable as a ``multiprocessing`` target)."""
 
     return Worker(
-        address, worker_id=worker_id, max_idle=max_idle, once=once, log=log
+        address,
+        worker_id=worker_id,
+        max_idle=max_idle,
+        once=once,
+        log=log,
+        telemetry=telemetry,
     ).run()

@@ -245,8 +245,14 @@ def run_experiment(
 
     from repro.store.api import coerce_sink, compose_row
     from repro.telemetry import FanoutListener, get_bus, listener_with_callbacks
+    from repro.telemetry.spans import SpanRecorder
 
-    cells = expand_grid(parameters, repetitions=repetitions, base_seed=base_seed)
+    # Span-gated instrumentation: enabled only when the bus has a live
+    # subscriber (a dashboard, a flight recorder) or REPRO_SPANS forces it
+    # on, so the per-cell path costs nothing in an unobserved run.
+    spans = SpanRecorder.for_bus(get_bus(), experiment=name)
+    with spans.span("harness.expand"):
+        cells = expand_grid(parameters, repetitions=repetitions, base_seed=base_seed)
     backend = resolve_executor(executor)
     store = ResultCache.coerce(cache)
     row_sink = coerce_sink(sink)
@@ -279,7 +285,14 @@ def run_experiment(
             outcome = cached.get(cell.index)
             if outcome is None:
                 notify.on_cell_start(name, cell)
-                outcome = next(live)
+                # "harness.wait": blocked on the executor for the next
+                # outcome -- worker-side spans (cell.execute etc.) account
+                # for the inside of this wait, so the names never overlap
+                # in a phase attribution.
+                with spans.span("harness.wait"):
+                    outcome = next(live)
+            else:
+                spans.counter("cache-hit")
             result.outcomes.append(outcome)
             if outcome.cached:
                 result.cache_hits += 1
@@ -289,14 +302,17 @@ def run_experiment(
                 result.errors.append(outcome)
                 notify.on_error(name, cell, outcome)
                 continue
-            row = compose_row(name, cell, outcome)
-            result.rows.append(row)
-            aggregator.update(row)
-            if store is not None and not outcome.cached:
-                store.store(name, cell, outcome, version)
-            if row_sink is not None:
-                row_sink.write(name, cell, outcome, version)
-            notify.on_row(name, cell, row, outcome)
+            # "harness.emit": compose + aggregate + cache/sink writes +
+            # listener fan-out for one finished cell.
+            with spans.span("harness.emit"):
+                row = compose_row(name, cell, outcome)
+                result.rows.append(row)
+                aggregator.update(row)
+                if store is not None and not outcome.cached:
+                    store.store(name, cell, outcome, version)
+                if row_sink is not None:
+                    row_sink.write(name, cell, outcome, version)
+                notify.on_row(name, cell, row, outcome)
     finally:
         # Release the executor deterministically: generator-based backends
         # hold real resources at their final yield (a bound TCP port and
@@ -310,6 +326,7 @@ def run_experiment(
             close()
         if row_sink is not None:
             row_sink.flush()
+        spans.flush()
         result.elapsed_seconds = time.perf_counter() - start
         notify.on_sweep_end(name, result)
 

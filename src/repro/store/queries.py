@@ -355,6 +355,165 @@ def _cache_accounting_py(records: List[Dict[str, Any]], params: Dict[str, Any]) 
     return out
 
 
+# ---------------------------------------------------------------------------
+# telemetry: span-summary / worker-occupancy / phase-attribution over
+# flight-recorder rows (repro.telemetry.TelemetryRecorder).  Span fields are
+# read through row_json so the queries work whatever mix of partitions (and
+# promoted columns) shares the store with the telemetry ones.
+# ---------------------------------------------------------------------------
+
+#: SQL predicate selecting span events out of recorded telemetry rows.
+_SPAN_KIND = "json_extract_string(row_json, '$.kind') = 'span'"
+#: SQL views of the span fields (DOUBLE seconds; VARCHAR name/worker).
+_SPAN_SECONDS = "try_cast(json_extract(row_json, '$.seconds') AS DOUBLE)"
+_SPAN_NAME = "json_extract_string(row_json, '$.name')"
+_SPAN_WORKER = "json_extract_string(row_json, '$.worker')"
+
+
+def _span_body(record: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """The decoded payload of a span row, or None for anything else."""
+
+    try:
+        body = json.loads(record["row_json"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not isinstance(body, dict) or body.get("kind") != "span":
+        return None
+    if _numeric(body.get("seconds")) is None:
+        return None
+    return body
+
+
+def _span_summary_sql(params: Dict[str, Any]) -> str:
+    s = _SPAN_SECONDS
+    return (
+        f"SELECT campaign, scenario, {_SPAN_NAME} AS name, count(*) AS spans, "
+        f"sum({s}) AS total_seconds, avg({s}) AS mean_seconds, "
+        f"min({s}) AS min_seconds, max({s}) AS max_seconds "
+        "FROM rows"
+        + _where(_scoped(params), extra=(_SPAN_KIND, f"{s} IS NOT NULL"))
+        + " GROUP BY campaign, scenario, name ORDER BY campaign, scenario, name"
+    )
+
+
+def _span_summary_py(records: List[Dict[str, Any]], params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    scoped = _scoped(params)
+    groups: Dict[Tuple[str, str, str], List[float]] = {}
+    for record in records:
+        if not _match(record, scoped):
+            continue
+        body = _span_body(record)
+        if body is None:
+            continue
+        slot = (record["campaign"], record["scenario"], str(body.get("name")))
+        groups.setdefault(slot, []).append(float(body["seconds"]))
+    out = []
+    for (campaign, scenario, name), seconds in sorted(groups.items()):
+        out.append({
+            "campaign": campaign, "scenario": scenario, "name": name,
+            "spans": len(seconds), "total_seconds": sum(seconds),
+            "mean_seconds": sum(seconds) / len(seconds),
+            "min_seconds": min(seconds), "max_seconds": max(seconds),
+        })
+    return out
+
+
+def _worker_occupancy_sql(params: Dict[str, Any]) -> str:
+    s, name = _SPAN_SECONDS, _SPAN_NAME
+    inner = (
+        f"SELECT campaign, {_SPAN_WORKER} AS worker, "
+        f"sum(CASE WHEN {name} = 'cell.execute' THEN {s} ELSE 0 END) AS busy_seconds, "
+        f"sum(CASE WHEN {name} = 'worker.idle' THEN {s} ELSE 0 END) AS idle_seconds, "
+        f"sum(CASE WHEN {name} IN ('cell.deserialize', 'cell.serialize') "
+        f"THEN {s} ELSE 0 END) AS overhead_seconds, "
+        f"sum(CASE WHEN {name} = 'cell.execute' THEN 1 ELSE 0 END) AS cells "
+        "FROM rows"
+        + _where(
+            _scoped(params),
+            extra=(_SPAN_KIND, f"{s} IS NOT NULL", f"{_SPAN_WORKER} IS NOT NULL"),
+        )
+        + " GROUP BY campaign, worker"
+    )
+    return (
+        "SELECT campaign, worker, busy_seconds, idle_seconds, overhead_seconds, "
+        "cells, CASE WHEN busy_seconds + idle_seconds + overhead_seconds > 0 "
+        "THEN busy_seconds / (busy_seconds + idle_seconds + overhead_seconds) "
+        "ELSE 0.0 END AS occupancy "
+        f"FROM ({inner}) ORDER BY campaign, worker"
+    )
+
+
+def _worker_occupancy_py(records: List[Dict[str, Any]], params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    scoped = _scoped(params)
+    groups: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for record in records:
+        if not _match(record, scoped):
+            continue
+        body = _span_body(record)
+        if body is None or body.get("worker") is None:
+            continue
+        slot = (record["campaign"], str(body["worker"]))
+        sums = groups.setdefault(
+            slot, {"busy": 0.0, "idle": 0.0, "overhead": 0.0, "cells": 0}
+        )
+        name, seconds = body.get("name"), float(body["seconds"])
+        if name == "cell.execute":
+            sums["busy"] += seconds
+            sums["cells"] += 1
+        elif name == "worker.idle":
+            sums["idle"] += seconds
+        elif name in ("cell.deserialize", "cell.serialize"):
+            sums["overhead"] += seconds
+    out = []
+    for (campaign, worker), sums in sorted(groups.items()):
+        total = sums["busy"] + sums["idle"] + sums["overhead"]
+        out.append({
+            "campaign": campaign, "worker": worker,
+            "busy_seconds": sums["busy"], "idle_seconds": sums["idle"],
+            "overhead_seconds": sums["overhead"], "cells": int(sums["cells"]),
+            "occupancy": sums["busy"] / total if total > 0 else 0.0,
+        })
+    return out
+
+
+def _phase_attribution_sql(params: Dict[str, Any]) -> str:
+    s = _SPAN_SECONDS
+    return (
+        f"SELECT campaign, {_SPAN_NAME} AS phase, count(*) AS spans, "
+        f"sum({s}) AS total_seconds, avg({s}) AS mean_seconds, "
+        f"sum({s}) / sum(sum({s})) OVER (PARTITION BY campaign) AS share "
+        "FROM rows"
+        + _where(_scoped(params), extra=(_SPAN_KIND, f"{s} IS NOT NULL"))
+        + " GROUP BY campaign, phase ORDER BY campaign, phase"
+    )
+
+
+def _phase_attribution_py(records: List[Dict[str, Any]], params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    scoped = _scoped(params)
+    groups: Dict[Tuple[str, str], List[float]] = {}
+    for record in records:
+        if not _match(record, scoped):
+            continue
+        body = _span_body(record)
+        if body is None:
+            continue
+        slot = (record["campaign"], str(body.get("name")))
+        groups.setdefault(slot, []).append(float(body["seconds"]))
+    campaign_totals: Dict[str, float] = {}
+    for (campaign, _phase), seconds in groups.items():
+        campaign_totals[campaign] = campaign_totals.get(campaign, 0.0) + sum(seconds)
+    out = []
+    for (campaign, phase), seconds in sorted(groups.items()):
+        total = sum(seconds)
+        campaign_total = campaign_totals[campaign]
+        out.append({
+            "campaign": campaign, "phase": phase, "spans": len(seconds),
+            "total_seconds": total, "mean_seconds": total / len(seconds),
+            "share": total / campaign_total if campaign_total > 0 else 0.0,
+        })
+    return out
+
+
 QUERIES: Dict[str, Query] = {
     query.name: query
     for query in (
@@ -395,6 +554,27 @@ QUERIES: Dict[str, Query] = {
             description="replayed vs computed cells and dedup coverage per partition",
             required=(), optional=("campaign", "scenario"),
             sql_builder=_cache_accounting_sql, py_runner=_cache_accounting_py,
+        ),
+        Query(
+            name="span-summary",
+            description="per-span-name timing statistics over recorded telemetry "
+                        "(flight-recorder partitions)",
+            required=(), optional=("campaign", "scenario"),
+            sql_builder=_span_summary_sql, py_runner=_span_summary_py,
+        ),
+        Query(
+            name="worker-occupancy",
+            description="busy vs idle vs serialization seconds per worker, from "
+                        "forwarded worker spans",
+            required=(), optional=("campaign", "scenario"),
+            sql_builder=_worker_occupancy_sql, py_runner=_worker_occupancy_py,
+        ),
+        Query(
+            name="phase-attribution",
+            description="where the milliseconds go: total/mean seconds and share "
+                        "per span name (phase) per campaign",
+            required=(), optional=("campaign", "scenario"),
+            sql_builder=_phase_attribution_sql, py_runner=_phase_attribution_py,
         ),
     )
 }

@@ -35,11 +35,15 @@ from repro.telemetry.events import (
     TOPIC_QUEUE,
     TOPIC_RUNTIME,
     TOPIC_SCHEDULER,
+    TOPIC_SCHEDULER_SPANS,
+    TOPIC_SPANS,
     TOPIC_STATS,
     TOPIC_SWEEP,
     TOPIC_TRACE,
     TOPIC_WORKERS,
+    WORKER_TOPIC_PREFIX,
     payload,
+    worker_topic,
 )
 from repro.telemetry.listener import (
     CallbackListener,
@@ -47,6 +51,8 @@ from repro.telemetry.listener import (
     SweepListener,
     listener_with_callbacks,
 )
+from repro.telemetry.recorder import TelemetryRecorder, telemetry_scenario
+from repro.telemetry.spans import NULL_SPAN, SpanRecorder
 
 
 def trace_tap(bus: Optional[TelemetryBus] = None, *, label: str = ""):
@@ -78,22 +84,30 @@ __all__ = [
     "ALL_TOPICS",
     "CallbackListener",
     "FanoutListener",
+    "NULL_SPAN",
     "SCHEMA_VERSION",
+    "SpanRecorder",
     "Subscription",
     "SweepListener",
     "TelemetryBus",
     "TelemetryEvent",
+    "TelemetryRecorder",
     "TOPIC_ASSIGNMENTS",
     "TOPIC_QUEUE",
     "TOPIC_RUNTIME",
     "TOPIC_SCHEDULER",
+    "TOPIC_SCHEDULER_SPANS",
+    "TOPIC_SPANS",
     "TOPIC_STATS",
     "TOPIC_SWEEP",
     "TOPIC_TRACE",
     "TOPIC_WORKERS",
+    "WORKER_TOPIC_PREFIX",
     "get_bus",
     "listener_with_callbacks",
     "payload",
     "set_bus",
+    "telemetry_scenario",
     "trace_tap",
+    "worker_topic",
 ]

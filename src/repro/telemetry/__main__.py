@@ -1,0 +1,8 @@
+"""``python -m repro.telemetry``: flight-recorder record / replay / report."""
+
+import sys
+
+from repro.telemetry.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

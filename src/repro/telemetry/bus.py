@@ -35,20 +35,35 @@ from repro.telemetry.listener import SweepListener
 
 
 class TelemetryEvent:
-    """One published event: topic + per-topic sequence number + payload."""
+    """One published event: topic + per-topic sequence number + payload.
 
-    __slots__ = ("topic", "seq", "time", "payload")
+    ``seq`` counts within the topic; ``gseq`` is the bus-wide publication
+    order, the cursor used by :meth:`TelemetryBus.events_since` so pollers
+    can follow every topic (including dynamically-named ``worker.*`` ones)
+    with a single monotone integer.
+    """
 
-    def __init__(self, topic: str, seq: int, time: float, payload: Mapping[str, Any]) -> None:
+    __slots__ = ("topic", "seq", "time", "payload", "gseq")
+
+    def __init__(
+        self,
+        topic: str,
+        seq: int,
+        time: float,
+        payload: Mapping[str, Any],
+        gseq: int = 0,
+    ) -> None:
         self.topic = topic
         self.seq = seq
         self.time = time
         self.payload = payload
+        self.gseq = gseq
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "topic": self.topic,
             "seq": self.seq,
+            "gseq": self.gseq,
             "time": self.time,
             "payload": dict(self.payload),
         }
@@ -100,6 +115,7 @@ class TelemetryBus(SweepListener):
         self._subscriber_buffer = subscriber_buffer
         self._rings: Dict[str, deque] = {}
         self._seq: Dict[str, int] = {}
+        self._gseq = 0
         self._subscribers: List[Subscription] = []
         self._snapshot_sources: Dict[str, Callable[[], Mapping[str, Any]]] = {}
         self._sweeps: Dict[str, Dict[str, Any]] = {}
@@ -116,7 +132,8 @@ class TelemetryBus(SweepListener):
         with self._lock:
             seq = self._seq.get(topic, 0) + 1
             self._seq[topic] = seq
-            event = TelemetryEvent(topic, seq, time.time(), body)
+            self._gseq += 1
+            event = TelemetryEvent(topic, seq, time.time(), body, self._gseq)
             ring = self._rings.get(topic)
             if ring is None:
                 ring = self._rings[topic] = deque(maxlen=self._history)
@@ -150,11 +167,46 @@ class TelemetryBus(SweepListener):
             out = out[-limit:]
         return out
 
+    def events_since(
+        self,
+        since_global: int = 0,
+        *,
+        topics: Optional[Iterable[str]] = None,
+        limit: Optional[int] = None,
+    ) -> List[TelemetryEvent]:
+        """Ring history across topics with ``gseq > since_global``, oldest first.
+
+        ``topics`` entries ending in ``*`` match as prefixes (``worker.*``
+        follows every forwarded worker topic); ``None`` matches everything.
+        ``limit`` trims the *newest* events so the returned slice stays
+        contiguous from the cursor: advance ``since_global`` to the last
+        returned ``gseq`` and nothing is skipped.
+        """
+
+        matcher = _topic_matcher(topics)
+        with self._lock:
+            out = [
+                event
+                for ring in self._rings.values()
+                for event in ring
+                if event.gseq > since_global and matcher(event.topic)
+            ]
+        out.sort(key=lambda event: event.gseq)
+        if limit is not None and len(out) > limit:
+            out = out[:limit]
+        return out
+
     def topics(self) -> Dict[str, int]:
         """Mapping of topic name to its latest sequence number."""
 
         with self._lock:
             return dict(self._seq)
+
+    def has_subscribers(self) -> bool:
+        """True when at least one subscription is live (gates span capture)."""
+
+        with self._lock:
+            return bool(self._subscribers)
 
     def subscribe(
         self,
@@ -292,6 +344,27 @@ class TelemetryBus(SweepListener):
             topics = len(self._seq)
             subs = len(self._subscribers)
         return f"TelemetryBus(topics={topics}, subscribers={subs}, published={self.published})"
+
+
+def _topic_matcher(topics: Optional[Iterable[str]]) -> Callable[[str], bool]:
+    """Compile a topic filter: exact names plus ``prefix*`` glob entries."""
+
+    if topics is None:
+        return lambda topic: True
+    exact = set()
+    prefixes = []
+    for entry in topics:
+        entry = str(entry)
+        if entry.endswith("*"):
+            prefixes.append(entry[:-1])
+        else:
+            exact.add(entry)
+    prefix_tuple = tuple(prefixes)
+
+    def matches(topic: str) -> bool:
+        return topic in exact or (bool(prefix_tuple) and topic.startswith(prefix_tuple))
+
+    return matches
 
 
 _default_bus = TelemetryBus()

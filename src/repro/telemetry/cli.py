@@ -1,0 +1,323 @@
+"""Command-line interface of the telemetry flight recorder.
+
+::
+
+    python -m repro.telemetry record cluster.figure2 --smoke --store runs/flight
+    python -m repro.telemetry record --all --smoke --store runs/flight \\
+        --executor inproc://                       # distributed, forwarded spans
+    python -m repro.telemetry replay --store runs/flight --topic worker. --limit 20
+    python -m repro.telemetry report phase-attribution --store runs/flight
+    python -m repro.telemetry report worker-occupancy --store runs/flight --engine py
+    python -m repro.telemetry smoke                # CI: fleet + recorder + parity
+
+``record`` runs scenarios with a :class:`~repro.telemetry.recorder.
+TelemetryRecorder` attached to the process bus, so every event -- sweep
+lifecycle, scheduler decisions, forwarded ``worker.*`` spans -- lands in
+``telemetry.<campaign>`` partitions of the given store.  ``replay`` prints
+recorded events back in landed order; ``report`` runs the telemetry twin
+queries (``span-summary``, ``worker-occupancy``, ``phase-attribution``).
+
+Recording is observation only: scenario digests are bit-identical with the
+recorder on or off (``smoke`` proves exactly that against a 4-worker
+``tcp://`` fleet).
+
+Exit codes: 0 on success, 1 when a scenario or a smoke assertion fails,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.store.queries import QUERIES, QueryError, run_query
+from repro.telemetry.recorder import TELEMETRY_SCENARIO_PREFIX, TelemetryRecorder
+
+#: Queries `report` lists first (any named query is accepted).
+TELEMETRY_QUERIES = ("span-summary", "worker-occupancy", "phase-attribution")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Flight recorder: record runs, replay events, report timings.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    store_arg = argparse.ArgumentParser(add_help=False)
+    store_arg.add_argument(
+        "--store", type=Path, required=True, metavar="DIR",
+        help="campaign store directory telemetry rows land in / are read from",
+    )
+
+    rec = sub.add_parser(
+        "record", parents=[store_arg],
+        help="run scenarios with the flight recorder attached",
+    )
+    rec.add_argument("names", nargs="*", help="scenario names (see repro.scenarios list)")
+    rec.add_argument("--all", action="store_true", help="record every registered scenario")
+    rec.add_argument("--tag", default=None, help="with --all: only scenarios with this tag")
+    rec.add_argument("--smoke", action="store_true", help="run the reduced smoke tier")
+    rec.add_argument(
+        "--campaign", default="telemetry",
+        help="campaign label for the telemetry partitions (default: telemetry)",
+    )
+    rec.add_argument(
+        "--executor", dest="jobs", default=None, metavar="SPEC",
+        help="executor spec: serial, N, process, tcp://host:port, inproc://, ...",
+    )
+    rec.add_argument(
+        "--output", type=Path, default=None, metavar="PATH",
+        help="also write the scenario summary JSON here",
+    )
+
+    rep = sub.add_parser(
+        "replay", parents=[store_arg],
+        help="print recorded events back, in landed order, as JSON lines",
+    )
+    rep.add_argument("--campaign", default=None, help="only this recorded campaign")
+    rep.add_argument(
+        "--topic", default=None, metavar="PREFIX",
+        help="only topics with this prefix (e.g. worker. or scheduler)",
+    )
+    rep.add_argument("--kind", default=None, help="only events of this payload kind")
+    rep.add_argument("--limit", type=int, default=None, help="stop after N events")
+
+    rpt = sub.add_parser(
+        "report",
+        parents=[store_arg],
+        help="run a named query over the recorded telemetry",
+        description="Named queries over recorded telemetry; the telemetry trio is "
+                    + ", ".join(TELEMETRY_QUERIES) + " but any store query works.",
+    )
+    rpt.add_argument("name", nargs="?", default=None, help="query name (see --list)")
+    rpt.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="query parameter (repeatable), e.g. --param campaign=fleet",
+    )
+    rpt.add_argument(
+        "--engine", choices=("auto", "sql", "py"), default="auto",
+        help="query engine (default: SQL when duckdb is installed)",
+    )
+    rpt.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write the result rows to this file instead of printing a table",
+    )
+    rpt.add_argument(
+        "--format", default=None, dest="out_format",
+        help="output format (default: inferred from the --out suffix)",
+    )
+    rpt.add_argument("--list", action="store_true", dest="list_queries",
+                     help="list the named queries")
+
+    smk = sub.add_parser(
+        "smoke",
+        help="CI smoke: tcp fleet + recorder, digest parity, query-engine parity",
+    )
+    smk.add_argument(
+        "--scenario", default="fig2.bicriteria",
+        help="scenario to run (default: fig2.bicriteria)",
+    )
+    smk.add_argument("--workers", type=int, default=4, help="fleet size (default: 4)")
+    smk.add_argument(
+        "--comm", choices=("tcp", "inproc"), default="tcp",
+        help="fleet transport (default: tcp)",
+    )
+    smk.add_argument(
+        "--dir", type=Path, default=None, metavar="DIR",
+        help="working directory for the store (default: a temp dir)",
+    )
+    return parser
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.experiments.executors import ExecutorSpecError
+    from repro.scenarios.cli import _executor, run_specs, select_specs
+    from repro.store.columnar import CampaignStore
+
+    specs = select_specs(args.names, args.all, args.tag)
+    if not specs:
+        if specs is not None:  # an empty --all/--tag selection
+            print("no scenarios matched", file=sys.stderr)
+        return 2
+    try:
+        executor = _executor(args.jobs)
+    except (ValueError, ExecutorSpecError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    store = CampaignStore(args.store, campaign=args.campaign)
+    recorder = TelemetryRecorder(store, campaign=args.campaign)
+    with recorder:
+        status = run_specs(specs, smoke=args.smoke, executor=executor, output=args.output)
+    print(
+        f"flight recorder: {recorder.recorded} event(s) -> {store.root} "
+        f"(campaign {recorder.campaign}, {recorder.dropped} dropped, "
+        f"{recorder.skipped} skipped)"
+    )
+    return status
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.store.columnar import CampaignStore
+
+    store = CampaignStore(args.store)
+    printed = 0
+    for record in store.records(campaign=args.campaign):
+        if not str(record.get("scenario", "")).startswith(TELEMETRY_SCENARIO_PREFIX):
+            continue
+        try:
+            event = json.loads(record["row_json"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if args.topic and not str(event.get("topic", "")).startswith(args.topic):
+            continue
+        if args.kind and event.get("kind") != args.kind:
+            continue
+        print(json.dumps(event, sort_keys=True))
+        printed += 1
+        if args.limit is not None and printed >= args.limit:
+            break
+    print(f"{printed} event(s) replayed from {store.root}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.store.api import StoreUnavailableError
+    from repro.store.cli import _emit, _parse_params
+    from repro.store.columnar import CampaignStore
+
+    if args.list_queries:
+        width = max(len(name) for name in QUERIES)
+        for name in sorted(QUERIES, key=lambda n: (n not in TELEMETRY_QUERIES, n)):
+            query = QUERIES[name]
+            params = ", ".join(list(query.required) + [f"[{p}]" for p in query.optional])
+            print(f"{name:<{width}}  ({params})  {query.description}")
+        return 0
+    if args.name is None:
+        print("give a query name (or --list)", file=sys.stderr)
+        return 2
+    try:
+        params = _parse_params(args.param)
+        store = CampaignStore(args.store)
+        rows = run_query(store, args.name, params, engine=args.engine)
+    except (QueryError, StoreUnavailableError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    _emit(rows, args.out, args.out_format, title=f"{args.name} ({len(rows)} rows)")
+    return 0
+
+
+def _rows_agree(py_rows: List[Dict[str, Any]], sql_rows: List[Dict[str, Any]]) -> bool:
+    """Engine parity: same shape, same keys, floats within tolerance."""
+
+    if len(py_rows) != len(sql_rows):
+        return False
+    for py_row, sql_row in zip(py_rows, sql_rows):
+        for field, expected in py_row.items():
+            got = sql_row.get(field)
+            if isinstance(expected, float):
+                if got is None or abs(float(got) - expected) > 1e-9 * max(1.0, abs(expected)):
+                    return False
+            elif got != expected:
+                return False
+    return True
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """Fleet + recorder smoke: the CI telemetry job in one command.
+
+    1. serial, unobserved baseline digest;
+    2. the same scenario over a recorded ``--workers`` fleet -- digest must
+       be bit-identical;
+    3. forwarded ``worker.*`` events and span rows must have landed;
+    4. ``phase-attribution`` must be non-empty and agree across engines.
+    """
+
+    import tempfile
+
+    from repro.distributed.executor import inproc_fleet, local_mini_cluster
+    from repro.scenarios.composer import run_scenario, rows_digest
+    from repro.scenarios.registry import get
+    from repro.store.analytics import duckdb_available
+    from repro.store.columnar import CampaignStore
+
+    spec = get(args.scenario)
+    workdir = args.dir or Path(tempfile.mkdtemp(prefix="telemetry-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    store_dir = workdir / "flight"
+    failures: List[str] = []
+
+    baseline = run_scenario(spec, smoke=True)
+    baseline_digest = rows_digest(baseline.rows)
+    print(f"serial baseline: {len(baseline.rows)} rows, digest {baseline_digest[:12]}")
+
+    store = CampaignStore(store_dir, campaign="fleet")
+    recorder = TelemetryRecorder(store, campaign="fleet")
+    make_fleet = local_mini_cluster if args.comm == "tcp" else inproc_fleet
+    with recorder:
+        executor = make_fleet(args.workers)
+        recorded = run_scenario(spec, smoke=True, executor=executor)
+    recorded_digest = rows_digest(recorded.rows)
+    print(
+        f"{args.comm} fleet ({args.workers} workers, recorded): "
+        f"{len(recorded.rows)} rows, digest {recorded_digest[:12]}; "
+        f"{recorder.recorded} event(s) landed, {recorder.dropped} dropped"
+    )
+    if recorded_digest != baseline_digest:
+        failures.append("digest mismatch: recording perturbed the results")
+
+    events = [json.loads(r["row_json"]) for r in store.records()]
+    worker_events = [e for e in events if str(e.get("topic", "")).startswith("worker.")]
+    span_events = [e for e in events if e.get("kind") == "span"]
+    print(f"{len(events)} recorded event(s): {len(worker_events)} worker.*, "
+          f"{len(span_events)} spans")
+    if not worker_events:
+        failures.append("no forwarded worker.* events landed in the store")
+    if not span_events:
+        failures.append("no span events landed in the store")
+
+    py_rows = run_query(store, "phase-attribution", engine="py")
+    if not py_rows:
+        failures.append("phase-attribution (py) returned no rows")
+    else:
+        phases = ", ".join(f"{r['phase']}={r['total_seconds']:.3f}s" for r in py_rows)
+        print(f"phase-attribution: {phases}")
+    if duckdb_available():
+        sql_rows = run_query(store, "phase-attribution", engine="sql")
+        if not _rows_agree(py_rows, sql_rows):
+            failures.append("phase-attribution: sql and py engines disagree")
+        else:
+            print("phase-attribution: sql and py engines agree")
+    else:
+        print("duckdb not installed: skipped sql/py parity leg")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print(("FAIL" if failures else "ok") + f": telemetry smoke ({store_dir})")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `report --list` is store-free: satisfy --store before argparse does.
+    if argv[:1] == ["report"] and "--list" in argv and "--store" not in argv:
+        argv += ["--store", "."]
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "smoke":
+        return _cmd_smoke(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -32,6 +32,15 @@ TOPIC_STATS = "scheduler.stats"
 TOPIC_TRACE = "trace"
 #: Scheduling-runtime run lifecycle (run-start / run-end).
 TOPIC_RUNTIME = "runtime"
+#: Monotonic-clock span / counter / histogram samples from the sweep harness
+#: and (locally, before forwarding) from distributed workers.
+TOPIC_SPANS = "spans"
+#: Scheduler event-loop spans: assign latency, steal round-trips, loop lag.
+TOPIC_SCHEDULER_SPANS = "scheduler.spans"
+
+#: Prefix under which the scheduler re-publishes events forwarded by a
+#: worker: ``worker.<worker_id>.<original topic>``.
+WORKER_TOPIC_PREFIX = "worker."
 
 ALL_TOPICS = (
     TOPIC_SWEEP,
@@ -42,7 +51,15 @@ ALL_TOPICS = (
     TOPIC_STATS,
     TOPIC_TRACE,
     TOPIC_RUNTIME,
+    TOPIC_SPANS,
+    TOPIC_SCHEDULER_SPANS,
 )
+
+
+def worker_topic(worker_id: str, topic: str) -> str:
+    """The scheduler-side topic for ``topic`` forwarded by ``worker_id``."""
+
+    return f"{WORKER_TOPIC_PREFIX}{worker_id}.{topic}"
 
 
 def payload(kind: str, **fields: Any) -> Dict[str, Any]:

@@ -1,0 +1,200 @@
+"""Monotonic-clock spans, counters and histograms for hot runtime paths.
+
+A :class:`SpanRecorder` wraps a :class:`~repro.telemetry.bus.TelemetryBus`
+with the three primitives the runtime instruments itself with:
+
+``span(name)``
+    A context manager timing one region with :func:`time.monotonic` and
+    publishing a ``kind="span"`` event (``name`` + ``seconds``) on exit.
+``counter(name)`` / ``observe(name, value)``
+    Locally-aggregated counters and histograms; :meth:`flush` publishes one
+    compact ``kind="metrics"`` event instead of one event per increment.
+
+Two rules keep instrumentation safe on digested paths:
+
+1. **Span-gated**: a recorder built over no bus, or via :meth:`for_bus`
+   when the bus has no subscribers (and ``REPRO_SPANS`` is unset), is
+   *disabled* — ``span()`` returns a shared no-op context manager, no clock
+   is read, no payload dict is built.  Instrumented loops pay one attribute
+   load and one ``with`` on a do-nothing object.
+2. **Monotonic only**: durations come from :func:`time.monotonic`; wall
+   clocks never enter a payload field that could feed a digest.  (The bus
+   stamps its own wall-clock receive time on every event, which is fine --
+   that metadata never reaches result rows.)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.telemetry.events import TOPIC_SPANS
+
+#: Environment flag forcing span capture on even with no live subscriber
+#: (useful when a recorder attaches later than the instrumented code runs).
+SPANS_ENV_VAR = "REPRO_SPANS"
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for disabled recorders."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live timed region; publishes on exit, even when the body raises."""
+
+    __slots__ = ("_recorder", "name", "fields", "_started", "seconds")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, fields: Dict[str, Any]) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.fields = fields
+        self._started = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._started = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        self.seconds = time.monotonic() - self._started
+        self._recorder._publish_span(self, failed=exc_type is not None)
+        return None
+
+
+class SpanRecorder:
+    """Publishes spans and aggregated metrics for one instrumented component.
+
+    ``base_fields`` (e.g. ``worker="w1"``) ride on every span payload so
+    post-hoc queries can group without joins.  A recorder with ``bus=None``
+    is permanently disabled and free to call.
+    """
+
+    def __init__(self, bus: Optional[Any], *, topic: str = TOPIC_SPANS, **base_fields: Any) -> None:
+        self._bus = bus
+        self.topic = topic
+        self.base_fields = {key: value for key, value in base_fields.items() if value is not None}
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+        self.spans_published = 0
+
+    @classmethod
+    def for_bus(cls, bus: Any, *, topic: str = TOPIC_SPANS, **base_fields: Any) -> "SpanRecorder":
+        """A recorder enabled only if someone is listening.
+
+        Enabled when ``bus`` has at least one live subscription or the
+        ``REPRO_SPANS`` environment flag is truthy; disabled (zero-cost)
+        otherwise.
+        """
+
+        enabled = os.environ.get(SPANS_ENV_VAR, "") not in ("", "0")
+        if not enabled and bus is not None:
+            has = getattr(bus, "has_subscribers", None)
+            enabled = bool(has()) if callable(has) else False
+        return cls(bus if enabled else None, topic=topic, **base_fields)
+
+    @property
+    def enabled(self) -> bool:
+        return self._bus is not None
+
+    # -- spans ---------------------------------------------------------------
+    def span(self, name: str, **fields: Any):
+        """Time a region; emits ``kind="span"`` with ``name``/``seconds``."""
+
+        if self._bus is None:
+            return NULL_SPAN
+        return _Span(self, name, fields)
+
+    def record(self, name: str, seconds: float, **fields: Any) -> None:
+        """Publish an already-measured duration as a ``span`` event.
+
+        For call sites that time a region manually (an await that must not
+        sit inside a ``with``, a latency computed across callbacks).
+        """
+
+        bus = self._bus
+        if bus is None:
+            return
+        body: Dict[str, Any] = {"name": name, "seconds": float(seconds)}
+        if self.base_fields:
+            body.update(self.base_fields)
+        if fields:
+            body.update(fields)
+        bus.emit(self.topic, "span", **body)
+        self.spans_published += 1
+
+    def _publish_span(self, span: _Span, *, failed: bool) -> None:
+        bus = self._bus
+        if bus is None:  # pragma: no cover - recorder disabled mid-span
+            return
+        body: Dict[str, Any] = {"name": span.name, "seconds": span.seconds}
+        if self.base_fields:
+            body.update(self.base_fields)
+        if span.fields:
+            body.update(span.fields)
+        if failed:
+            body["failed"] = True
+        bus.emit(self.topic, "span", **body)
+        self.spans_published += 1
+
+    # -- counters + histograms ----------------------------------------------
+    def counter(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to a named counter (published on :meth:`flush`)."""
+
+        if self._bus is None:
+            return
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a named histogram (count/total/min/max)."""
+
+        if self._bus is None:
+            return
+        stats = self._histograms.get(name)
+        if stats is None:
+            self._histograms[name] = {
+                "count": 1,
+                "total": float(value),
+                "min": float(value),
+                "max": float(value),
+            }
+            return
+        stats["count"] += 1
+        stats["total"] += float(value)
+        stats["min"] = min(stats["min"], float(value))
+        stats["max"] = max(stats["max"], float(value))
+
+    def flush(self) -> bool:
+        """Publish accumulated counters/histograms as one ``metrics`` event.
+
+        Returns True when something was published; a no-op (and False) when
+        disabled or nothing accumulated since the last flush.
+        """
+
+        bus = self._bus
+        if bus is None or (not self._counters and not self._histograms):
+            return False
+        body: Dict[str, Any] = {}
+        if self.base_fields:
+            body.update(self.base_fields)
+        body["counters"] = dict(self._counters)
+        body["histograms"] = {name: dict(stats) for name, stats in self._histograms.items()}
+        self._counters.clear()
+        self._histograms.clear()
+        bus.emit(self.topic, "metrics", **body)
+        return True
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"SpanRecorder({state}, topic={self.topic!r}, spans={self.spans_published})"

@@ -60,6 +60,35 @@ class TestRunner:
         assert result.cells_per_sec == pytest.approx(7 / result.wall_seconds)
         assert result.digest == payload_digest("payload")
 
+    def test_phase_breakdown_captured_from_spans(self):
+        # A case that emits spans on the (swapped-in) default bus during its
+        # reference run gets a per-phase timing breakdown in the result.
+        from repro.telemetry import SpanRecorder, get_bus
+
+        def run():
+            spans = SpanRecorder.for_bus(get_bus())
+            with spans.span("harness.wait"):
+                pass
+            spans.record("cell.execute", 0.25)
+            spans.record("cell.execute", 0.75)
+            return CaseOutcome(payload="payload")
+
+        case = BenchCase(
+            name="spanny", description="emits spans",
+            run=run, params={"quick": {}},
+        )
+        result = time_case(case, "quick", repeats=1, warmup=0)
+        assert result.phases["cell.execute"]["count"] == 2
+        assert result.phases["cell.execute"]["total_seconds"] == pytest.approx(1.0)
+        assert result.phases["cell.execute"]["mean_seconds"] == pytest.approx(0.5)
+        assert result.phases["harness.wait"]["count"] == 1
+        assert result.to_dict()["phases"] == result.phases
+
+    def test_spanless_case_reports_empty_phases(self):
+        result = time_case(_toy_case(), "quick", repeats=1, warmup=0)
+        assert result.phases == {}
+        assert result.to_dict()["phases"] == {}
+
     def test_nondeterministic_case_rejected(self):
         flips = iter(range(100))
         case = BenchCase(

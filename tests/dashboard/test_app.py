@@ -53,10 +53,37 @@ class TestEndpoints:
         assert [event["seq"] for event in data["events"]] == [2]
         assert data["events"][0]["payload"]["n"] == 2
 
-    def test_events_without_topic_is_400(self, server):
-        with pytest.raises(urllib.error.HTTPError) as excinfo:
-            fetch(server.url + "/api/events")
-        assert excinfo.value.code == 400
+    def test_events_without_topic_is_the_cursor_form(self, server, bus):
+        bus.emit("a", "tick")
+        bus.emit("b", "tick")
+        data = fetch_json(server.url + "/api/events")
+        assert [event["topic"] for event in data["events"]] == ["a", "b"]
+        assert data["next"] == 2
+
+    def test_cursor_polling_downloads_each_event_once(self, server, bus):
+        bus.emit("scheduler", "tick", n=1)
+        bus.emit("worker.w1.spans", "span", name="cell.execute")
+        bus.emit("runtime", "tick")  # not requested below
+        url = server.url + "/api/events?topics=scheduler,worker.*&since_global="
+        first = fetch_json(url + "0")
+        assert [event["topic"] for event in first["events"]] == [
+            "scheduler", "worker.w1.spans",
+        ]
+        again = fetch_json(url + str(first["next"]))
+        assert again["events"] == []  # cursor resend: nothing re-downloaded
+        bus.emit("worker.w2.spans", "span", name="cell.execute")
+        tail = fetch_json(url + str(first["next"]))
+        assert [event["topic"] for event in tail["events"]] == ["worker.w2.spans"]
+        assert tail["next"] > first["next"]
+
+    def test_cursor_limit_pages_without_skipping(self, server, bus):
+        for index in range(6):
+            bus.emit("t", "tick", index=index)
+        url = server.url + "/api/events?limit=4&since_global="
+        page = fetch_json(url + "0")
+        assert [event["gseq"] for event in page["events"]] == [1, 2, 3, 4]
+        rest = fetch_json(url + str(page["next"]))
+        assert [event["gseq"] for event in rest["events"]] == [5, 6]
 
     def test_unknown_path_is_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:

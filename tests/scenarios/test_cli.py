@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.scenarios import get, names
 from repro.scenarios.cli import main
 from repro.scenarios.spec import ScenarioSpec
@@ -111,13 +113,14 @@ class TestRun:
 class TestSweep:
     def test_sweep_with_axis_override_and_csv(self, capsys, tmp_path):
         csv = tmp_path / "rows.csv"
-        code = main([
-            "sweep", "mix.rigid-moldable", "--smoke",
-            "--axis", "policy.strategy=separate,first_fit_batch",
-            "--repetitions", "1",
-            "--csv", str(csv),
-            "--group-by", "policy.strategy",
-        ])
+        with pytest.warns(DeprecationWarning, match="--csv"):
+            code = main([
+                "sweep", "mix.rigid-moldable", "--smoke",
+                "--axis", "policy.strategy=separate,first_fit_batch",
+                "--repetitions", "1",
+                "--csv", str(csv),
+                "--group-by", "policy.strategy",
+            ])
         assert code == 0
         out = capsys.readouterr().out
         assert "digest" in out and "means by policy.strategy" in out

@@ -93,6 +93,111 @@ class TestSubscriptions:
         assert bus.published == 800
 
 
+class TestOverflow:
+    """Ring wraparound and subscriber back-pressure under a saturating publisher."""
+
+    def test_ring_wraparound_keeps_seq_contiguous(self):
+        bus = TelemetryBus(history=8)
+        for index in range(1000):
+            bus.emit("t", "tick", index=index)
+        seqs = [event.seq for event in bus.events("t")]
+        assert seqs == list(range(993, 1001))  # newest 8, no gaps, no repeats
+        assert bus.topics()["t"] == 1000
+
+    def test_saturating_publisher_drop_counter_is_exact(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe(["t"], buffer=4)
+        for index in range(20):
+            bus.emit("t", "tick", index=index)
+        assert sub.dropped == 16
+        kept = sub.poll()
+        assert [event.seq for event in kept] == [17, 18, 19, 20]  # newest survive
+        assert sub.dropped == 16  # draining does not disturb the counter
+        bus.emit("t", "tick", index=20)
+        assert sub.dropped == 16 and len(sub.poll()) == 1
+
+    def test_concurrent_saturation_conserves_events(self):
+        bus = TelemetryBus(history=16)
+        sub = bus.subscribe(["t"], buffer=32)
+        received = []
+        stop = threading.Event()
+
+        def drain() -> None:
+            while not stop.is_set():
+                received.extend(sub.poll())
+            received.extend(sub.poll())
+
+        drainer = threading.Thread(target=drain)
+        drainer.start()
+        threads = [
+            threading.Thread(
+                target=lambda: [bus.emit("t", "tick") for _ in range(250)]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        drainer.join()
+        # Every published event was either delivered or counted as dropped.
+        assert len(received) + sub.dropped == 1000
+        seqs = [event.seq for event in received]
+        assert seqs == sorted(seqs)  # delivery preserves publish order
+
+
+class TestGlobalCursor:
+    def test_gseq_is_monotonic_across_topics(self):
+        bus = TelemetryBus()
+        events = [bus.emit("a", "x"), bus.emit("b", "x"), bus.emit("a", "x")]
+        assert [event.gseq for event in events] == [1, 2, 3]
+        assert events[0].as_dict()["gseq"] == 1
+
+    def test_events_since_walks_all_topics_in_publish_order(self):
+        bus = TelemetryBus()
+        bus.emit("a", "x")
+        bus.emit("b", "x")
+        bus.emit("a", "x")
+        first = bus.events_since(0)
+        assert [(event.topic, event.gseq) for event in first] == [
+            ("a", 1), ("b", 2), ("a", 3),
+        ]
+        assert bus.events_since(first[-1].gseq) == []
+        bus.emit("c", "x")
+        tail = bus.events_since(first[-1].gseq)
+        assert [event.topic for event in tail] == ["c"]
+
+    def test_events_since_limit_keeps_cursor_contiguous(self):
+        bus = TelemetryBus()
+        for _ in range(6):
+            bus.emit("t", "tick")
+        page = bus.events_since(0, limit=4)
+        assert [event.gseq for event in page] == [1, 2, 3, 4]  # oldest first
+        rest = bus.events_since(page[-1].gseq)
+        assert [event.gseq for event in rest] == [5, 6]  # nothing skipped
+
+    def test_topic_prefix_filters(self):
+        bus = TelemetryBus()
+        bus.emit("scheduler", "x")
+        bus.emit("worker.w1.spans", "x")
+        bus.emit("worker.w2.spans", "x")
+        bus.emit("sweep", "x")
+        topics = [
+            event.topic
+            for event in bus.events_since(0, topics=["scheduler", "worker.*"])
+        ]
+        assert topics == ["scheduler", "worker.w1.spans", "worker.w2.spans"]
+
+    def test_has_subscribers_reflects_lifecycle(self):
+        bus = TelemetryBus()
+        assert not bus.has_subscribers()
+        sub = bus.subscribe()
+        assert bus.has_subscribers()
+        sub.close()
+        assert not bus.has_subscribers()
+
+
 class TestSnapshot:
     def test_snapshot_merges_sources_and_survives_dying_ones(self):
         bus = TelemetryBus()

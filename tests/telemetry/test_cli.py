@@ -1,0 +1,108 @@
+"""``python -m repro.telemetry``: record, replay, report, smoke."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.cli import TELEMETRY_QUERIES, main
+
+
+@pytest.fixture(scope="module")
+def recorded_store(tmp_path_factory):
+    """One smoke scenario recorded serially; shared across read-only tests."""
+
+    root = tmp_path_factory.mktemp("flight") / "store"
+    code = main([
+        "record", "fig2.bicriteria", "--smoke",
+        "--store", str(root), "--campaign", "demo",
+    ])
+    assert code == 0
+    return root
+
+
+class TestRecord:
+    def test_record_lands_events_and_prints_a_summary(
+        self, recorded_store, capsys
+    ):
+        # The fixture already ran `record`; re-run to exercise the summary
+        # line and prove two sessions coexist in one store.
+        code = main([
+            "record", "fig2.bicriteria", "--smoke",
+            "--store", str(recorded_store), "--campaign", "demo",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flight recorder:" in out
+        assert "0 dropped" in out
+
+    def test_record_without_scenarios_is_usage_error(self, tmp_path, capsys):
+        assert main(["record", "--store", str(tmp_path / "s")]) == 2
+        assert main(["record", "no.such", "--store", str(tmp_path / "s")]) == 2
+
+
+class TestReplay:
+    def test_replay_prints_recorded_events_as_jsonl(self, recorded_store, capsys):
+        assert main(["replay", "--store", str(recorded_store)]) == 0
+        out, err = capsys.readouterr()
+        events = [json.loads(line) for line in out.splitlines()]
+        assert events
+        assert all("topic" in event and "seq" in event for event in events)
+        assert "replayed" in err
+
+    def test_replay_filters_by_topic_kind_and_limit(self, recorded_store, capsys):
+        assert main([
+            "replay", "--store", str(recorded_store),
+            "--topic", "sweep", "--kind", "sweep-end", "--limit", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()]
+        assert len(events) == 1
+        assert events[0]["kind"] == "sweep-end"
+
+
+class TestReport:
+    def test_list_is_store_free_and_leads_with_telemetry_queries(self, capsys):
+        assert main(["report", "--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        leading = [line.split()[0] for line in lines[: len(TELEMETRY_QUERIES)]]
+        assert sorted(leading) == sorted(TELEMETRY_QUERIES)
+
+    def test_span_summary_over_a_recording(self, recorded_store, capsys):
+        assert main([
+            "report", "span-summary", "--store", str(recorded_store),
+            "--engine", "py", "--param", "campaign=demo",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "harness.wait" in out
+
+    def test_phase_attribution_is_nonempty_and_writable(
+        self, recorded_store, tmp_path
+    ):
+        target = tmp_path / "phases.jsonl"
+        assert main([
+            "report", "phase-attribution", "--store", str(recorded_store),
+            "--engine", "py", "--out", str(target),
+        ]) == 0
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert rows and all(row["total_seconds"] > 0 for row in rows)
+
+    def test_bad_query_and_missing_name_are_usage_errors(
+        self, recorded_store, capsys
+    ):
+        assert main(["report", "no-such", "--store", str(recorded_store)]) == 2
+        assert main(["report", "--store", str(recorded_store)]) == 2
+
+
+class TestSmoke:
+    def test_inproc_smoke_passes_end_to_end(self, tmp_path, capsys):
+        code = main([
+            "smoke", "--comm", "inproc", "--workers", "3",
+            "--dir", str(tmp_path / "smoke"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "ok: telemetry smoke" in out
+        assert "phase-attribution:" in out
+        assert "worker.*" in out

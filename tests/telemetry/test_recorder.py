@@ -1,0 +1,78 @@
+"""The flight recorder: bus events landing as queryable store rows."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store.columnar import CampaignStore
+from repro.telemetry import TelemetryBus, TelemetryRecorder, telemetry_scenario
+
+
+@pytest.fixture
+def bus():
+    return TelemetryBus()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CampaignStore(tmp_path / "store", campaign="run1")
+
+
+class TestRecording:
+    def test_events_land_as_flat_rows(self, bus, store):
+        with TelemetryRecorder(store, bus=bus, campaign="run1") as recorder:
+            bus.emit("worker.w1.spans", "span", name="cell.execute", seconds=0.5)
+            bus.emit("scheduler", "assign", worker="w1")
+        assert recorder.recorded == 2
+        assert recorder.dropped == 0
+        records = sorted(store.records(), key=lambda r: r["row_json"])
+        rows = [json.loads(record["row_json"]) for record in records]
+        by_topic = {row["topic"]: row for row in rows}
+        span = by_topic["worker.w1.spans"]
+        assert span["kind"] == "span"
+        assert span["name"] == "cell.execute"
+        assert span["seconds"] == 0.5
+        assert span["seq"] == 1 and span["gseq"] == 1
+        assert all(
+            record["scenario"] == telemetry_scenario("run1") for record in records
+        )
+
+    def test_payload_never_shadows_position_columns(self, bus, store):
+        # A payload carrying its own "seq"/"topic" must not clobber the
+        # recorder's position metadata (the dedup key depends on it).
+        with TelemetryRecorder(store, bus=bus, campaign="run1"):
+            bus.publish("t", {"kind": "weird", "seq": 999, "topic": "fake", "gseq": -1})
+        (record,) = store.records()
+        row = json.loads(record["row_json"])
+        assert row["topic"] == "t" and row["seq"] == 1 and row["gseq"] == 1
+
+    def test_two_recording_sessions_never_dedup_each_other(self, bus, store):
+        recorder = TelemetryRecorder(store, bus=bus, campaign="run1")
+        with recorder:
+            bus.emit("t", "tick", n=1)
+        with recorder:
+            bus.emit("t", "tick", n=1)  # same topic, same per-topic seq
+        assert recorder.recorded == 2
+        assert recorder.skipped == 0
+        assert len(list(store.records())) == 2
+
+    def test_path_store_opens_a_campaign_store(self, bus, tmp_path):
+        with TelemetryRecorder(tmp_path / "flight", bus=bus, campaign="c") as rec:
+            bus.emit("t", "tick")
+        assert rec.recorded == 1
+        reopened = CampaignStore(tmp_path / "flight", campaign="c")
+        assert len(list(reopened.records())) == 1
+
+    def test_stop_is_idempotent_and_restartable(self, bus, store):
+        recorder = TelemetryRecorder(store, bus=bus, campaign="run1")
+        recorder.start()
+        with pytest.raises(RuntimeError):
+            recorder.start()
+        recorder.stop()
+        recorder.stop()  # no-op
+        recorder.start()
+        bus.emit("t", "tick")
+        recorder.stop()
+        assert recorder.recorded == 1

@@ -1,0 +1,107 @@
+"""Span/counter/histogram instrumentation: gating, payloads, aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import NULL_SPAN, SpanRecorder, TelemetryBus
+from repro.telemetry.events import TOPIC_SPANS
+from repro.telemetry.spans import SPANS_ENV_VAR
+
+
+@pytest.fixture
+def bus():
+    return TelemetryBus()
+
+
+class TestGating:
+    def test_disabled_recorder_returns_the_shared_null_span(self):
+        spans = SpanRecorder(None)
+        assert not spans.enabled
+        assert spans.span("anything", field=1) is NULL_SPAN
+        with spans.span("anything"):
+            pass  # costs one method call and a no-op with-block
+        spans.record("anything", 1.0)
+        spans.counter("hits")
+        spans.observe("latency", 0.5)
+        assert spans.flush() is False
+        assert spans.spans_published == 0
+
+    def test_for_bus_disabled_without_subscribers(self, bus, monkeypatch):
+        monkeypatch.delenv(SPANS_ENV_VAR, raising=False)
+        assert not SpanRecorder.for_bus(bus).enabled
+
+    def test_for_bus_enabled_by_a_live_subscriber(self, bus, monkeypatch):
+        monkeypatch.delenv(SPANS_ENV_VAR, raising=False)
+        with bus.subscribe():
+            assert SpanRecorder.for_bus(bus).enabled
+        assert not SpanRecorder.for_bus(bus).enabled  # subscriber gone
+
+    def test_for_bus_env_flag_forces_capture(self, bus, monkeypatch):
+        monkeypatch.setenv(SPANS_ENV_VAR, "1")
+        assert SpanRecorder.for_bus(bus).enabled
+        monkeypatch.setenv(SPANS_ENV_VAR, "0")
+        assert not SpanRecorder.for_bus(bus).enabled
+
+
+class TestSpans:
+    def test_span_publishes_name_seconds_and_fields(self, bus):
+        spans = SpanRecorder(bus, worker="w1")
+        with spans.span("cell.execute", index=3):
+            pass
+        (event,) = bus.events(TOPIC_SPANS)
+        body = event.payload
+        assert body["kind"] == "span"
+        assert body["name"] == "cell.execute"
+        assert body["seconds"] >= 0.0
+        assert body["worker"] == "w1"
+        assert body["index"] == 3
+        assert "failed" not in body
+        assert spans.spans_published == 1
+
+    def test_span_marks_failures_and_reraises(self, bus):
+        spans = SpanRecorder(bus)
+        with pytest.raises(RuntimeError):
+            with spans.span("cell.execute"):
+                raise RuntimeError("boom")
+        (event,) = bus.events(TOPIC_SPANS)
+        assert event.payload["failed"] is True
+
+    def test_record_publishes_premeasured_durations(self, bus):
+        spans = SpanRecorder(bus, worker="w1")
+        spans.record("worker.idle", 0.25, cells=2)
+        (event,) = bus.events(TOPIC_SPANS)
+        assert event.payload["name"] == "worker.idle"
+        assert event.payload["seconds"] == 0.25
+        assert event.payload["cells"] == 2
+
+    def test_none_valued_base_fields_are_dropped(self, bus):
+        spans = SpanRecorder(bus, worker=None, experiment="e")
+        spans.record("x", 0.0)
+        (event,) = bus.events(TOPIC_SPANS)
+        assert "worker" not in event.payload
+        assert event.payload["experiment"] == "e"
+
+
+class TestMetrics:
+    def test_counters_and_histograms_flush_as_one_event(self, bus):
+        spans = SpanRecorder(bus, worker="w1")
+        spans.counter("cache-hit")
+        spans.counter("cache-hit", 2)
+        spans.observe("latency", 0.2)
+        spans.observe("latency", 0.6)
+        assert spans.flush() is True
+        (event,) = bus.events(TOPIC_SPANS)
+        body = event.payload
+        assert body["kind"] == "metrics"
+        assert body["counters"] == {"cache-hit": 3}
+        assert body["histograms"]["latency"] == {
+            "count": 2, "total": 0.8, "min": 0.2, "max": 0.6,
+        }
+
+    def test_flush_resets_the_accumulators(self, bus):
+        spans = SpanRecorder(bus)
+        spans.counter("n")
+        assert spans.flush() is True
+        assert spans.flush() is False  # nothing new accumulated
+        assert len(bus.events(TOPIC_SPANS)) == 1
