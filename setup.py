@@ -1,0 +1,56 @@
+"""Optional compiled-kernel build for the simulation engine.
+
+The package installs and runs fine as pure python (``pip install .`` never
+*requires* a C toolchain): the ``repro._ckernel`` extension is an optional
+accelerator for the event queue + run loop, selected at runtime via
+``REPRO_KERNEL=compiled`` (see ``repro.simulation.kernel``).  Build it in
+place with::
+
+    make kernel            # or: python setup.py build_ext --inplace
+
+By default a failed compile degrades to a warning so environments without a
+toolchain still install the pure tier.  Set ``REPRO_CKERNEL=require`` (the
+Makefile target does) to turn build failures into hard errors.
+"""
+
+import os
+import sys
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+CKERNEL = Extension(
+    "repro._ckernel",
+    sources=["src/repro/_kernel/ckernelmodule.c"],
+)
+
+
+class OptionalBuildExt(build_ext):
+    """Treat extension build failures as a soft degrade to the pure tier."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # noqa: BLE001 - any toolchain failure degrades
+            self._degrade(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # noqa: BLE001
+            self._degrade(exc)
+
+    def _degrade(self, exc):
+        if os.environ.get("REPRO_CKERNEL", "").strip().lower() == "require":
+            raise exc
+        print(
+            f"warning: building repro._ckernel failed ({exc}); "
+            "falling back to the pure-python kernel tier",
+            file=sys.stderr,
+        )
+
+
+setup(
+    ext_modules=[CKERNEL],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -8,9 +8,11 @@ Run the benchmark suite and write a ``BENCH_<timestamp>.json`` report::
     python -m repro.bench --list                  # show registered cases
 
 Compare two reports (exits 1 on a >threshold regression or a result-digest
-change, unless ``--warn-only``)::
+change, unless ``--warn-only``; ``--fail-on-digest`` keeps the digest gate
+hard even in warn-only mode)::
 
     python -m repro.bench compare BASELINE.json NEW.json --threshold 0.2
+    python -m repro.bench compare BASE.json NEW.json --warn-only --fail-on-digest
 """
 
 from __future__ import annotations
@@ -54,6 +56,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-digest-check",
         action="store_true",
         help="do not fail on result-digest mismatches",
+    )
+    cmp_parser.add_argument(
+        "--fail-on-digest",
+        action="store_true",
+        help="exit 1 on a result-digest or tier mismatch even under "
+        "--warn-only: timing is advisory on noisy runners, correctness "
+        "never is",
     )
     return parser
 
@@ -117,6 +126,10 @@ def _run(args: argparse.Namespace) -> int:
 
 
 def _compare(args: argparse.Namespace) -> int:
+    if args.fail_on_digest and args.no_digest_check:
+        raise SystemExit(
+            "--fail-on-digest and --no-digest-check are contradictory"
+        )
     comparison = compare_reports(
         load_report(args.baseline),
         load_report(args.new),
@@ -124,6 +137,10 @@ def _compare(args: argparse.Namespace) -> int:
         check_digests=not args.no_digest_check,
     )
     print(comparison.summary())
+    if args.fail_on_digest and (
+        comparison.digest_changes or comparison.tier_mismatches
+    ):
+        return 1
     if comparison.ok or args.warn_only:
         return 0
     return 1

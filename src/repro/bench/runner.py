@@ -27,6 +27,10 @@ from repro.bench.cases import BenchCase, CaseOutcome
 
 SCHEMA = "repro.bench/1"
 
+
+class PerturbedTimingError(RuntimeError):
+    """Raised when timed bench repeats would run with observation overhead on."""
+
 #: Default directory for benchmark reports (relative to the repo root /
 #: current working directory).
 DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
@@ -88,6 +92,42 @@ def git_revision() -> str:
         return "unknown"
 
 
+def assert_unperturbed_timing() -> None:
+    """Fail fast if the timed repeats would not measure the bare hot path.
+
+    Two observation switches add per-event/per-span overhead to every run:
+    a live subscriber on the process-wide telemetry bus (a dashboard, a
+    flight recorder) and the ``REPRO_SPANS`` environment flag, which forces
+    span capture on even with no subscriber.  A committed BENCH report taken
+    with either one active understates the engine by tens of percent and
+    poisons every later comparison against it, so the runner refuses to time
+    under them instead of silently recording the slow numbers.
+    """
+
+    import os
+
+    from repro.telemetry.bus import get_bus
+    from repro.telemetry.spans import SPANS_ENV_VAR
+
+    if os.environ.get(SPANS_ENV_VAR, "").strip():
+        raise PerturbedTimingError(
+            f"refusing to time benchmarks with {SPANS_ENV_VAR}="
+            f"{os.environ[SPANS_ENV_VAR]!r} set: forced span capture perturbs "
+            f"the timed repeats. Unset {SPANS_ENV_VAR} and re-run "
+            "(the runner collects its own span profile on the untimed "
+            "reference run)."
+        )
+    bus = get_bus()
+    if bus.has_subscribers():
+        raise PerturbedTimingError(
+            "refusing to time benchmarks while the telemetry bus has live "
+            "subscribers (a dashboard, recorder or listener is attached): "
+            "span capture switches on and perturbs the timed repeats. "
+            "Close the subscribers (or run the bench in a fresh process) "
+            "and re-run."
+        )
+
+
 def time_case(
     case: BenchCase,
     tier: str,
@@ -107,6 +147,9 @@ def time_case(
     # no subscriber, zero-cost NULL spans), so timing stays unperturbed.
     outcome, phases = _profiled_reference_run(case, tier)
     digest = payload_digest(outcome.payload)
+    # The reference run above observed itself through a *private* bus that
+    # is already restored; from here on, timing must see the bare hot path.
+    assert_unperturbed_timing()
     for _ in range(warmup):
         case.run_tier(tier)
     samples: List[float] = []
@@ -181,6 +224,8 @@ def run_benchmarks(
 ) -> Dict[str, Any]:
     """Run ``cases`` and return the full (JSON-serialisable) report."""
 
+    from repro.simulation.kernel import requested_kernel, resolve_kernel
+
     results = []
     for case in cases:
         if progress is not None:
@@ -207,6 +252,12 @@ def run_benchmarks(
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "tier": tier,
+        # The simulation-kernel tier the timed runs actually executed on
+        # (requested via $REPRO_KERNEL, resolved against extension
+        # availability): pure-vs-compiled numbers must never be compared
+        # as if they were the same engine.
+        "kernel": resolve_kernel(),
+        "kernel_requested": requested_kernel(),
         "results": results,
     }
 

@@ -28,6 +28,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 
 class JobKind(enum.Enum):
     """Enumeration of the job families handled by the library."""
@@ -166,20 +168,38 @@ class MoldableJob(Job):
                 f"1..{len(self.runtimes)}"
             )
         if self.enforce_monotony:
-            for k in range(1, len(self.runtimes)):
-                if self.runtimes[k] > self.runtimes[k - 1] * (1 + 1e-9):
-                    raise ValueError(
-                        f"job {self.name!r}: runtime increases from {k} to "
-                        f"{k + 1} processors ({self.runtimes[k - 1]} -> "
-                        f"{self.runtimes[k]}); profile is not monotonic"
-                    )
-                work_prev = k * self.runtimes[k - 1]
-                work_next = (k + 1) * self.runtimes[k]
-                if work_next < work_prev * (1 - 1e-9):
-                    raise ValueError(
-                        f"job {self.name!r}: work decreases from {k} to "
-                        f"{k + 1} processors; profile is not monotonic"
-                    )
+            n = len(self.runtimes)
+            if n >= 16:
+                # Vectorised validation of long profiles (one numpy pass
+                # instead of an O(max_procs) python loop per job; workload
+                # generators build hundreds of jobs per sweep cell).  The
+                # comparisons are elementwise, hence bit-identical to the
+                # scalar loop; the loop below only re-runs on violation to
+                # produce the exact same first-error message.
+                arr = np.array(self.runtimes)
+                karr = np.arange(1.0, n)
+                prev, nxt = arr[:-1], arr[1:]
+                ok = not (
+                    bool((nxt > prev * (1 + 1e-9)).any())
+                    or bool(((karr + 1.0) * nxt < karr * prev * (1 - 1e-9)).any())
+                )
+            else:
+                ok = False
+            if not ok:
+                for k in range(1, n):
+                    if self.runtimes[k] > self.runtimes[k - 1] * (1 + 1e-9):
+                        raise ValueError(
+                            f"job {self.name!r}: runtime increases from {k} to "
+                            f"{k + 1} processors ({self.runtimes[k - 1]} -> "
+                            f"{self.runtimes[k]}); profile is not monotonic"
+                        )
+                    work_prev = k * self.runtimes[k - 1]
+                    work_next = (k + 1) * self.runtimes[k]
+                    if work_next < work_prev * (1 - 1e-9):
+                        raise ValueError(
+                            f"job {self.name!r}: work decreases from {k} to "
+                            f"{k + 1} processors; profile is not monotonic"
+                        )
 
     @property
     def kind(self) -> JobKind:
@@ -204,19 +224,45 @@ class MoldableJob(Job):
 
         return self.runtimes[self.min_procs - 1]
 
+    # The profile is immutable after __post_init__, so the derived scalars
+    # below are computed once and memoised in the instance dict: the bounds
+    # and the WSPT orderings of the bi-criteria scheduler query them for
+    # every job in every batch, which made the naive O(max_procs) recompute
+    # the single hottest spot of a figure-2 sweep cell.
+
     def best_runtime(self) -> float:
         """Smallest achievable runtime over all admissible allocations."""
 
-        return min(self.runtimes[self.min_procs - 1 :])
+        cached = self.__dict__.get("_best_runtime")
+        if cached is None:
+            cached = min(self.runtimes[self.min_procs - 1 :])
+            self.__dict__["_best_runtime"] = cached
+        return cached
 
     def min_work(self) -> float:
         """Smallest achievable work (processor-time area)."""
 
-        return min(
-            (k + 1) * p
-            for k, p in enumerate(self.runtimes)
-            if k + 1 >= self.min_procs
-        )
+        cached = self.__dict__.get("_min_work")
+        if cached is None:
+            cached = min(
+                (k + 1) * p
+                for k, p in enumerate(self.runtimes)
+                if k + 1 >= self.min_procs
+            )
+            self.__dict__["_min_work"] = cached
+        return cached
+
+    def _profile_non_increasing(self) -> bool:
+        """Exact (not tolerance-based) monotony of the runtime profile."""
+
+        cached = self.__dict__.get("_non_increasing")
+        if cached is None:
+            runtimes = self.runtimes
+            cached = all(
+                runtimes[k] <= runtimes[k - 1] for k in range(1, len(runtimes))
+            )
+            self.__dict__["_non_increasing"] = cached
+        return cached
 
     def canonical_allocation(self, deadline: float) -> Optional[int]:
         """Smallest admissible allocation meeting ``deadline``, or ``None``.
@@ -229,8 +275,27 @@ class MoldableJob(Job):
         deadline.
         """
 
+        limit = deadline + 1e-12
+        runtimes = self.runtimes
+        if self._profile_non_increasing():
+            # Exactly non-increasing profile: the admissibility predicate is
+            # monotone in k, so the leftmost admissible allocation can be
+            # binary-searched (identical result to the linear scan).
+            lo = self.min_procs - 1
+            hi = len(runtimes)
+            if runtimes[hi - 1] > limit:
+                return None
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if runtimes[mid] <= limit:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            return lo + 1
+        # Profiles admitted with enforce_monotony=False may dip arbitrarily;
+        # keep the exhaustive scan for those.
         for k in range(self.min_procs, self.max_procs + 1):
-            if self.runtimes[k - 1] <= deadline + 1e-12:
+            if runtimes[k - 1] <= limit:
                 return k
         return None
 

@@ -28,6 +28,8 @@ import abc
 import math
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.allocation import Schedule
 from repro.core.job import Job, MoldableJob, RigidJob
 
@@ -173,7 +175,12 @@ def list_schedule_rigid(
 
     if machine_count < 1:
         raise ValueError("machine_count must be >= 1")
-    free_at = [start_time] * machine_count
+    # The free-list lives in a float64 array: picking the nbproc earliest
+    # processors is one stable argsort (ties broken by index, exactly like
+    # the former sort of (time, index) pairs) instead of a python keyed
+    # sort per job.  The times themselves stay bit-identical -- the array
+    # only stores and compares the same float64 values.
+    free_at = np.full(machine_count, float(start_time))
     schedule = Schedule(machine_count)
     for job, nbproc in allocations:
         if nbproc < 1 or nbproc > machine_count:
@@ -182,17 +189,15 @@ def list_schedule_rigid(
                 f"{machine_count} processors"
             )
         runtime = job.runtime(nbproc)
-        # Earliest time at which `nbproc` processors are simultaneously free:
-        # sort availability times and take the nbproc-th smallest.
-        order = sorted(range(machine_count), key=lambda p: (free_at[p], p))
-        chosen = order[:nbproc]
-        start = max(free_at[p] for p in chosen)
-        start = max(start, start_time)
+        # Earliest time at which `nbproc` processors are simultaneously
+        # free: the nbproc smallest availability times.
+        order = np.argsort(free_at, kind="stable")
+        chosen_idx = order[:nbproc]
+        start = max(float(free_at[order[nbproc - 1]]), start_time)
         if respect_release_dates:
             start = max(start, job.release_date)
-        for p in chosen:
-            free_at[p] = start + runtime
-        schedule.add(job, start, chosen, runtime)
+        free_at[chosen_idx] = start + runtime
+        schedule.add(job, start, chosen_idx.tolist(), runtime)
     return schedule
 
 

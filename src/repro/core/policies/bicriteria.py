@@ -103,6 +103,14 @@ class BiCriteriaScheduler(ReleaseDateScheduler):
         result = Schedule(machine_count)
         now = min(j.release_date for j in remaining)
         deadline = self._first_deadline(remaining)
+        # The per-job bounds and the WSPT selection key never change across
+        # batches; computing them once per schedule() (instead of once per
+        # job per batch) takes the selection off the sweep's hot path.
+        bounds_cache = {job: (min_runtime(job), min_work(job)) for job in remaining}
+        wspt_keys = {
+            job: (area / max(job.weight, 1e-12), job.name)
+            for job, (_, area) in bounds_cache.items()
+        }
         batch_index = 0
         guard = 0
         max_batches = 4 * len(jobs) + 64  # generous; deadlines double so this is never hit
@@ -114,26 +122,37 @@ class BiCriteriaScheduler(ReleaseDateScheduler):
             if not ready:
                 now = min(j.release_date for j in remaining)
                 continue
-            selected = self._select(ready, machine_count, deadline)
+            selected = self._select(
+                ready, machine_count, deadline, keys=wspt_keys, bounds=bounds_cache
+            )
             if not selected:
                 # No released job fits in the current deadline: double it and
                 # retry (the guard above bounds the number of doublings).
                 deadline *= 2.0
                 continue
-            for job in selected:
-                remaining.remove(job)
+            # Jobs hash and compare by their (unique) name, so the set-based
+            # sweep removes exactly the elements list.remove() would.
+            selected_set = set(selected)
+            remaining = [j for j in remaining if j not in selected_set]
             batch_schedule = self._schedule_batch(selected, machine_count, now, deadline)
             batch_schedule.validate(check_release_dates=False)
-            result = result.merge(batch_schedule)
+            # In-place union (same entries, same insertion order as the
+            # previous result.merge(batch_schedule), without re-copying the
+            # accumulated schedule on every batch).
+            for entry in batch_schedule:
+                result.add_scheduled(entry)
+            if batch_schedule.reservations:
+                result.reservations = result.reservations + batch_schedule.reservations
+            batch_makespan = batch_schedule.makespan()
             record = BatchRecord(
                 index=batch_index,
                 start=now,
                 deadline=deadline,
                 jobs=[j.name for j in selected],
-                makespan=batch_schedule.makespan(),
+                makespan=batch_makespan,
             )
             self.last_batches.append(record)
-            now = max(batch_schedule.makespan(), now)
+            now = max(batch_makespan, now)
             deadline *= 2.0
             batch_index += 1
         return result
@@ -184,23 +203,39 @@ class BiCriteriaScheduler(ReleaseDateScheduler):
         smallest = min(min_runtime(j) for j in jobs)
         return max(smallest, 1e-9)
 
-    def _select(self, ready: Sequence[Job], machine_count: int, deadline: float) -> List[Job]:
+    def _select(
+        self,
+        ready: Sequence[Job],
+        machine_count: int,
+        deadline: float,
+        *,
+        keys: "Optional[dict]" = None,
+        bounds: "Optional[dict]" = None,
+    ) -> List[Job]:
         """Greedy maximum-weight selection of jobs fitting in ``deadline``.
 
         Jobs are taken in WSPT order (minimal work divided by weight); a job
         is admitted while its best runtime fits in the deadline and the total
-        admitted area stays within ``deadline * machine_count``.
+        admitted area stays within ``deadline * machine_count``.  ``keys`` /
+        ``bounds`` optionally supply the precomputed per-job WSPT sort keys
+        and ``(min_runtime, min_work)`` pairs.
         """
 
-        order = sorted(
-            ready, key=lambda j: (min_work(j) / max(j.weight, 1e-12), j.name)
-        )
+        if keys is not None:
+            order = sorted(ready, key=keys.__getitem__)
+        else:
+            order = sorted(
+                ready, key=lambda j: (min_work(j) / max(j.weight, 1e-12), j.name)
+            )
         budget = deadline * machine_count
         used = 0.0
         selected: List[Job] = []
         for job in order:
-            runtime = min_runtime(job)
-            area = min_work(job)
+            if bounds is not None:
+                runtime, area = bounds[job]
+            else:
+                runtime = min_runtime(job)
+                area = min_work(job)
             if runtime > deadline + 1e-12:
                 continue
             if used + area > budget + 1e-9:

@@ -27,7 +27,9 @@ into the explicit runtime table expected by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol
+from typing import List, Optional, Protocol
+
+import numpy as np
 
 
 class SpeedupModel(Protocol):
@@ -147,6 +149,66 @@ class RooflineSpeedup:
         return float(min(nbproc, self.max_parallelism))
 
 
+def _speedup_column(model: SpeedupModel, karr: "np.ndarray") -> "Optional[np.ndarray]":
+    """Vectorised ``[model(1), ..., model(P)]`` for the built-in families.
+
+    Returns ``None`` for models without a closed form (the caller falls back
+    to the per-``k`` loop).  Every branch uses only elementwise ``+ - * /``,
+    comparisons, and running max -- operations that are IEEE-identical to
+    the scalar python evaluation -- so the resulting tables are bit-for-bit
+    the same as the loop and every digest gate is preserved.  ``np.power``
+    is deliberately avoided: its SIMD paths may round the last ulp
+    differently from libm's ``pow`` used by python's ``**``.
+    """
+
+    if type(model) is LinearSpeedup:
+        return karr.copy()
+    if type(model) is AmdahlSpeedup:
+        f = model.serial_fraction
+        return 1.0 / (f + (1.0 - f) / karr)
+    if type(model) is RooflineSpeedup:
+        return np.minimum(karr, float(model.max_parallelism))
+    if type(model) is CommunicationPenaltySpeedup:
+        raw = 1.0 / (1.0 / karr + model.overhead_fraction * (karr - 1.0))
+        # The scalar model clamps via a running max over 1..k (turning every
+        # call into an O(k) loop, O(P^2) per table); maximum.accumulate is
+        # the same fold in one pass.
+        return np.maximum.accumulate(raw) if model.clamp else raw
+    if type(model) is PowerLawSpeedup:
+        alpha = model.alpha
+        # Scalar ** on purpose (libm pow), vectorising only the dispatch.
+        return np.array([float(k) ** alpha for k in range(1, karr.shape[0] + 1)])
+    return None
+
+
+def runtime_profile_array(
+    sequential_time: float,
+    max_procs: int,
+    model: SpeedupModel,
+    *,
+    repair_monotony: bool = True,
+) -> "np.ndarray":
+    """Vectorised :func:`make_runtime_table` returning a float64 array.
+
+    Bit-identical to the list version; this is the fast path used by the
+    workload generators, which build one table per job.
+    """
+
+    if sequential_time <= 0:
+        raise ValueError("sequential_time must be > 0")
+    if max_procs < 1:
+        raise ValueError("max_procs must be >= 1")
+    karr = np.arange(1.0, max_procs + 1.0)
+    speedups = _speedup_column(model, karr)
+    if speedups is None:
+        speedups = np.array([model(k) for k in range(1, max_procs + 1)], dtype=float)
+    table = sequential_time / np.maximum(speedups, 1e-12)
+    if repair_monotony:
+        # Same fold as the sequential ``table[k] = min(table[k], table[k-1])``.
+        np.minimum.accumulate(table, out=table)
+    return table
+
+
 def make_runtime_table(
     sequential_time: float,
     max_procs: int,
@@ -166,6 +228,13 @@ def make_runtime_table(
         raise ValueError("sequential_time must be > 0")
     if max_procs < 1:
         raise ValueError("max_procs must be >= 1")
+    karr = np.arange(1.0, max_procs + 1.0)
+    if _speedup_column(model, karr) is not None:
+        return runtime_profile_array(
+            sequential_time, max_procs, model, repair_monotony=repair_monotony
+        ).tolist()
+    # Unknown model: evaluate it in pure python so exotic return types
+    # (e.g. Fraction) keep their original arithmetic.
     table = [sequential_time / max(model(k), 1e-12) for k in range(1, max_procs + 1)]
     if repair_monotony:
         for k in range(1, len(table)):

@@ -16,6 +16,7 @@ bit for bit.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import itertools
 import json
@@ -131,12 +132,12 @@ class CellFunction:
         )
 
 
-def cell_key(experiment: str, cell: Cell, version: str = "") -> str:
-    """Stable hash identifying one cell of one experiment (cache key).
+def _cell_key_uncached(experiment: str, cell: Cell, version: str = "") -> str:
+    """Reference implementation of :func:`cell_key` (no precomputation).
 
-    The key covers the experiment name, the configuration, the seed and a
-    free-form ``version`` string (typically a fingerprint of the run
-    function) so stale cached results are not replayed across code changes.
+    Kept verbatim as the ground truth: :class:`CellKeyer` must produce
+    byte-identical blobs (a test asserts it), because these hashes key
+    on-disk caches, campaign journals and store partitions.
     """
 
     payload = {
@@ -148,3 +149,85 @@ def cell_key(experiment: str, cell: Cell, version: str = "") -> str:
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CellKeyer:
+    """Precomputed :func:`cell_key` builder for one (experiment, version).
+
+    ``cell_key`` serialises the same experiment name and version string for
+    every cell of a sweep; over a cached campaign that is two JSON dumps and
+    a dict build per cell lookup *and* per store.  The keyer freezes the
+    constant head/tail of the JSON blob once and caches the params segment
+    per distinct configuration (repetitions share it), so the per-cell work
+    drops to one string concatenation and the SHA-256.
+
+    JSON serialisation is compositional: ``json.dumps(payload, sort_keys=
+    True, default=repr)`` of the payload dict equals the literal key/value
+    skeleton (keys are already in sorted order: experiment < params <
+    repetition < seed < version) with each value's own ``json.dumps`` -- the
+    default ``(', ', ': ')`` separators -- spliced in.  The blobs are
+    therefore byte-identical to the reference implementation.
+    """
+
+    __slots__ = ("_head", "_tail", "_params_json")
+
+    def __init__(self, experiment: str, version: str = "") -> None:
+        self._head = (
+            '{"experiment": '
+            + json.dumps(experiment, sort_keys=True, default=repr)
+            + ', "params": '
+        )
+        self._tail = (
+            ', "version": ' + json.dumps(version, sort_keys=True, default=repr) + "}"
+        )
+        self._params_json: Dict[Tuple[Tuple[str, Any], ...], str] = {}
+
+    def blob(self, cell: Cell) -> str:
+        """The exact JSON text hashed for ``cell`` (exposed for tests)."""
+
+        try:
+            params_json = self._params_json.get(cell.params)
+        except TypeError:  # unhashable parameter value: skip the memo
+            params_json = None
+        else:
+            if params_json is None:
+                params_json = json.dumps(
+                    [[k, repr(v)] for k, v in cell.params], sort_keys=True, default=repr
+                )
+                self._params_json[cell.params] = params_json
+        if params_json is None:
+            params_json = json.dumps(
+                [[k, repr(v)] for k, v in cell.params], sort_keys=True, default=repr
+            )
+        repetition = json.dumps(cell.repetition, sort_keys=True, default=repr)
+        seed = json.dumps(cell.seed, sort_keys=True, default=repr)
+        return (
+            f'{self._head}{params_json}, "repetition": {repetition}, '
+            f'"seed": {seed}{self._tail}'
+        )
+
+    def key(self, cell: Cell) -> str:
+        return hashlib.sha256(self.blob(cell).encode("utf-8")).hexdigest()
+
+
+@functools.lru_cache(maxsize=128)
+def keyer_for(experiment: str, version: str = "") -> CellKeyer:
+    """The shared :class:`CellKeyer` of one (experiment, version) pair.
+
+    Every key path -- result cache, campaign store, distributed journal --
+    funnels through :func:`cell_key`, so memoising the keyer here gives all
+    of them the once-per-sweep precomputation without signature changes.
+    """
+
+    return CellKeyer(experiment, version)
+
+
+def cell_key(experiment: str, cell: Cell, version: str = "") -> str:
+    """Stable hash identifying one cell of one experiment (cache key).
+
+    The key covers the experiment name, the configuration, the seed and a
+    free-form ``version`` string (typically a fingerprint of the run
+    function) so stale cached results are not replayed across code changes.
+    """
+
+    return keyer_for(experiment, version).key(cell)

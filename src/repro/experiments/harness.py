@@ -132,8 +132,7 @@ class ExperimentResult:
         if self.aggregator is not None:
             return self.aggregator.summaries()
         aggregator = StreamingAggregator()
-        for row in self.rows:
-            aggregator.update(row)
+        aggregator.update_rows(self.rows)
         return aggregator.summaries()
 
     def grouped_mean(self, group_key: str, metric: str) -> Dict[Any, float]:
@@ -156,6 +155,23 @@ class ExperimentResult:
         return len(self.rows)
 
 
+@functools.lru_cache(maxsize=256)
+def _source_text(target: Any) -> Optional[str]:
+    """``inspect.getsource`` with a cache keyed by the function object.
+
+    ``getsource`` re-reads and re-tokenises the defining file on every call;
+    campaign drivers fingerprint the same run functions once per sweep (and
+    the distributed scheduler once per submitted task), so the memo turns
+    the repeated cost into a dict hit.  Stale entries are impossible within
+    a process: a re-defined function is a new object, hence a new key.
+    """
+
+    try:
+        return inspect.getsource(target)
+    except (OSError, TypeError):
+        return None
+
+
 def run_fingerprint(run: RunFunction) -> str:
     """A short fingerprint of a run function, used to version cache entries.
 
@@ -172,9 +188,14 @@ def run_fingerprint(run: RunFunction) -> str:
         target = target.func
     parts.append(f"{getattr(target, '__module__', '')}.{getattr(target, '__qualname__', repr(target))}")
     try:
-        parts.append(inspect.getsource(target))
-    except (OSError, TypeError):
-        pass
+        source = _source_text(target)
+    except TypeError:  # unhashable callable: fall back to the direct read
+        try:
+            source = inspect.getsource(target)
+        except (OSError, TypeError):
+            source = None
+    if source is not None:
+        parts.append(source)
     return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
 
 

@@ -49,7 +49,7 @@ def summarize(metric: str, values: Sequence[float]) -> Summary:
     if len(values) == 0:
         nan = float("nan")
         return Summary(metric, 0, nan, nan, nan, nan, nan, nan, nan)
-    array = np.asarray(list(values), dtype=float)
+    array = np.asarray(values, dtype=float)
     mean = float(array.mean())
     std = float(array.std(ddof=1)) if len(array) > 1 else 0.0
     ci = 1.96 * std / math.sqrt(len(array)) if len(array) > 1 else 0.0
@@ -128,6 +128,39 @@ class StreamingAggregator:
             except (TypeError, ValueError):
                 continue  # a later row may carry e.g. an error string here
             self._values.setdefault(metric, []).append(value)
+
+    def update_rows(self, rows: Sequence[Mapping[str, object]]) -> None:
+        """Ingest a batch of rows (column-at-a-time, one append list per metric).
+
+        Equivalent to calling :meth:`update` on each row in order -- the
+        tracked-metric inference still looks at the first row seen -- but
+        folds each metric as one pass over the batch, which is what the
+        vectorized sweep paths and the store re-export helpers feed it.
+        """
+
+        if not rows:
+            return
+        if self._metrics is None:
+            self._metrics = [
+                key
+                for key, value in rows[0].items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
+        self.rows_seen += len(rows)
+        for metric in self._metrics:
+            values = self._values.get(metric)
+            if values is None:
+                values = self._values.setdefault(metric, [])
+            append = values.append
+            for row in rows:
+                if metric not in row:
+                    continue
+                try:
+                    append(float(row[metric]))  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    continue  # a later row may carry e.g. an error string here
+        # NOTE: like update(), rows where a tracked metric is missing or
+        # non-numeric simply contribute nothing for that metric.
 
     def merge(self, other: "StreamingAggregator") -> None:
         """Fold another aggregator (e.g. from a sharded sweep) into this one."""

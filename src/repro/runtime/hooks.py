@@ -21,8 +21,9 @@ never as new event loops.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.bounds import min_work
 from repro.core.job import Job, MoldableJob, ParametricSweep, RigidJob
@@ -38,14 +39,20 @@ from repro.runtime.lifecycle import ClusterNode, RuntimeHook
 
 @dataclass
 class _Run:
-    """One elementary run of a multi-parametric bag."""
+    """One elementary run of a multi-parametric bag.
+
+    ``name`` is precomputed at construction: it labels every lease, trace
+    record and kill/resubmit of the run, and a busy grid re-reads it far
+    more often than runs are created.
+    """
 
     bag: ParametricSweep
     index: int
+    name: str = ""
 
-    @property
-    def name(self) -> str:
-        return f"{self.bag.name}#{self.index}"
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"{self.bag.name}#{self.index}"
 
 
 class GridServer:
@@ -56,7 +63,10 @@ class GridServer:
         if len(set(names)) != len(names):
             raise ValueError("duplicate bag names")
         self.bags = list(bags)
-        self.pending: List[_Run] = []
+        # Deque: runs leave from the head (next_run) and killed runs come
+        # back to the head (resubmit); both are O(1) instead of the O(n)
+        # list pop(0)/insert(0, ...).
+        self.pending: Deque[_Run] = deque()
         self.completed: Dict[str, int] = {b.name: 0 for b in bags}
         self.launches = 0
         self.kills = 0
@@ -68,13 +78,13 @@ class GridServer:
     def next_run(self) -> Optional[_Run]:
         if not self.pending:
             return None
-        return self.pending.pop(0)
+        return self.pending.popleft()
 
     def resubmit(self, run: _Run) -> None:
         """A killed run goes back to the head of the queue ("submit it once again")."""
 
         self.kills += 1
-        self.pending.insert(0, run)
+        self.pending.appendleft(run)
 
     def complete(self, run: _Run, now: float) -> None:
         self.completed[run.bag.name] += 1

@@ -26,6 +26,7 @@ here because the runtime itself builds on this package's kernel modules.
 
 from repro.simulation.engine import Simulator, Process, Timeout
 from repro.simulation.events import Event, EventQueue
+from repro.simulation.kernel import compiled_available, resolve_kernel
 from repro.simulation.resources import ProcessorPool, AllocationRequest
 from repro.simulation.tracing import Trace, TraceEvent
 
@@ -48,6 +49,8 @@ __all__ = [
     "Timeout",
     "Event",
     "EventQueue",
+    "compiled_available",
+    "resolve_kernel",
     "ProcessorPool",
     "AllocationRequest",
     "Trace",

@@ -11,6 +11,7 @@ currently in use by a best-effort job, the latter will be killed").
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -59,29 +60,31 @@ class ProcessorPool:
         self.reservations: Tuple[Reservation, ...] = tuple(reservations)
         self._leases: Dict[str, _Lease] = {}
         self._busy: Set[int] = set()
+        #: Free processor indices, maintained in ascending order (bisect
+        #: insertion on release): allocation takes the ``nbproc`` smallest
+        #: indices -- the historical lowest-index-first selection -- as a
+        #: front slice instead of an O(machine_count) range scan per call.
+        self._free: List[int] = list(range(machine_count))
         self._queue: List[AllocationRequest] = []
 
     # -- state -----------------------------------------------------------------
     def free_processors(self, now: float = 0.0) -> List[int]:
         """Processor indices currently free and not blocked by a reservation."""
 
-        busy = self._busy
         if not self.reservations:
             # Fast path: without reservations a processor is free iff it is
-            # not busy; skip the per-processor reservation scan entirely.
-            return [p for p in range(self.machine_count) if p not in busy]
-        free = []
-        for p in range(self.machine_count):
-            if p in busy:
-                continue
-            if any(r.blocks(p, now, now + 1e-12) for r in self.reservations):
-                continue
-            free.append(p)
-        return free
+            # not busy, and the free-list already holds exactly those in
+            # ascending order.
+            return list(self._free)
+        return [
+            p
+            for p in self._free
+            if not any(r.blocks(p, now, now + 1e-12) for r in self.reservations)
+        ]
 
     def free_count(self, now: float = 0.0) -> int:
         if not self.reservations:
-            return self.machine_count - len(self._busy)
+            return len(self._free)
         return len(self.free_processors(now))
 
     def preemptible_processors(self) -> List[int]:
@@ -155,9 +158,27 @@ class ProcessorPool:
         if len(free) < nbproc:
             return None
         chosen = tuple(free[:nbproc])
+        self._take_free(chosen, contiguous=not self.reservations)
         self._busy.update(chosen)
         self._leases[name] = _Lease(name, chosen, preemptible, on_preempt)
         return chosen
+
+    def _take_free(self, processors: Sequence[int], *, contiguous: bool = False) -> None:
+        """Remove ``processors`` from the sorted free-list.
+
+        ``contiguous`` marks the common case where the processors are the
+        current head of the list (lowest-index selection without
+        reservations), which removes them as one front slice.
+        """
+
+        if contiguous:
+            del self._free[: len(processors)]
+            return
+        free = self._free
+        for p in processors:
+            # Bisect would also work, but the list is typically short-lived
+            # and remove() on ints is a C-level scan.
+            free.remove(p)
 
     def acquire_specific(
         self,
@@ -178,6 +199,7 @@ class ProcessorPool:
                 raise ValueError(f"processor {p} outside pool")
             if p in self._busy:
                 raise ValueError(f"processor {p} is busy (held by {self.holder_of(p)!r})")
+        self._take_free(processors)
         self._busy.update(processors)
         self._leases[name] = _Lease(name, processors, preemptible, on_preempt)
         return processors
@@ -190,6 +212,9 @@ class ProcessorPool:
         except KeyError:
             raise KeyError(f"no active lease named {name!r}") from None
         self._busy.difference_update(lease.processors)
+        free = self._free
+        for p in lease.processors:
+            insort(free, p)
         return lease.processors
 
     def is_held(self, name: str) -> bool:

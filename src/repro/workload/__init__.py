@@ -10,6 +10,9 @@ multi-parametric jobs").
 
 * :mod:`repro.workload.models` -- random rigid / moldable job generators
   (runtime distributions, speedup profiles, weights);
+* :mod:`repro.workload.table` -- the struct-of-arrays :class:`JobTable`
+  fast path behind the moldable generators (vectorized validation and
+  bound columns, object materialization at the runtime boundary);
 * :mod:`repro.workload.arrivals` -- arrival processes (Poisson, bursty,
   off-line);
 * :mod:`repro.workload.parametric` -- multi-parametric bags of tasks;
@@ -34,6 +37,7 @@ from repro.workload.arrivals import (
     scaled_load_arrivals,
 )
 from repro.workload.parametric import generate_parametric_bags
+from repro.workload.table import JobTable
 from repro.workload.communities import COMMUNITY_PROFILES, community_workload, grid_workload
 from repro.workload.swf import SWFHeader, jobs_to_swf, parse_swf_header, swf_to_jobs
 
@@ -49,6 +53,7 @@ __all__ = [
     "offline_arrivals",
     "scaled_load_arrivals",
     "generate_parametric_bags",
+    "JobTable",
     "COMMUNITY_PROFILES",
     "community_workload",
     "grid_workload",

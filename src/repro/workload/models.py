@@ -26,7 +26,8 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.job import Job, MoldableJob, RigidJob
-from repro.core.speedup import AmdahlSpeedup, PowerLawSpeedup, make_runtime_table
+from repro.core.speedup import AmdahlSpeedup, PowerLawSpeedup, runtime_profile_array
+from repro.workload.table import JobTable
 
 RandomState = Union[int, np.random.Generator, None]
 
@@ -130,11 +131,19 @@ def generate_moldable_jobs(
     rng = _rng(random_state)
     cap = min(config.max_procs or machine_count, machine_count)
     runtimes = _runtimes(rng, n_jobs, config.runtime_range)
-    jobs: List[MoldableJob] = []
+    # Struct-of-arrays fast path: the RNG draw loop below is kept scalar --
+    # per-job draw *order* is part of the reproducibility contract -- but
+    # profiles are built as float64 arrays and collected into one JobTable,
+    # which validates the whole batch in a few vectorized passes and
+    # materializes MoldableJob objects with their bound caches pre-seeded
+    # (bit-identical to constructing each job individually).
+    names: List[str] = []
+    profiles: List[np.ndarray] = []
+    weights: List[float] = []
     for i in range(n_jobs):
         seq = float(runtimes[i])
         if rng.random() < config.sequential_fraction:
-            profile = [seq]
+            profile = np.array([seq])
         else:
             if rng.random() < 0.5:
                 lo, hi = config.serial_fraction_range
@@ -143,15 +152,13 @@ def generate_moldable_jobs(
                 lo, hi = config.power_alpha_range
                 model = PowerLawSpeedup(float(rng.uniform(lo, hi)))
             max_procs = int(rng.integers(2, cap + 1)) if cap >= 2 else 1
-            profile = make_runtime_table(seq, max_procs, model)
-        jobs.append(
-            MoldableJob(
-                name=f"{name_prefix}-{i:05d}",
-                runtimes=profile,
-                weight=_weight(rng, config.weight_scheme, seq),
-            )
-        )
-    return jobs
+            profile = runtime_profile_array(seq, max_procs, model)
+        names.append(f"{name_prefix}-{i:05d}")
+        profiles.append(profile)
+        weights.append(_weight(rng, config.weight_scheme, seq))
+    if not names:
+        return []
+    return JobTable.from_profiles(names, profiles, weights=weights).to_jobs()
 
 
 def generate_mixed_jobs(

@@ -209,7 +209,71 @@ class TestCli:
         assert bench_main(["compare", str(base), str(base)]) == 0
         capsys.readouterr()
 
+    def test_fail_on_digest_keeps_digest_gate_hard_under_warn_only(
+        self, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        slow = tmp_path / "slow.json"
+        drift = tmp_path / "drift.json"
+        base.write_text(json.dumps(_report_with(1.0)))
+        slow.write_text(json.dumps(_report_with(1.5)))
+        drift.write_text(json.dumps(_report_with(1.0, digest="xyz")))
+        # Timing regression stays advisory; digest drift does not.
+        assert bench_main(
+            ["compare", str(base), str(slow), "--warn-only", "--fail-on-digest"]
+        ) == 0
+        assert bench_main(
+            ["compare", str(base), str(drift), "--warn-only", "--fail-on-digest"]
+        ) == 1
+        assert bench_main(
+            ["compare", str(base), str(base), "--warn-only", "--fail-on-digest"]
+        ) == 0
+        with pytest.raises(SystemExit, match="contradictory"):
+            bench_main(
+                ["compare", str(base), str(base), "--fail-on-digest",
+                 "--no-digest-check"]
+            )
+        capsys.readouterr()
+
     def test_list(self, capsys):
         assert bench_main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "kernel.churn" in out
+
+
+class TestTimingGuard:
+    """The runner must refuse to time with observation overhead switched on."""
+
+    def test_spans_env_flag_aborts_timing(self, monkeypatch):
+        from repro.bench.runner import PerturbedTimingError
+
+        monkeypatch.setenv("REPRO_SPANS", "1")
+        with pytest.raises(PerturbedTimingError, match="REPRO_SPANS"):
+            time_case(_toy_case(), "quick", repeats=1, warmup=0)
+
+    def test_live_bus_subscriber_aborts_timing(self):
+        from repro.bench.runner import PerturbedTimingError
+        from repro.telemetry.bus import get_bus
+
+        subscription = get_bus().subscribe()
+        try:
+            with pytest.raises(PerturbedTimingError, match="subscribers"):
+                time_case(_toy_case(), "quick", repeats=1, warmup=0)
+        finally:
+            subscription.close()
+        # With the subscriber gone timing proceeds normally again.
+        assert time_case(_toy_case(), "quick", repeats=1, warmup=0).digest
+
+    def test_report_records_resolved_kernel_tier(self, monkeypatch):
+        from repro.simulation.kernel import compiled_available
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        report = run_benchmarks([_toy_case()], tier="quick", repeats=1, warmup=0)
+        assert report["kernel"] == "pure"
+        assert report["kernel_requested"] == "pure"
+
+        monkeypatch.setenv("REPRO_KERNEL", "compiled")
+        report = run_benchmarks([_toy_case()], tier="quick", repeats=1, warmup=0)
+        assert report["kernel_requested"] == "compiled"
+        expected = "compiled" if compiled_available() else "pure"
+        assert report["kernel"] == expected

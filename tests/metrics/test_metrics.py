@@ -162,3 +162,51 @@ class TestStreamingAggregator:
         summary = aggregator.summaries()["v"]
         assert summary.count == 2
         assert summary.mean == pytest.approx(2.0)
+
+
+class TestUpdateRowsBatch:
+    """``update_rows`` must be observably identical to row-at-a-time ``update``."""
+
+    ROWS = [
+        {"makespan": 10.0, "flow": 3, "label": "a"},
+        {"makespan": 12.5, "flow": 4, "label": "b"},
+        {"flow": 5},                                  # missing metric
+        {"makespan": "error: boom", "flow": 6},       # non-numeric later value
+        {"makespan": 9.0, "flow": True, "extra": 1},  # bool is not numeric
+    ]
+
+    def test_batch_matches_sequential(self):
+        sequential = StreamingAggregator()
+        for row in self.ROWS:
+            sequential.update(row)
+        batched = StreamingAggregator()
+        batched.update_rows(self.ROWS)
+        assert batched.rows_seen == sequential.rows_seen
+        assert batched._metrics == sequential._metrics
+        assert batched._values == sequential._values
+        assert {m: s.as_dict() for m, s in batched.summaries().items()} == {
+            m: s.as_dict() for m, s in sequential.summaries().items()
+        }
+
+    def test_batch_matches_sequential_with_explicit_metrics(self):
+        sequential = StreamingAggregator(metrics=["flow"])
+        for row in self.ROWS:
+            sequential.update(row)
+        batched = StreamingAggregator(metrics=["flow"])
+        batched.update_rows(self.ROWS)
+        assert batched._values == sequential._values
+
+    def test_empty_batch_is_a_no_op(self):
+        agg = StreamingAggregator()
+        agg.update_rows([])
+        assert agg.rows_seen == 0
+        assert agg.summaries() == {}
+
+    def test_chunked_batches_match_one_batch(self):
+        whole = StreamingAggregator()
+        whole.update_rows(self.ROWS)
+        chunked = StreamingAggregator()
+        chunked.update_rows(self.ROWS[:2])
+        chunked.update_rows(self.ROWS[2:])
+        assert chunked._values == whole._values
+        assert chunked.rows_seen == whole.rows_seen

@@ -1,0 +1,210 @@
+"""Equivalence suite for the compiled kernel tier (``repro._ckernel``).
+
+The compiled event queue + run loop must be *observably identical* to the
+pure-python kernel: same pop order under time/priority/seq ties, same
+cancellation semantics, same zero-delay FIFO wake order, and bit-identical
+scenario digests.  Every test here skips (not fails) when the extension is
+not built -- ``make kernel`` builds it -- so the pure tier remains a
+first-class configuration.
+
+The oracle strategy mirrors ``test_queue_fastpath.py``: random operation
+scripts and self-scheduling cascades are driven through both tiers and the
+observable logs compared element by element.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventQueue
+from repro.simulation.kernel import compiled_available, load_ckernel, resolve_kernel
+
+pytestmark = pytest.mark.skipif(
+    not compiled_available(),
+    reason="compiled kernel extension not built (run `make kernel`)",
+)
+
+
+def _kernel_core():
+    return load_ckernel().KernelCore()
+
+
+# ---------------------------------------------------------------------------
+# Operation-script oracle: KernelCore vs the pure EventQueue
+# ---------------------------------------------------------------------------
+
+_OP = st.one_of(
+    st.tuples(st.just("push"), st.integers(0, 40), st.integers(0, 2), st.booleans()),
+    st.tuples(st.just("pop")),
+    st.tuples(st.just("cancel"), st.integers(0, 10_000)),
+)
+
+
+def _apply_ops(queue, ops):
+    """Run an operation script; return the observable log (shared oracle
+    harness with ``test_queue_fastpath.py``)."""
+
+    log = []
+    handles = []
+    for op in ops:
+        if op[0] == "push":
+            _, slot, priority, cancel_now = op
+            handle = queue.push(slot * 0.25, lambda: None, priority=priority)
+            handles.append(handle)
+            if cancel_now:
+                queue.cancel(handle)
+            log.append(("len", len(queue)))
+        elif op[0] == "pop":
+            try:
+                event = queue.pop()
+                log.append(("pop", event.time, event.priority, event.seq))
+            except IndexError:
+                log.append(("pop-empty",))
+        else:
+            _, index = op
+            if handles:
+                queue.cancel(handles[index % len(handles)])
+            log.append(("len", len(queue), queue.peek_time()))
+    while True:
+        try:
+            event = queue.pop()
+        except IndexError:
+            break
+        log.append(("drain", event.time, event.priority, event.seq))
+    return log
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=st.lists(_OP, max_size=60))
+def test_compiled_queue_matches_pure_queue(ops):
+    """Property: every op script observes identical behaviour on both tiers."""
+
+    assert _apply_ops(_kernel_core(), ops) == _apply_ops(EventQueue(), ops)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 20040426])
+def test_compiled_queue_matches_pure_on_random_schedules(seed):
+    """Heavier seeded scripts (thousands of ops) than hypothesis generates."""
+
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(5000):
+        r = rng.random()
+        if r < 0.70:
+            ops.append(("push", rng.randrange(200), rng.randrange(3), rng.random() < 0.1))
+        elif r < 0.90:
+            ops.append(("pop",))
+        else:
+            ops.append(("cancel", rng.randrange(10_000)))
+    assert _apply_ops(_kernel_core(), ops) == _apply_ops(EventQueue(), ops)
+
+
+def test_compiled_queue_rejects_negative_time():
+    with pytest.raises(ValueError):
+        _kernel_core().push(-1.0, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Cascade equivalence: compiled Simulator vs pure Simulator
+# ---------------------------------------------------------------------------
+
+
+def _cascade(seed, sim):
+    """The self-expanding cascade of ``test_queue_fastpath.py``, driven
+    through a Simulator of either tier; returns the (time, ident) log."""
+
+    rng = random.Random(seed)
+    log = []
+
+    def make_node(ident, depth):
+        def fire():
+            log.append((round(sim.now, 6), ident))
+            if depth >= 3:
+                return
+            for child in range(rng.randrange(0, 3)):
+                delay = rng.choice([0.0, 0.0, 0.25, 0.5, 1.75])
+                priority = rng.randrange(3)
+                sim.schedule(delay, make_node(f"{ident}.{child}", depth + 1),
+                             priority=priority)
+            if rng.random() < 0.3:
+                decoy = sim.schedule(1.0, make_node(f"{ident}.decoy", depth + 1))
+                sim.cancel(decoy)
+
+        return fire
+
+    for root in range(8):
+        sim.schedule(rng.random() * 4.0, make_node(f"r{root}", 0),
+                     priority=rng.randrange(3))
+    sim.run()
+    return log
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_compiled_simulator_cascade_matches_pure(seed):
+    """Fire order of a random self-scheduling cascade is identical across
+    tiers: zero-delay children, same-time ties, mid-flight cancellations."""
+
+    compiled = Simulator(kernel="compiled")
+    pure = Simulator(kernel="pure")
+    assert type(compiled) is not type(pure)  # the tier actually engaged
+    assert _cascade(seed, compiled) == _cascade(seed, pure)
+
+
+def test_compiled_zero_delay_fifo_wake_order():
+    sim = Simulator(kernel="compiled")
+    order = []
+
+    def spawn():
+        for index in range(50):
+            sim.schedule(0.0, lambda i=index: order.append(i))
+
+    sim.schedule(1.0, spawn)
+    sim.run()
+    assert order == list(range(50))
+
+
+def test_compiled_run_until_and_stop():
+    for kernel in ("pure", "compiled"):
+        sim = Simulator(kernel=kernel)
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        now = sim.run(until=2.0)
+        assert fired == [1]
+        assert now == 2.0
+        sim.run()
+        assert fired == [1, 3]
+
+
+# ---------------------------------------------------------------------------
+# Golden-digest parity: scenario smokes under REPRO_KERNEL=compiled
+# ---------------------------------------------------------------------------
+
+GOLDENS = json.loads(
+    (Path(__file__).parents[1] / "runtime" / "goldens.json").read_text()
+)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS["scenarios"]))
+def test_scenario_smoke_digest_identical_on_compiled_tier(name, monkeypatch):
+    """Every scenario smoke digest is bit-identical on the compiled tier.
+
+    The goldens were captured on the pure tier; running the same scenarios
+    with ``REPRO_KERNEL=compiled`` must reproduce them exactly -- the tiers
+    differ in wall-clock only, never in results.
+    """
+
+    monkeypatch.setenv("REPRO_KERNEL", "compiled")
+    assert resolve_kernel() == "compiled"
+
+    from repro.runtime import golden
+
+    digests = golden.scenario_digests([name], executor="serial")
+    assert digests[name] == GOLDENS["scenarios"][name], (
+        f"scenario {name!r} digest drifted between kernel tiers"
+    )

@@ -1,0 +1,245 @@
+"""Equivalence suite for the struct-of-arrays :class:`JobTable`.
+
+The table is the vectorized fast path of the workload generators: it
+validates profiles in numpy passes, derives the bound columns once, and
+materializes :class:`MoldableJob` objects with pre-seeded memo caches.  The
+contract is *bit identity* with the scalar per-job path -- same accepted
+profiles, same rejection messages, same floats in every derived value --
+because the sweep digests are computed over results of these jobs.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.job import MoldableJob
+from repro.workload import JobTable
+
+
+def _random_profiles(seed, count, *, max_len=40):
+    """Monotone (runtime down, work up) random profiles plus names/weights."""
+
+    rng = random.Random(seed)
+    names, profiles, weights, releases = [], [], [], []
+    for i in range(count):
+        length = rng.randrange(1, max_len)
+        runtime = rng.uniform(5.0, 500.0)
+        profile = [runtime]
+        for k in range(1, length):
+            # Work k*p(k) may only grow: divide by a factor <= (k+1)/k.
+            factor = rng.uniform(max(0.5, k / (k + 1)), 1.0)
+            runtime *= factor
+            profile.append(runtime)
+        names.append(f"job-{seed}-{i}")
+        profiles.append(profile)
+        weights.append(rng.uniform(0.1, 10.0))
+        releases.append(rng.uniform(0.0, 100.0))
+    return names, profiles, weights, releases
+
+
+def _reference_jobs(names, profiles, weights=None, releases=None):
+    return [
+        MoldableJob(
+            name=name,
+            release_date=releases[i] if releases is not None else 0.0,
+            weight=weights[i] if weights is not None else 1.0,
+            runtimes=profiles[i],
+        )
+        for i, name in enumerate(names)
+    ]
+
+
+def _assert_same_job(materialized, reference):
+    assert materialized.name == reference.name
+    assert materialized.release_date == reference.release_date
+    assert materialized.weight == reference.weight
+    assert materialized.due_date is None
+    assert materialized.owner is None
+    assert materialized.min_procs == reference.min_procs
+    assert materialized.enforce_monotony is True
+    assert isinstance(materialized.runtimes, tuple)
+    assert materialized.runtimes == reference.runtimes
+    # Bit-identical derived values (the scalar side computes them lazily).
+    assert materialized.best_runtime() == reference.best_runtime()
+    assert materialized.min_work() == reference.min_work()
+    assert materialized._profile_non_increasing() == reference._profile_non_increasing()
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_to_jobs_matches_reference_construction(seed):
+    """from_profiles + to_jobs == per-job constructor, field for field."""
+
+    names, profiles, weights, releases = _random_profiles(seed, 60)
+    table = JobTable.from_profiles(
+        names, profiles, weights=weights, release_dates=releases
+    )
+    jobs = table.to_jobs()
+    reference = _reference_jobs(names, profiles, weights, releases)
+    assert len(jobs) == len(reference)
+    for job, ref in zip(jobs, reference):
+        _assert_same_job(job, ref)
+
+
+def test_to_jobs_pre_seeds_memo_caches():
+    names, profiles, weights, releases = _random_profiles(7, 10)
+    job = JobTable.from_profiles(names, profiles).to_jobs()[0]
+    assert "_best_runtime" in job.__dict__
+    assert "_min_work" in job.__dict__
+    assert "_non_increasing" in job.__dict__
+    # The seeded values equal a from-scratch recompute.
+    fresh = MoldableJob(name=job.name, runtimes=job.runtimes)
+    assert job.best_runtime() == fresh.best_runtime()
+    assert job.min_work() == fresh.min_work()
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_bound_columns_match_scalar_methods(seed):
+    names, profiles, weights, releases = _random_profiles(seed + 100, 40)
+    table = JobTable.from_profiles(names, profiles, weights=weights)
+    reference = _reference_jobs(names, profiles, weights)
+    best = table.best_runtime_column()
+    mwork = table.min_work_column()
+    noninc = table.non_increasing_column()
+    for i, ref in enumerate(reference):
+        assert best[i] == ref.best_runtime()
+        assert mwork[i] == ref.min_work()
+        assert bool(noninc[i]) == ref._profile_non_increasing()
+
+
+def test_from_jobs_round_trip_with_min_procs():
+    """min_procs > 1 takes the per-row reduce path; round trip stays exact."""
+
+    rng = random.Random(42)
+    jobs = []
+    for i in range(25):
+        _, profiles, _, _ = _random_profiles(1000 + i, 1, max_len=20)
+        profile = profiles[0]
+        jobs.append(
+            MoldableJob(
+                name=f"mp-{i}",
+                release_date=rng.uniform(0, 10),
+                weight=rng.uniform(0.5, 2.0),
+                runtimes=profile,
+                min_procs=rng.randrange(1, len(profile) + 1),
+            )
+        )
+    table = JobTable.from_jobs(jobs)
+    assert not (table.min_procs == 1).all()  # the loop fallback is exercised
+    best = table.best_runtime_column()
+    mwork = table.min_work_column()
+    for i, (job, out) in enumerate(zip(jobs, table.to_jobs())):
+        assert best[i] == job.best_runtime()
+        assert mwork[i] == job.min_work()
+        _assert_same_job(out, job)
+
+
+def test_empty_table():
+    table = JobTable.from_profiles([], [])
+    assert len(table) == 0
+    assert table.to_jobs() == []
+    assert table.best_runtime_column().shape == (0,)
+    assert table.min_work_column().shape == (0,)
+
+
+def test_single_point_profiles():
+    table = JobTable.from_profiles(["a", "b"], [[3.0], [5.0]])
+    jobs = table.to_jobs()
+    assert [j.best_runtime() for j in jobs] == [3.0, 5.0]
+    assert [j.min_work() for j in jobs] == [3.0, 5.0]
+
+
+# ---------------------------------------------------------------------------
+# Rejection parity: the vectorized validator must raise the *same* message
+# the scalar constructor raises, for the *first* offending job.
+# ---------------------------------------------------------------------------
+
+
+def _scalar_message(name, profile, *, release=0.0, weight=1.0):
+    with pytest.raises(ValueError) as err:
+        MoldableJob(name=name, release_date=release, weight=weight, runtimes=profile)
+    return str(err.value)
+
+
+@pytest.mark.parametrize(
+    "profile",
+    [
+        [5.0, 6.0],                         # runtime increases
+        [5.0, 4.0, 4.5],                    # runtime increases later
+        [10.0, 4.0],                        # work decreases (2*4 < 1*10)
+        [5.0, 0.0],                         # non-positive runtime
+        [5.0, -1.0, 1.0],                   # negative runtime
+        list(range(20, 0, -1)) + [25.0],    # long profile: vectorized check path
+    ],
+)
+def test_invalid_profile_message_matches_scalar(profile):
+    profile = [float(p) for p in profile]
+    expected = _scalar_message("bad", profile)
+    good = [8.0, 7.0, 6.5]
+    with pytest.raises(ValueError) as err:
+        JobTable.from_profiles(["ok", "bad", "ok2"], [good, profile, good])
+    assert str(err.value) == expected
+
+
+def test_negative_release_and_weight_messages_match_scalar():
+    expected = _scalar_message("neg-r", [2.0], release=-1.0)
+    with pytest.raises(ValueError) as err:
+        JobTable.from_profiles(["neg-r"], [[2.0]], release_dates=[-1.0])
+    assert str(err.value) == expected
+
+    expected = _scalar_message("neg-w", [2.0], weight=-0.5)
+    with pytest.raises(ValueError) as err:
+        JobTable.from_profiles(["neg-w"], [[2.0]], weights=[-0.5])
+    assert str(err.value) == expected
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(ValueError, match="empty runtime profile"):
+        JobTable.from_profiles(["e"], [[]])
+
+
+def test_tolerated_jitter_accepted_but_flagged_not_monotone():
+    """A runtime increase within the 1e-9 tolerance passes validation (as in
+    the scalar constructor) but the *exact* non-increasing flag is False --
+    both sides must agree on the distinction."""
+
+    profile = [5.0, 5.0 * (1 + 1e-12), 4.0]
+    reference = MoldableJob(name="jitter", runtimes=profile)
+    table = JobTable.from_profiles(["jitter"], [profile])
+    (job,) = table.to_jobs()
+    assert reference._profile_non_increasing() is False
+    assert job._profile_non_increasing() is False
+
+
+def test_length_mismatches_rejected():
+    with pytest.raises(ValueError):
+        JobTable.from_profiles(["a"], [[1.0]], weights=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        JobTable.from_profiles(["a"], [[1.0]], release_dates=[])
+    with pytest.raises(ValueError):
+        JobTable.from_profiles(["a", "b"], [[1.0]])
+
+
+def test_from_jobs_rejects_non_moldable():
+    from repro.core.job import RigidJob
+
+    with pytest.raises(TypeError):
+        JobTable.from_jobs([RigidJob(name="r", nbproc=2, duration=1.0)])
+
+
+def test_generator_routes_through_table_with_primed_memos():
+    """generate_moldable_jobs materializes through the table: every job comes
+    back with its memo caches already populated."""
+
+    from repro.workload.models import generate_moldable_jobs
+
+    jobs = generate_moldable_jobs(30, 32, random_state=9)
+    assert jobs
+    for job in jobs:
+        assert "_best_runtime" in job.__dict__
+        assert job.best_runtime() == min(job.runtimes[job.min_procs - 1 :])
+        assert job.min_work() == min(
+            (k + 1) * p
+            for k, p in enumerate(job.runtimes)
+            if k + 1 >= job.min_procs
+        )
